@@ -1,0 +1,25 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all test bench experiments experiments-full examples lint
+
+all: test
+
+test:
+	go build ./... && go vet ./... && go test ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+experiments:
+	go run ./cmd/sketchlab
+
+experiments-full:
+	go run ./cmd/sketchlab -scale full -seed 42
+
+examples:
+	@for ex in quickstart matchinglb misreduction coloring rsgraphs connectivity informationchain catalog; do \
+		echo "=== $$ex ==="; go run ./examples/$$ex || exit 1; echo; \
+	done
+
+lint:
+	gofmt -l . && go vet ./...

@@ -1,0 +1,107 @@
+package repro_test
+
+// One benchmark per experiment of DESIGN.md §3. Each regenerates the
+// corresponding EXPERIMENTS.md table at small scale (use
+// cmd/sketchlab -scale full for the recorded full-scale numbers) and
+// reports throughput so regressions in the underlying machinery surface
+// here.
+//
+// Run: go test -bench=. -benchmem
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, run experiments.Runner) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tables, err := run(experiments.Small, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, t := range tables {
+			if err := t.Render(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkE1RSGraphConstruction(b *testing.B) {
+	benchExperiment(b, experiments.E1RSConstruction)
+}
+
+func BenchmarkE2HardDistribution(b *testing.B) {
+	benchExperiment(b, experiments.E2HardDistribution)
+}
+
+func BenchmarkE3Claim31(b *testing.B) {
+	benchExperiment(b, experiments.E3Claim31)
+}
+
+func BenchmarkE4InformationChain(b *testing.B) {
+	benchExperiment(b, experiments.E4InformationChain)
+}
+
+func BenchmarkE5MatchingLowerBound(b *testing.B) {
+	benchExperiment(b, experiments.E5MatchingLowerBound)
+}
+
+func BenchmarkE6MISReduction(b *testing.B) {
+	benchExperiment(b, experiments.E6MISReduction)
+}
+
+func BenchmarkE7MISLowerBound(b *testing.B) {
+	benchExperiment(b, experiments.E7MISLowerBound)
+}
+
+func BenchmarkE8AGMSpanningForest(b *testing.B) {
+	benchExperiment(b, experiments.E8AGMSpanningForest)
+}
+
+func BenchmarkE9BridgeFinding(b *testing.B) {
+	benchExperiment(b, experiments.E9BridgeFinding)
+}
+
+func BenchmarkE10Coloring(b *testing.B) {
+	benchExperiment(b, experiments.E10Coloring)
+}
+
+func BenchmarkE11TwoRound(b *testing.B) {
+	benchExperiment(b, experiments.E11TwoRound)
+}
+
+func BenchmarkE12BCCEquivalence(b *testing.B) {
+	benchExperiment(b, experiments.E12BCCEquivalence)
+}
+
+func BenchmarkE13Certificates(b *testing.B) {
+	benchExperiment(b, experiments.E13Certificates)
+}
+
+func BenchmarkE14BudgetScaling(b *testing.B) {
+	benchExperiment(b, experiments.E14BudgetScaling)
+}
+
+func BenchmarkE15RandomnessHierarchy(b *testing.B) {
+	benchExperiment(b, experiments.E15RandomnessHierarchy)
+}
+
+func BenchmarkE16MSTEstimator(b *testing.B) {
+	benchExperiment(b, experiments.E16MSTEstimator)
+}
+
+func BenchmarkE17CutSparsifier(b *testing.B) {
+	benchExperiment(b, experiments.E17CutSparsifier)
+}
+
+func BenchmarkE18DegeneracyDensest(b *testing.B) {
+	benchExperiment(b, experiments.E18DegeneracyDensest)
+}
+
+func BenchmarkE19TriangleCounting(b *testing.B) {
+	benchExperiment(b, experiments.E19TriangleCounting)
+}

@@ -1,0 +1,73 @@
+// Command lbcalc evaluates the paper's Theorem 1/2 lower-bound formulas:
+// given RS-graph shapes, it prints the required per-player sketch bits.
+//
+// Usage:
+//
+//	lbcalc [-m 25,100,400] [-paper-n 1000,100000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bounds"
+)
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	ms := flag.String("m", "25,100,400,1600", "constructive-family parameters")
+	paperNs := flag.String("paper-n", "1000,10000,100000,1000000", "asymptotic-shape RS sizes N")
+	flag.Parse()
+
+	mList, err := parseInts(*ms)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbcalc: -m: %v\n", err)
+		os.Exit(2)
+	}
+	nList, err := parseInts(*paperNs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbcalc: -paper-n: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Println("Theorem 1 counting bound, constructive (Behrend/greedy) family:")
+	fmt.Printf("%8s %8s %6s %8s %10s %12s %12s\n", "m", "N", "r", "t=k", "n", "MM bits", "MIS bits")
+	rows, err := bounds.Table(mList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbcalc: %v\n", err)
+		os.Exit(1)
+	}
+	for i, row := range rows {
+		fmt.Printf("%8d %8d %6d %8d %10d %12.3f %12.3f\n",
+			mList[i], row.Shape.N, row.Shape.R, row.Shape.T, row.NTotal,
+			row.BitsPerPlayer, bounds.MISBound(row.BitsPerPlayer))
+	}
+
+	fmt.Println()
+	fmt.Println("Theorem 1 at the paper's asymptotic shape (t = N/3, r = N/e^{c√log N}):")
+	fmt.Printf("%10s %10s %12s %12s %10s\n", "N", "r", "n", "MM bits", "r/36")
+	for _, n := range nList {
+		shape := bounds.PaperShape(n)
+		row, err := bounds.PaperRow(shape)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbcalc: N=%d: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%10d %10d %12d %12.3f %10.3f\n",
+			shape.N, shape.R, row.NTotal, row.BitsPerPlayer, float64(shape.R)/36)
+	}
+}

@@ -1,0 +1,78 @@
+// Command sketchlab runs the reproduction experiments E1–E19 (DESIGN.md)
+// and renders their tables.
+//
+// Usage:
+//
+//	sketchlab [-scale small|full] [-seed N] [-run E5,E6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "small", "experiment scale: small or full")
+	seed := flag.Uint64("seed", 42, "root seed for all randomness")
+	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	format := flag.String("format", "text", "output format: text or md")
+	flag.Parse()
+
+	if *list {
+		for _, entry := range experiments.Registry() {
+			fmt.Println(entry.ID)
+		}
+		return
+	}
+
+	scale := experiments.Small
+	switch *scaleFlag {
+	case "small":
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "sketchlab: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *run != "" {
+		for _, id := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	failed := false
+	for _, entry := range experiments.Registry() {
+		if len(want) > 0 && !want[entry.ID] {
+			continue
+		}
+		tables, err := entry.Run(scale, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sketchlab: %s: %v\n", entry.ID, err)
+			failed = true
+			continue
+		}
+		for _, t := range tables {
+			var err error
+			switch *format {
+			case "md":
+				err = t.RenderMarkdown(os.Stdout)
+			default:
+				err = t.Render(os.Stdout)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sketchlab: render %s: %v\n", t.ID, err)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,18 @@
+// Package repro reproduces "Lower Bounds for Distributed Sketching of
+// Maximal Matchings and Maximal Independent Sets" (Assadi, Kol, Oshman,
+// PODC 2020) as an executable system.
+//
+// The library implements the distributed sketching model (internal/core),
+// the polylog upper bounds the paper contrasts against — AGM spanning
+// forest sketches (internal/agm) and palette-sparsification coloring
+// (internal/coloring) — the Behrend/Ruzsa–Szemerédi hard-instance
+// machinery (internal/ap3, internal/rsgraph, internal/harddist), the
+// Section 4 MM→MIS reduction (internal/misreduce), exact numerical
+// verification of the information-theoretic proof chain
+// (internal/proofcheck, internal/infotheory), and the analytic bound
+// calculator (internal/bounds).
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-vs-measured record, and examples/ for runnable walkthroughs. The
+// benchmarks in bench_test.go regenerate every experiment table.
+package repro

@@ -1,0 +1,50 @@
+// Coloring demo: (Δ+1)-vertex coloring with palette sparsification
+// [ACK19] — the symmetry-breaking problem the paper singles out as
+// polylog-sketchable, in contrast to maximal matching and MIS.
+//
+// Run with: go run ./examples/coloring
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/coloring"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func main() {
+	src := rng.NewSource(21)
+	g := gen.Gnp(300, 0.4, src)
+	delta := g.MaxDegree()
+	fmt.Printf("graph: n=%d, m=%d, Δ=%d (palette size %d)\n", g.N(), g.M(), delta, delta+1)
+
+	listSize := int(math.Ceil(6 * math.Log(float64(g.N())+1)))
+	fmt.Printf("every vertex publicly samples a list of %d of the %d colors\n", listSize, delta+1)
+
+	protocol := coloring.New(coloring.Config{MaxDegree: delta})
+	res, err := core.Run[[]int](protocol, g, rng.NewPublicCoins(22))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("max sketch: %d bits/vertex (full neighborhood would be ~%d bits)\n",
+		res.MaxSketchBits, delta*int(math.Ceil(math.Log2(float64(g.N())))))
+	if graph.IsProperColoring(g, res.Output, delta+1) {
+		fmt.Println("verified: proper (Δ+1)-coloring, every vertex colored from its sampled list")
+	} else {
+		fmt.Println("verification FAILED (protocol errs with small probability; rerun)")
+	}
+
+	used := make(map[int]bool)
+	for _, c := range res.Output {
+		used[c] = true
+	}
+	fmt.Printf("colors actually used: %d of %d\n", len(used), delta+1)
+	fmt.Println()
+	fmt.Println("the paper: this problem has O(log³n)-bit sketches, while maximal")
+	fmt.Println("matching and MIS provably need Ω(√n / e^Θ(√log n)) — Theorems 1-2.")
+}

@@ -1,0 +1,255 @@
+// Package agm implements the Ahn–Guha–McGregor graph sketches [AGM,
+// SODA'12] in the distributed sketching model: every vertex sends an
+// O(polylog n)-bit linear sketch of its signed edge-incidence vector, and
+// the referee recovers a spanning forest by running Borůvka's algorithm on
+// merged sketches.
+//
+// This is the paper's headline contrast (Section 1): spanning forest —
+// and with it connectivity — needs only polylog(n)-bit sketches, while
+// Theorem 1 and 2 show maximal matching and MIS need Ω(√n / e^Θ(√log n)).
+//
+// The incidence vector of vertex v assigns edge {u,v} (indexed as
+// min·n+max) the value +1 when v < u and -1 when v > u. Summing the
+// vectors of a component's vertices cancels every internal edge and leaves
+// exactly the component's boundary edges, so an ℓ₀-sample of the sum is a
+// uniform-ish outgoing edge — precisely what Borůvka needs.
+package agm
+
+import (
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/l0"
+	"repro/internal/rng"
+)
+
+// Config controls the sketch dimensions.
+type Config struct {
+	// Rounds is the number of Borůvka rounds; each consumes fresh sampler
+	// randomness. 0 selects 2·ceil(log2 n) + 4.
+	Rounds int
+	// Reps is the number of independent samplers per round, boosting the
+	// per-component success probability. 0 selects 3.
+	Reps int
+}
+
+// withDefaults resolves zero fields for an n-vertex graph.
+func (c Config) withDefaults(n int) Config {
+	if c.Rounds == 0 {
+		c.Rounds = 2*bitio.UintWidth(n+1) + 4
+	}
+	if c.Reps == 0 {
+		c.Reps = 3
+	}
+	return c
+}
+
+// edgeIndex maps edge {u,v} to its universe index min·n+max.
+func edgeIndex(n, u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)*uint64(n) + uint64(v)
+}
+
+// edgeFromIndex inverts edgeIndex, validating the decoded endpoints.
+func edgeFromIndex(n int, idx uint64) (graph.Edge, error) {
+	u := int(idx / uint64(n))
+	v := int(idx % uint64(n))
+	if u < 0 || v < 0 || u >= n || v >= n || u >= v {
+		return graph.Edge{}, fmt.Errorf("agm: index %d decodes to invalid edge (%d,%d)", idx, u, v)
+	}
+	return graph.Edge{U: u, V: v}, nil
+}
+
+// specs derives the (round × rep) sampler specifications from public
+// coins; players and referee call this identically.
+func specs(n int, cfg Config, coins *rng.PublicCoins) []l0.Spec {
+	universe := uint64(n) * uint64(n)
+	root := coins.Derive("agm")
+	out := make([]l0.Spec, cfg.Rounds*cfg.Reps)
+	for i := range out {
+		out[i] = l0.NewSpec(universe, root.DeriveIndex(i))
+	}
+	return out
+}
+
+// ForestProtocol is the one-round AGM spanning forest protocol.
+type ForestProtocol struct {
+	cfg Config
+}
+
+var _ core.Protocol[[]graph.Edge] = (*ForestProtocol)(nil)
+
+// NewSpanningForest returns the spanning forest protocol.
+func NewSpanningForest(cfg Config) *ForestProtocol {
+	return &ForestProtocol{cfg: cfg}
+}
+
+// Name implements core.Protocol.
+func (p *ForestProtocol) Name() string { return "agm-spanning-forest" }
+
+// Sketch implements core.Protocol: the vertex serializes one ℓ₀-sketch of
+// its incidence vector per (round, rep).
+func (p *ForestProtocol) Sketch(view core.VertexView, coins *rng.PublicCoins) (*bitio.Writer, error) {
+	cfg := p.cfg.withDefaults(view.N)
+	w := &bitio.Writer{}
+	for _, sp := range specs(view.N, cfg, coins) {
+		sk := sp.NewSketch()
+		for _, u := range view.Neighbors {
+			delta := int64(1)
+			if view.ID > u {
+				delta = -1
+			}
+			sp.Update(sk, edgeIndex(view.N, view.ID, u), delta)
+		}
+		sk.Write(w)
+	}
+	return w, nil
+}
+
+// Decode implements core.Protocol: Borůvka over merged sketches.
+func (p *ForestProtocol) Decode(n int, sketches []*bitio.Reader, coins *rng.PublicCoins) ([]graph.Edge, error) {
+	cfg := p.cfg.withDefaults(n)
+	sps := specs(n, cfg, coins)
+	perVertex, err := readVertexSketches(n, sps, sketches)
+	if err != nil {
+		return nil, err
+	}
+	return boruvka(n, cfg, sps, perVertex)
+}
+
+// readVertexSketches deserializes every vertex's sampler stack.
+func readVertexSketches(n int, sps []l0.Spec, sketches []*bitio.Reader) ([][]*l0.Sketch, error) {
+	perVertex := make([][]*l0.Sketch, n)
+	for v := 0; v < n; v++ {
+		perVertex[v] = make([]*l0.Sketch, len(sps))
+		for i, sp := range sps {
+			sk, err := sp.ReadSketch(sketches[v])
+			if err != nil {
+				return nil, fmt.Errorf("agm: vertex %d sampler %d: %w", v, i, err)
+			}
+			perVertex[v][i] = sk
+		}
+	}
+	return perVertex, nil
+}
+
+// boruvka recovers a spanning forest from per-vertex sampler stacks,
+// merging sketches as components join. It consumes perVertex.
+func boruvka(n int, cfg Config, sps []l0.Spec, perVertex [][]*l0.Sketch) ([]graph.Edge, error) {
+	// Component state: parent pointers plus the merged sketch stack of
+	// each root.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	compSketch := perVertex // roots own their merged sketches
+
+	var forest []graph.Edge
+	for round := 0; round < cfg.Rounds; round++ {
+		// Collect current roots.
+		var roots []int
+		for v := 0; v < n; v++ {
+			if find(v) == v {
+				roots = append(roots, v)
+			}
+		}
+		if len(roots) == 1 {
+			break
+		}
+		merged := false
+		for _, root := range roots {
+			if find(root) != root {
+				continue // merged earlier this round
+			}
+			for rep := 0; rep < cfg.Reps; rep++ {
+				i := round*cfg.Reps + rep
+				idx, _, ok := sps[i].Sample(compSketch[root][i])
+				if !ok {
+					continue
+				}
+				e, err := edgeFromIndex(n, idx)
+				if err != nil {
+					continue // fingerprint slip; treat as failed sample
+				}
+				ru, rv := find(e.U), find(e.V)
+				if ru == rv {
+					continue // stale or internal (should have cancelled)
+				}
+				forest = append(forest, e)
+				// Merge smaller-rooted into larger is irrelevant; merge rv
+				// into ru and add sketches.
+				parent[rv] = ru
+				for j := range compSketch[ru] {
+					if err := compSketch[ru][j].Add(compSketch[rv][j]); err != nil {
+						return nil, fmt.Errorf("agm: merge: %w", err)
+					}
+				}
+				compSketch[rv] = nil
+				merged = true
+				break
+			}
+		}
+		if !merged && round > 0 {
+			// No component can make progress with the remaining samplers;
+			// later rounds use fresh ones, so keep going unless every
+			// component's boundary is empty (forest complete).
+			allZero := true
+			for _, root := range roots {
+				if find(root) != root {
+					continue
+				}
+				i := round * cfg.Reps
+				if !compSketch[root][i].IsZero() {
+					allZero = false
+					break
+				}
+			}
+			if allZero {
+				break
+			}
+		}
+	}
+	return forest, nil
+}
+
+// ComponentsProtocol counts connected components via the spanning forest.
+type ComponentsProtocol struct {
+	forest *ForestProtocol
+}
+
+var _ core.Protocol[int] = (*ComponentsProtocol)(nil)
+
+// NewComponentCount returns a protocol whose output is the number of
+// connected components of the input graph.
+func NewComponentCount(cfg Config) *ComponentsProtocol {
+	return &ComponentsProtocol{forest: NewSpanningForest(cfg)}
+}
+
+// Name implements core.Protocol.
+func (p *ComponentsProtocol) Name() string { return "agm-component-count" }
+
+// Sketch implements core.Protocol.
+func (p *ComponentsProtocol) Sketch(view core.VertexView, coins *rng.PublicCoins) (*bitio.Writer, error) {
+	return p.forest.Sketch(view, coins)
+}
+
+// Decode implements core.Protocol.
+func (p *ComponentsProtocol) Decode(n int, sketches []*bitio.Reader, coins *rng.PublicCoins) (int, error) {
+	forest, err := p.forest.Decode(n, sketches, coins)
+	if err != nil {
+		return 0, err
+	}
+	return n - len(forest), nil
+}

@@ -1,0 +1,243 @@
+package agm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestEdgeIndexRoundTrip(t *testing.T) {
+	n := 37
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			idx := edgeIndex(n, u, v)
+			if idx != edgeIndex(n, v, u) {
+				t.Fatal("edgeIndex not symmetric")
+			}
+			e, err := edgeFromIndex(n, idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.U != u || e.V != v {
+				t.Fatalf("round trip (%d,%d) -> %v", u, v, e)
+			}
+		}
+	}
+}
+
+func TestEdgeFromIndexRejectsInvalid(t *testing.T) {
+	// Diagonal (u == v) and out-of-range values must be rejected.
+	if _, err := edgeFromIndex(10, 0); err == nil {
+		t.Error("index 0 decodes to (0,0) and must be rejected")
+	}
+	if _, err := edgeFromIndex(10, 10*10); err == nil {
+		t.Error("out-of-universe index accepted")
+	}
+	if _, err := edgeFromIndex(10, 5*10+3); err == nil {
+		t.Error("u > v index accepted")
+	}
+}
+
+func TestSpanningForestSmallGraphs(t *testing.T) {
+	coins := rng.NewPublicCoins(1)
+	p := NewSpanningForest(Config{})
+	for name, g := range map[string]*graph.Graph{
+		"path":      gen.Path(10),
+		"cycle":     gen.Cycle(12),
+		"complete":  gen.Complete(8),
+		"star":      gen.Star(9),
+		"two-comps": graph.FromEdges(6, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}}),
+		"empty":     graph.NewBuilder(5).Build(),
+	} {
+		res, err := core.Run[[]graph.Edge](p, g, coins.Derive(name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !graph.IsSpanningForest(g, res.Output) {
+			t.Errorf("%s: output is not a spanning forest (%d edges)", name, len(res.Output))
+		}
+	}
+}
+
+func TestSpanningForestSuccessRate(t *testing.T) {
+	p := NewSpanningForest(Config{})
+	src := rng.NewSource(7)
+	stats := core.EstimateSuccess[[]graph.Edge](p, func(i int) core.Trial[[]graph.Edge] {
+		g := gen.Gnp(60, 0.08, src)
+		return core.Trial[[]graph.Edge]{
+			Graph:  g,
+			Verify: func(out []graph.Edge) bool { return graph.IsSpanningForest(g, out) },
+		}
+	}, 25, rng.NewPublicCoins(3))
+	if stats.SuccessRate() < 0.9 {
+		t.Errorf("AGM success rate %.2f below 0.9", stats.SuccessRate())
+	}
+}
+
+func TestSpanningForestSketchSizePolylog(t *testing.T) {
+	// The headline contrast: sketch size must scale polylogarithmically,
+	// far below the n-bit trivial sketch for moderately large n.
+	coins := rng.NewPublicCoins(5)
+	p := NewSpanningForest(Config{})
+	src := rng.NewSource(9)
+	g := gen.Gnp(300, 0.05, src)
+	res, err := core.Run[[]graph.Edge](p, g, coins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logN := math.Log2(float64(g.N()))
+	// Generous constant: c * log^3 n bits.
+	bound := int(900 * logN * logN * logN)
+	if res.MaxSketchBits > bound {
+		t.Errorf("sketch %d bits exceeds %d = O(log^3 n) envelope", res.MaxSketchBits, bound)
+	}
+	if res.MaxSketchBits == 0 {
+		t.Error("empty sketches")
+	}
+}
+
+func TestComponentCount(t *testing.T) {
+	coins := rng.NewPublicCoins(11)
+	p := NewComponentCount(Config{})
+	b := graph.NewBuilder(12)
+	// Three components: a triangle, a path of 4, an edge; plus 3 isolated.
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 6)
+	b.AddEdge(7, 8)
+	g := b.Build()
+	res, err := core.Run[int](p, g, coins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != 6 {
+		t.Errorf("component count = %d, want 6", res.Output)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults(100)
+	if c.Rounds <= 0 || c.Reps <= 0 {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+	c2 := Config{Rounds: 5, Reps: 1}.withDefaults(100)
+	if c2.Rounds != 5 || c2.Reps != 1 {
+		t.Errorf("explicit config overridden: %+v", c2)
+	}
+}
+
+func TestSpanningForestLowBudgetDegrades(t *testing.T) {
+	// With a single round and rep, large graphs should often fail to
+	// complete a forest — evidence the rounds actually matter (ablation).
+	p := NewSpanningForest(Config{Rounds: 1, Reps: 1})
+	src := rng.NewSource(13)
+	stats := core.EstimateSuccess[[]graph.Edge](p, func(i int) core.Trial[[]graph.Edge] {
+		g := gen.Gnp(40, 0.2, src)
+		return core.Trial[[]graph.Edge]{
+			Graph:  g,
+			Verify: func(out []graph.Edge) bool { return graph.IsSpanningForest(g, out) },
+		}
+	}, 20, rng.NewPublicCoins(17))
+	if stats.SuccessRate() > 0.5 {
+		t.Errorf("1-round AGM succeeded %.2f of the time; expected degradation", stats.SuccessRate())
+	}
+}
+
+func TestBridgeFinder(t *testing.T) {
+	root := rng.NewPublicCoins(19)
+	src := rng.NewSource(21)
+	p := NewBridgeFinder(0)
+	successes := 0
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		g, bridge := gen.TwoBlobsWithBridge(40, 0.3, src)
+		res, err := core.Run[graph.Edge](p, g, root.DeriveIndex(i))
+		if err != nil {
+			continue
+		}
+		if res.Output == bridge {
+			successes++
+		}
+	}
+	if successes < trials*9/10 {
+		t.Errorf("bridge recovered in %d/%d trials", successes, trials)
+	}
+}
+
+func TestBridgeFinderSketchSize(t *testing.T) {
+	src := rng.NewSource(23)
+	g, _ := gen.TwoBlobsWithBridge(100, 0.2, src)
+	res, err := core.Run[graph.Edge](NewBridgeFinder(0), g, rng.NewPublicCoins(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// O(log^2 n) bits: k = O(log n) edges of log n bits each plus the sum.
+	logN := math.Log2(float64(g.N()))
+	bound := int(40 * logN * logN)
+	if res.MaxSketchBits > bound {
+		t.Errorf("bridge sketch %d bits exceeds %d", res.MaxSketchBits, bound)
+	}
+}
+
+func TestCutEdges(t *testing.T) {
+	// Path: every edge is a bridge.
+	if got := cutEdges(gen.Path(5)); len(got) != 4 {
+		t.Errorf("P5 has %d bridges, want 4", len(got))
+	}
+	// Cycle: no bridges.
+	if got := cutEdges(gen.Cycle(5)); len(got) != 0 {
+		t.Errorf("C5 has %d bridges, want 0", len(got))
+	}
+	// Two triangles joined by one edge: exactly that edge.
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 3)
+	b.AddEdge(2, 3)
+	got := cutEdges(b.Build())
+	if len(got) != 1 || got[0] != graph.NewEdge(2, 3) {
+		t.Errorf("bridges = %v, want [{2 3}]", got)
+	}
+}
+
+func TestSideWithout(t *testing.T) {
+	g := gen.Path(5)
+	side := sideWithout(g, graph.NewEdge(1, 2))
+	if len(side) != 2 {
+		t.Errorf("side = %v, want {0,1}", side)
+	}
+}
+
+func BenchmarkSpanningForestN100(b *testing.B) {
+	g := gen.Gnp(100, 0.1, rng.NewSource(1))
+	p := NewSpanningForest(Config{})
+	coins := rng.NewPublicCoins(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run[[]graph.Edge](p, g, coins); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBridgeFinderN200(b *testing.B) {
+	g, _ := gen.TwoBlobsWithBridge(100, 0.2, rng.NewSource(3))
+	p := NewBridgeFinder(0)
+	coins := rng.NewPublicCoins(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run[graph.Edge](p, g, coins); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package agm
+
+import (
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// BridgeProtocol implements footnote 1 of the paper: the input graph is
+// promised to consist of two (internally well-connected) blobs joined by a
+// single bridge edge, and the referee must output that bridge.
+//
+// Each vertex sends (a) up to c·log n uniformly sampled incident edges,
+// from which the referee recovers the two-blob partition w.h.p., and (b)
+// the signed sum s_w = Σ_{z∈N(w), z>w} id(w,z) − Σ_{z∈N(w), z<w} id(w,z)
+// with id(u,v) = min·n + max. Summing s_w over the vertices of one blob
+// cancels every internal edge and leaves ±id(bridge), which identifies
+// the bridge exactly — even though neither endpoint of the bridge can
+// distinguish it locally from its other edges.
+type BridgeProtocol struct {
+	// SamplesPerVertex is the number of incident-edge samples, 0 meaning
+	// 4·ceil(log2 n) + 4.
+	SamplesPerVertex int
+}
+
+var _ core.Protocol[graph.Edge] = (*BridgeProtocol)(nil)
+
+// NewBridgeFinder returns the footnote-1 protocol.
+func NewBridgeFinder(samplesPerVertex int) *BridgeProtocol {
+	return &BridgeProtocol{SamplesPerVertex: samplesPerVertex}
+}
+
+// Name implements core.Protocol.
+func (p *BridgeProtocol) Name() string { return "footnote1-bridge" }
+
+func (p *BridgeProtocol) samples(n int) int {
+	if p.SamplesPerVertex > 0 {
+		return p.SamplesPerVertex
+	}
+	return 4*bitio.UintWidth(n+1) + 4
+}
+
+// Sketch implements core.Protocol.
+func (p *BridgeProtocol) Sketch(view core.VertexView, coins *rng.PublicCoins) (*bitio.Writer, error) {
+	w := &bitio.Writer{}
+	idWidth := bitio.UintWidth(view.N)
+
+	// (a) Sampled incident edges. Sampling coins are derived per vertex
+	// from the public coins; the referee does not need to re-derive them,
+	// it just reads the sampled neighbor IDs.
+	src := coins.Derive("bridge-sample").DeriveIndex(view.ID).Source()
+	k := p.samples(view.N)
+	if k > view.Degree() {
+		k = view.Degree()
+	}
+	w.WriteUvarint(uint64(k))
+	perm := src.Perm(view.Degree())
+	for i := 0; i < k; i++ {
+		w.WriteUint(uint64(view.Neighbors[perm[i]]), idWidth)
+	}
+
+	// (b) Signed edge-ID sum. |s_w| < deg · n² fits well inside int64 for
+	// the graph sizes this model simulates; encode sign + magnitude.
+	var s int64
+	for _, z := range view.Neighbors {
+		id := int64(edgeIndex(view.N, view.ID, z))
+		if z > view.ID {
+			s += id
+		} else {
+			s -= id
+		}
+	}
+	neg := s < 0
+	if neg {
+		s = -s
+	}
+	w.WriteBit(neg)
+	w.WriteUvarint(uint64(s))
+	return w, nil
+}
+
+// Decode implements core.Protocol.
+func (p *BridgeProtocol) Decode(n int, sketches []*bitio.Reader, _ *rng.PublicCoins) (graph.Edge, error) {
+	idWidth := bitio.UintWidth(n)
+	sampledBuilder := graph.NewBuilder(n)
+	sums := make([]int64, n)
+	for v := 0; v < n; v++ {
+		r := sketches[v]
+		k, err := r.ReadUvarint()
+		if err != nil {
+			return graph.Edge{}, fmt.Errorf("agm: bridge sketch %d: %w", v, err)
+		}
+		for i := uint64(0); i < k; i++ {
+			u, err := r.ReadUint(idWidth)
+			if err != nil {
+				return graph.Edge{}, fmt.Errorf("agm: bridge sketch %d: %w", v, err)
+			}
+			if int(u) < n && int(u) != v {
+				sampledBuilder.AddEdge(v, int(u))
+			}
+		}
+		neg, err := r.ReadBit()
+		if err != nil {
+			return graph.Edge{}, err
+		}
+		mag, err := r.ReadUvarint()
+		if err != nil {
+			return graph.Edge{}, err
+		}
+		sums[v] = int64(mag)
+		if neg {
+			sums[v] = -sums[v]
+		}
+	}
+	sampled := sampledBuilder.Build()
+
+	// tryPartition sums s_w over the vertices in one candidate side. When
+	// exactly one true edge crosses the candidate cut, the internal terms
+	// cancel and ±id(bridge) remains.
+	tryPartition := func(side []int) (graph.Edge, bool) {
+		var total int64
+		for _, v := range side {
+			total += sums[v]
+		}
+		if total < 0 {
+			total = -total
+		}
+		if total == 0 {
+			return graph.Edge{}, false
+		}
+		u := int(total / int64(n))
+		v := int(total % int64(n))
+		// id = min·n + max (edgeIndex), so the quotient is the smaller
+		// endpoint.
+		if u < v && v < n {
+			return graph.Edge{U: u, V: v}, true
+		}
+		return graph.Edge{}, false
+	}
+
+	comp, count := sampled.Components()
+	if count >= 2 {
+		// Bridge not among the samples: the sampled components separate
+		// the blobs (w.h.p. each blob's samples keep it connected).
+		for c := 0; c < count; c++ {
+			var side []int
+			for v := 0; v < n; v++ {
+				if comp[v] == c {
+					side = append(side, v)
+				}
+			}
+			if e, ok := tryPartition(side); ok {
+				return e, nil
+			}
+		}
+		return graph.Edge{}, fmt.Errorf("agm: no cut sum decoded across %d sampled components", count)
+	}
+
+	// The samples happened to include the bridge, so the sampled graph is
+	// connected. The bridge is then a cut edge of the sampled graph:
+	// remove each candidate cut edge, split into two sides, and let the
+	// sum test confirm the true bridge.
+	for _, cand := range cutEdges(sampled) {
+		side := sideWithout(sampled, cand)
+		if e, ok := tryPartition(side); ok {
+			return e, nil
+		}
+	}
+	return graph.Edge{}, fmt.Errorf("agm: connected sample with no verifiable cut edge")
+}
+
+// cutEdges returns the bridges of g by Tarjan's low-link algorithm
+// (iterative to avoid deep recursion on large paths).
+func cutEdges(g *graph.Graph) []graph.Edge {
+	n := g.N()
+	disc := make([]int, n)
+	low := make([]int, n)
+	parentOf := make([]int, n)
+	for i := range disc {
+		disc[i] = -1
+		parentOf[i] = -1
+	}
+	var bridges []graph.Edge
+	timer := 0
+	type frame struct {
+		v, idx int
+	}
+	for s := 0; s < n; s++ {
+		if disc[s] != -1 {
+			continue
+		}
+		stack := []frame{{v: s}}
+		disc[s], low[s] = timer, timer
+		timer++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			nbrs := g.Neighbors(f.v)
+			if f.idx < len(nbrs) {
+				u := nbrs[f.idx]
+				f.idx++
+				if disc[u] == -1 {
+					parentOf[u] = f.v
+					disc[u], low[u] = timer, timer
+					timer++
+					stack = append(stack, frame{v: u})
+				} else if u != parentOf[f.v] {
+					if disc[u] < low[f.v] {
+						low[f.v] = disc[u]
+					}
+				}
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			if p := parentOf[f.v]; p != -1 {
+				if low[f.v] < low[p] {
+					low[p] = low[f.v]
+				}
+				if low[f.v] > disc[p] {
+					bridges = append(bridges, graph.NewEdge(p, f.v))
+				}
+			}
+		}
+	}
+	return bridges
+}
+
+// sideWithout returns the vertices reachable from cand.U when cand is
+// removed from g.
+func sideWithout(g *graph.Graph, cand graph.Edge) []int {
+	visited := make([]bool, g.N())
+	visited[cand.U] = true
+	queue := []int{cand.U}
+	side := []int{cand.U}
+	for len(queue) > 0 {
+		x := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		g.EachNeighbor(x, func(u int) {
+			if visited[u] {
+				return
+			}
+			if x == cand.U && u == cand.V || x == cand.V && u == cand.U {
+				return
+			}
+			visited[u] = true
+			side = append(side, u)
+			queue = append(queue, u)
+		})
+	}
+	return side
+}

@@ -1,0 +1,232 @@
+package agm
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestSkeletonK1IsSpanningForest(t *testing.T) {
+	g := gen.Gnp(50, 0.15, rng.NewSource(1))
+	p := NewSkeleton(1, Config{})
+	res, err := core.Run[[]graph.Edge](p, g, rng.NewPublicCoins(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.IsSpanningForest(g, res.Output) {
+		t.Error("k=1 skeleton is not a spanning forest")
+	}
+}
+
+func TestSkeletonCertificateProperties(t *testing.T) {
+	src := rng.NewSource(3)
+	coins := rng.NewPublicCoins(4)
+	for trial := 0; trial < 5; trial++ {
+		g := gen.Gnp(40, 0.3, src)
+		k := 3
+		res, err := core.Run[[]graph.Edge](NewSkeleton(k, Config{}), g, coins.DeriveIndex(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyCertificate(g, res.Output, k); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Size bound: at most k spanning forests.
+		if len(res.Output) > k*(g.N()-1) {
+			t.Errorf("certificate has %d edges > k(n-1)", len(res.Output))
+		}
+	}
+}
+
+func TestSkeletonPreservesRandomCuts(t *testing.T) {
+	src := rng.NewSource(5)
+	g := gen.Gnp(36, 0.3, src)
+	k := 4
+	res, err := core.Run[[]graph.Edge](NewSkeleton(k, Config{}), g, rng.NewPublicCoins(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		side := make([]bool, g.N())
+		for v := range side {
+			side[v] = src.Bool()
+		}
+		if !CutPreserved(g, res.Output, k, side) {
+			t.Fatalf("random cut %d not preserved", trial)
+		}
+	}
+}
+
+func TestSkeletonDistinguishesConnectivity(t *testing.T) {
+	// A graph with a 2-edge cut: the k=3 certificate must retain exactly
+	// that 2-edge cut (so the referee can detect non-3-edge-connectivity).
+	b := graph.NewBuilder(12)
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(6+i, 6+j)
+		}
+	}
+	b.AddEdge(0, 6)
+	b.AddEdge(1, 7)
+	g := b.Build()
+	res, err := core.Run[[]graph.Edge](NewSkeleton(3, Config{}), g, rng.NewPublicCoins(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	side := make([]bool, 12)
+	for v := 6; v < 12; v++ {
+		side[v] = true
+	}
+	crossing := 0
+	for _, e := range res.Output {
+		if side[e.U] != side[e.V] {
+			crossing++
+		}
+	}
+	if crossing != 2 {
+		t.Errorf("certificate crosses the 2-cut %d times, want exactly 2", crossing)
+	}
+}
+
+func TestSkeletonRejectsBadK(t *testing.T) {
+	g := gen.Path(4)
+	if _, err := core.Run[[]graph.Edge](NewSkeleton(0, Config{}), g, rng.NewPublicCoins(8)); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestVerifyCertificateCatchesViolations(t *testing.T) {
+	g := gen.Cycle(6)
+	// Phantom edge.
+	if err := VerifyCertificate(g, []graph.Edge{{U: 0, V: 3}}, 1); err == nil {
+		t.Error("phantom edge accepted")
+	}
+	// Duplicate edge.
+	if err := VerifyCertificate(g, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 1}}, 1); err == nil {
+		t.Error("duplicate accepted")
+	}
+	// Disconnecting certificate.
+	if err := VerifyCertificate(g, []graph.Edge{{U: 0, V: 1}}, 1); err == nil {
+		t.Error("disconnected certificate accepted")
+	}
+}
+
+func TestStreamSketcherMatchesFromScratch(t *testing.T) {
+	// Insert all edges, delete a few: the final sketches must be
+	// bit-identical to sketching the final graph directly.
+	n := 30
+	coins := rng.NewPublicCoins(9)
+	src := rng.NewSource(10)
+	full := gen.Gnp(n, 0.3, src)
+
+	s := NewStreamSketcher(n, Config{}, coins)
+	for _, e := range full.Edges() {
+		if err := s.Insert(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var deleted []graph.Edge
+	for i, e := range full.Edges() {
+		if i%3 == 0 {
+			if err := s.Delete(e.U, e.V); err != nil {
+				t.Fatal(err)
+			}
+			deleted = append(deleted, e)
+		}
+	}
+	isDeleted := make(map[graph.Edge]bool)
+	for _, e := range deleted {
+		isDeleted[e] = true
+	}
+	fb := graph.NewBuilder(n)
+	for _, e := range full.Edges() {
+		if !isDeleted[e] {
+			fb.AddEdge(e.U, e.V)
+		}
+	}
+	final := fb.Build()
+	if s.Edges() != final.M() {
+		t.Fatalf("stream tracks %d edges, graph has %d", s.Edges(), final.M())
+	}
+
+	p := NewSpanningForest(Config{})
+	views := core.Views(final)
+	for v := 0; v < n; v++ {
+		direct, err := p.Sketch(views[v], coins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed := s.Sketch(v)
+		if direct.Len() != streamed.Len() {
+			t.Fatalf("vertex %d: sketch lengths differ (%d vs %d)", v, direct.Len(), streamed.Len())
+		}
+		db, sb := direct.Bytes(), streamed.Bytes()
+		for i := range db {
+			if db[i] != sb[i] {
+				t.Fatalf("vertex %d: sketches differ at byte %d — linearity broken", v, i)
+			}
+		}
+	}
+
+	forest, err := s.SpanningForest(coins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.IsSpanningForest(final, forest) {
+		t.Error("stream-decoded forest invalid for the post-deletion graph")
+	}
+}
+
+func TestStreamSketcherRejectsBadUpdates(t *testing.T) {
+	s := NewStreamSketcher(5, Config{}, rng.NewPublicCoins(11))
+	if err := s.Insert(0, 0); err == nil {
+		t.Error("self loop accepted")
+	}
+	if err := s.Insert(0, 9); err == nil {
+		t.Error("out-of-range accepted")
+	}
+	if err := s.Delete(0, 1); err == nil {
+		t.Error("deleting absent edge accepted")
+	}
+	if err := s.Insert(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(1, 0); err == nil {
+		t.Error("double insert accepted")
+	}
+	if err := s.Delete(1, 0); err != nil {
+		t.Errorf("legit delete rejected: %v", err)
+	}
+	if s.Edges() != 0 {
+		t.Errorf("edge count = %d after cancel, want 0", s.Edges())
+	}
+}
+
+func BenchmarkSkeletonK3N60(b *testing.B) {
+	g := gen.Gnp(60, 0.2, rng.NewSource(1))
+	p := NewSkeleton(3, Config{})
+	coins := rng.NewPublicCoins(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run[[]graph.Edge](p, g, coins); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamUpdate(b *testing.B) {
+	s := NewStreamSketcher(1000, Config{}, rng.NewPublicCoins(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := i % 999
+		if i%2 == 0 {
+			_ = s.Insert(u, u+1)
+		} else {
+			_ = s.Delete(u, u+1)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package ap3 constructs large subsets of [m] with no 3-term arithmetic
+// progression (3-AP-free sets, also called Salem–Spencer sets).
+//
+// These sets are the combinatorial core of the Ruzsa–Szemerédi graphs in
+// package rsgraph: the paper's Proposition 2.1 relies on Behrend's 1946
+// construction, which yields sets of size m / e^{Θ(√log m)}.
+//
+// A set S is 3-AP-free when no triple a, b, c ∈ S with a ≠ c satisfies
+// a + c = 2b. (Equivalently: the only solutions to x + y = 2z in S are
+// x = y = z.)
+package ap3
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// IsAPFree reports whether the set contains no non-trivial 3-term
+// arithmetic progression. Runs in O(|S|^2) with a hash lookup.
+func IsAPFree(set []int) bool {
+	in := make(map[int]bool, len(set))
+	for _, x := range set {
+		if in[x] {
+			return false // duplicates disallowed
+		}
+		in[x] = true
+	}
+	for i, a := range set {
+		for j, c := range set {
+			if i == j {
+				continue
+			}
+			if (a+c)%2 == 0 && in[(a+c)/2] && (a+c)/2 != a && (a+c)/2 != c {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Behrend returns a 3-AP-free subset of {0, 1, ..., m-1} built with
+// Behrend's construction: numbers whose base-d digits are all < d/2 and
+// lie on a common sphere (fixed sum of squared digits). Digits below d/2
+// prevent carries, so a 3-AP in the integers would be a 3-AP of lattice
+// points on a sphere — impossible unless degenerate.
+//
+// The best sphere radius is selected by pigeonhole over all radii. For
+// m >= 2 the result is non-empty; its size is m / e^{Θ(√log m)}.
+func Behrend(m int) []int {
+	if m <= 0 {
+		return nil
+	}
+	if m <= 2 {
+		return []int{0}
+	}
+	if m <= 4 {
+		return []int{0, 1}
+	}
+	// Choose the number of digits n ≈ √(log2 m), base d = floor(m^(1/n)).
+	logM := math.Log2(float64(m))
+	n := int(math.Round(math.Sqrt(logM)))
+	if n < 1 {
+		n = 1
+	}
+	best := []int{0}
+	// The optimal digit count is sensitive to constant factors at small m,
+	// so try a small window of digit counts and keep the largest set.
+	for nn := n - 1; nn <= n+2; nn++ {
+		if nn < 1 {
+			continue
+		}
+		if s := behrendWithDigits(m, nn); len(s) > len(best) {
+			best = s
+		}
+	}
+	sort.Ints(best)
+	return best
+}
+
+// behrendWithDigits runs Behrend's construction with exactly n digits.
+func behrendWithDigits(m, n int) []int {
+	// Base d such that d^n <= m: d = floor(m^(1/n)).
+	d := int(math.Floor(math.Pow(float64(m), 1/float64(n))))
+	for pow(d+1, n) <= m {
+		d++
+	}
+	for d > 1 && pow(d, n) > m {
+		d--
+	}
+	if d < 2 {
+		return []int{0}
+	}
+	half := (d + 1) / 2 // digits in [0, half)
+	maxRadius := n * (half - 1) * (half - 1)
+	buckets := make([][]int, maxRadius+1)
+	digits := make([]int, n)
+	// Enumerate all digit vectors with entries < half.
+	for {
+		val, rad := 0, 0
+		for i := n - 1; i >= 0; i-- {
+			val = val*d + digits[i]
+			rad += digits[i] * digits[i]
+		}
+		if val < m {
+			buckets[rad] = append(buckets[rad], val)
+		}
+		// Increment the digit vector.
+		i := 0
+		for i < n {
+			digits[i]++
+			if digits[i] < half {
+				break
+			}
+			digits[i] = 0
+			i++
+		}
+		if i == n {
+			break
+		}
+	}
+	best := buckets[0]
+	for _, b := range buckets[1:] {
+		if len(b) > len(best) {
+			best = b
+		}
+	}
+	return append([]int(nil), best...)
+}
+
+func pow(base, exp int) int {
+	r := 1
+	for i := 0; i < exp; i++ {
+		if r > 1<<40 {
+			return 1 << 40
+		}
+		r *= base
+	}
+	return r
+}
+
+// Greedy returns the lexicographically-greedy 3-AP-free subset of
+// {0, ..., m-1} (the Stanley sequence): repeatedly add the smallest value
+// that keeps the set AP-free. Size Θ(m^{log_3 2}); smaller than Behrend
+// asymptotically, but dense for tiny m and useful as a cross-check.
+func Greedy(m int) []int {
+	var set []int
+	in := make(map[int]bool)
+	for x := 0; x < m; x++ {
+		ok := true
+		// x forms a 3-AP with a < b < x only as the largest element:
+		// need b = (a+x)/2 in set.
+		for _, a := range set {
+			if (a+x)%2 == 0 && in[(a+x)/2] && (a+x)/2 != a && (a+x)/2 != x {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			set = append(set, x)
+			in[x] = true
+		}
+	}
+	return set
+}
+
+// MaxExhaustive returns a maximum-size 3-AP-free subset of {0,...,m-1} by
+// branch-and-bound. Only feasible for small m (≈ 30 and below); it is the
+// ground truth used by tests.
+func MaxExhaustive(m int) ([]int, error) {
+	if m > 34 {
+		return nil, fmt.Errorf("ap3: exhaustive search infeasible for m=%d", m)
+	}
+	var best []int
+	var cur []int
+	in := make([]bool, m)
+	var rec func(x int)
+	rec = func(x int) {
+		if len(cur)+m-x <= len(best) {
+			return // prune: cannot beat best
+		}
+		if x == m {
+			if len(cur) > len(best) {
+				best = append(best[:0:0], cur...)
+			}
+			return
+		}
+		// Try including x.
+		ok := true
+		for _, a := range cur {
+			mid2 := a + x
+			if mid2%2 == 0 {
+				mid := mid2 / 2
+				if mid != a && mid != x && mid < m && in[mid] {
+					ok = false
+					break
+				}
+			}
+			// Also x could be the middle: need 2x - a in set.
+			if r := 2*x - a; r != x && r >= 0 && r < m && in[r] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			cur = append(cur, x)
+			in[x] = true
+			rec(x + 1)
+			in[x] = false
+			cur = cur[:len(cur)-1]
+		}
+		rec(x + 1)
+	}
+	rec(0)
+	sort.Ints(best)
+	return best, nil
+}
+
+// Best returns the larger of Behrend(m) and Greedy(m): at practical sizes
+// (m up to a few thousand) the greedy set is often larger, while Behrend
+// dominates asymptotically.
+func Best(m int) []int {
+	b, g := Behrend(m), Greedy(m)
+	if len(g) >= len(b) {
+		return g
+	}
+	return b
+}

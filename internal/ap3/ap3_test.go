@@ -1,0 +1,185 @@
+package ap3
+
+import (
+	"testing"
+)
+
+func TestIsAPFree(t *testing.T) {
+	cases := []struct {
+		name string
+		set  []int
+		want bool
+	}{
+		{"empty", nil, true},
+		{"singleton", []int{5}, true},
+		{"pair", []int{1, 7}, true},
+		{"classic AP", []int{1, 3, 5}, false},
+		{"contains AP subset", []int{0, 1, 2, 10}, false},
+		{"stanley prefix", []int{0, 1, 3, 4, 9, 10, 12, 13}, true},
+		{"duplicates", []int{2, 2}, false},
+		{"unordered AP", []int{5, 1, 3}, false},
+		{"zero-gap is not AP", []int{4, 8}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := IsAPFree(c.set); got != c.want {
+				t.Errorf("IsAPFree(%v) = %v, want %v", c.set, got, c.want)
+			}
+		})
+	}
+}
+
+func TestGreedyIsStanleySequence(t *testing.T) {
+	// The greedy 3-AP-free set over [0,14) is the Stanley sequence
+	// 0,1,3,4,9,10,12,13 (base-3 digits in {0,1}).
+	got := Greedy(14)
+	want := []int{0, 1, 3, 4, 9, 10, 12, 13}
+	if len(got) != len(want) {
+		t.Fatalf("Greedy(14) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Greedy(14) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGreedyAlwaysAPFree(t *testing.T) {
+	for _, m := range []int{0, 1, 2, 10, 50, 200} {
+		if s := Greedy(m); !IsAPFree(s) {
+			t.Errorf("Greedy(%d) = %v is not AP-free", m, s)
+		}
+	}
+}
+
+func TestBehrendAPFree(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 5, 10, 30, 100, 500, 2000, 10000} {
+		s := Behrend(m)
+		if len(s) == 0 {
+			t.Errorf("Behrend(%d) is empty", m)
+			continue
+		}
+		if !IsAPFree(s) {
+			t.Errorf("Behrend(%d) is not AP-free", m)
+		}
+		for _, v := range s {
+			if v < 0 || v >= m {
+				t.Errorf("Behrend(%d) contains out-of-range %d", m, v)
+			}
+		}
+	}
+}
+
+func TestBehrendGrowth(t *testing.T) {
+	// Behrend's construction only overtakes the greedy (Stanley) sets at
+	// astronomically large m; at practical sizes its constants make it
+	// small. What must hold at any size: the sets grow with m and clear a
+	// loose sqrt-scale floor.
+	sizes := map[int]int{1000: 8, 10000: 20, 100000: 60}
+	for _, m := range []int{1000, 10000, 100000} {
+		s := Behrend(m)
+		if len(s) < sizes[m] {
+			t.Errorf("Behrend(%d) has %d elements, want >= %d", m, len(s), sizes[m])
+		}
+	}
+}
+
+func TestBestDominatedByGreedyAtPracticalSizes(t *testing.T) {
+	// Documents the constant-factor reality behind Proposition 2.1: at
+	// m <= 10^4, the greedy AP-free set is larger than Behrend's, so Best
+	// must return the greedy one.
+	for _, m := range []int{100, 1000} {
+		b, g, best := Behrend(m), Greedy(m), Best(m)
+		if len(g) <= len(b) {
+			t.Skipf("greedy no longer dominates at m=%d; update this test", m)
+		}
+		if len(best) != len(g) {
+			t.Errorf("Best(%d) size %d, want greedy size %d", m, len(best), len(g))
+		}
+	}
+}
+
+func TestBehrendMonotoneish(t *testing.T) {
+	// Set size should not collapse as m grows (allowing small local dips
+	// from digit-count boundaries).
+	prev := 0
+	for _, m := range []int{100, 1000, 10000} {
+		s := Behrend(m)
+		if len(s) <= prev {
+			t.Errorf("Behrend size did not grow: m=%d size=%d prev=%d", m, len(s), prev)
+		}
+		prev = len(s)
+	}
+}
+
+func TestMaxExhaustiveKnownValues(t *testing.T) {
+	// Known maximum sizes of 3-AP-free subsets of {0,...,m-1}: r(m) in
+	// OEIS A003002: r(1..10)=1,2,2,3,4,4,4,4,5,5 and r(20)=9.
+	want := map[int]int{1: 1, 2: 2, 3: 2, 4: 3, 5: 4, 6: 4, 7: 4, 8: 4, 9: 5, 10: 5, 20: 9}
+	for m, size := range want {
+		s, err := MaxExhaustive(m)
+		if err != nil {
+			t.Fatalf("MaxExhaustive(%d): %v", m, err)
+		}
+		if !IsAPFree(s) {
+			t.Errorf("MaxExhaustive(%d) = %v not AP-free", m, s)
+		}
+		if len(s) != size {
+			t.Errorf("MaxExhaustive(%d) size = %d, want %d", m, len(s), size)
+		}
+	}
+}
+
+func TestMaxExhaustiveRejectsLarge(t *testing.T) {
+	if _, err := MaxExhaustive(100); err == nil {
+		t.Error("MaxExhaustive(100) did not error")
+	}
+}
+
+func TestGreedyNeverBeatsExhaustive(t *testing.T) {
+	for m := 1; m <= 25; m++ {
+		opt, err := MaxExhaustive(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g := Greedy(m); len(g) > len(opt) {
+			t.Errorf("greedy(%d)=%d exceeds optimum %d", m, len(g), len(opt))
+		}
+		if b := Behrend(m); len(b) > len(opt) {
+			t.Errorf("behrend(%d)=%d exceeds optimum %d", m, len(b), len(opt))
+		}
+	}
+}
+
+func TestBestPicksLarger(t *testing.T) {
+	for _, m := range []int{10, 100, 1000} {
+		b, g, best := Behrend(m), Greedy(m), Best(m)
+		if len(best) < len(b) || len(best) < len(g) {
+			t.Errorf("Best(%d)=%d smaller than behrend %d or greedy %d", m, len(best), len(b), len(g))
+		}
+		if !IsAPFree(best) {
+			t.Errorf("Best(%d) not AP-free", m)
+		}
+	}
+}
+
+func TestBehrendSorted(t *testing.T) {
+	s := Behrend(500)
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			t.Fatalf("Behrend output not strictly sorted at %d", i)
+		}
+	}
+}
+
+func BenchmarkBehrend10000(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Behrend(10000)
+	}
+}
+
+func BenchmarkGreedy1000(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Greedy(1000)
+	}
+}

@@ -1,0 +1,100 @@
+package bitio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUvarintRoundTrip checks write/read symmetry for arbitrary values.
+func FuzzUvarintRoundTrip(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1))
+	f.Add(uint64(127))
+	f.Add(uint64(1) << 40)
+	f.Fuzz(func(t *testing.T, v uint64) {
+		if v == ^uint64(0) {
+			v-- // encoder stores v+1
+		}
+		var w Writer
+		w.WriteUvarint(v)
+		got, err := ReaderFor(&w).ReadUvarint()
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if got != v {
+			t.Fatalf("round trip %d -> %d", v, got)
+		}
+	})
+}
+
+// FuzzReaderNeverPanics feeds arbitrary byte soup to every reader method;
+// readers must fail gracefully, never panic or over-read.
+func FuzzReaderNeverPanics(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{0xff, 0x00, 0xa5}, uint8(20))
+	f.Fuzz(func(t *testing.T, data []byte, ops uint8) {
+		r := NewReader(data, len(data)*8)
+		for i := uint8(0); i < ops%32; i++ {
+			switch i % 4 {
+			case 0:
+				_, _ = r.ReadBit()
+			case 1:
+				_, _ = r.ReadUint(int(i) % 65)
+			case 2:
+				_, _ = r.ReadUvarint()
+			case 3:
+				_, _ = r.ReadBytes(int(i) % 5)
+			}
+			if r.Remaining() < 0 {
+				t.Fatal("reader over-consumed")
+			}
+		}
+	})
+}
+
+// FuzzMixedStream writes a deterministic interpretation of the fuzz input
+// and requires exact read-back.
+func FuzzMixedStream(f *testing.F) {
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var w Writer
+		for _, b := range data {
+			width := int(b%64) + 1
+			w.WriteUint(uint64(b), width)
+			w.WriteBit(b&1 == 1)
+		}
+		w.WriteBytes(data)
+		r := ReaderFor(&w)
+		for _, b := range data {
+			width := int(b%64) + 1
+			v, err := r.ReadUint(width)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := uint64(b)
+			if width < 64 {
+				want &= (1 << uint(width)) - 1
+			}
+			if v != want {
+				t.Fatalf("uint mismatch: %d != %d (width %d)", v, want, width)
+			}
+			bit, err := r.ReadBit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bit != (b&1 == 1) {
+				t.Fatal("bit mismatch")
+			}
+		}
+		got, err := r.ReadBytes(len(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("bytes mismatch")
+		}
+		if r.Remaining() != 0 {
+			t.Fatalf("%d bits left over", r.Remaining())
+		}
+	})
+}

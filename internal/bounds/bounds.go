@@ -1,0 +1,134 @@
+// Package bounds evaluates the paper's lower-bound formulas exactly: the
+// counting step at the end of Theorem 1, the instance parameters of
+// D_MM, and the asymptotic envelopes of Proposition 2.1.
+//
+// The chain ends with
+//
+//	k·r/6 ≤ I(M_J;Π|Σ,J) ≤ |P|·b + k·N·b/t,
+//
+// giving b ≥ k·r / (6·(|P| + k·N/t)) with |P| = N − 2r. With the paper's
+// k = t this is b ≥ k·r/(6·(N−2r+N·k/t)) ≥ r/12N·k ≈ r/36 for t = N/3 —
+// and since N = Θ(√n), the headline Ω(√n / e^Θ(√log n)).
+package bounds
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ap3"
+)
+
+// RSShape describes an (r, t)-RS graph on N vertices.
+type RSShape struct {
+	N, R, T int
+}
+
+// Valid reports whether the shape is structurally possible.
+func (s RSShape) Valid() error {
+	switch {
+	case s.N <= 0 || s.R <= 0 || s.T <= 0:
+		return fmt.Errorf("bounds: non-positive shape %+v", s)
+	case 2*s.R > s.N:
+		return fmt.Errorf("bounds: matching size %d exceeds N/2 = %d", s.R, s.N/2)
+	}
+	return nil
+}
+
+// Row is one row of the Theorem 1 parameter table.
+type Row struct {
+	// Shape is the base RS graph.
+	Shape RSShape
+	// K is the copy count (the paper: K = T).
+	K int
+	// NTotal is n = N - 2r + 2rK, the vertex count of D_MM instances.
+	NTotal int
+	// InfoNeed is k·r/6, the information the referee must receive.
+	InfoNeed float64
+	// PublicBudget is |P| = N - 2r, the public players' per-bit capacity
+	// multiplier.
+	PublicBudget int
+	// UniqueBudget is k·N/t, the unique players' effective multiplier
+	// after the direct-sum division by t.
+	UniqueBudget float64
+	// BitsPerPlayer is the resulting lower bound on worst-case sketch
+	// size: k·r / (6·(|P| + k·N/t)).
+	BitsPerPlayer float64
+	// SqrtNRatio is BitsPerPlayer / √NTotal, charting the e^-Θ(√log n)
+	// factor between the bound and √n.
+	SqrtNRatio float64
+}
+
+// LowerBound computes the Theorem 1 counting bound for an RS shape and
+// copy count.
+func LowerBound(shape RSShape, k int) (Row, error) {
+	if err := shape.Valid(); err != nil {
+		return Row{}, err
+	}
+	if k < 1 {
+		return Row{}, fmt.Errorf("bounds: k must be positive, got %d", k)
+	}
+	row := Row{
+		Shape:        shape,
+		K:            k,
+		NTotal:       shape.N - 2*shape.R + 2*shape.R*k,
+		InfoNeed:     float64(k) * float64(shape.R) / 6,
+		PublicBudget: shape.N - 2*shape.R,
+		UniqueBudget: float64(k) * float64(shape.N) / float64(shape.T),
+	}
+	row.BitsPerPlayer = row.InfoNeed / (float64(row.PublicBudget) + row.UniqueBudget)
+	row.SqrtNRatio = row.BitsPerPlayer / math.Sqrt(float64(row.NTotal))
+	return row, nil
+}
+
+// PaperRow evaluates the bound for the paper's exact parameterization of
+// a base RS graph: k = t.
+func PaperRow(shape RSShape) (Row, error) {
+	return LowerBound(shape, shape.T)
+}
+
+// BehrendShape returns the shape realized by this repository's
+// constructive RS family (package rsgraph): t = m matchings of size
+// |ap3.Best(m)| on N = 5m-3 vertices.
+func BehrendShape(m int) RSShape {
+	return RSShape{N: 5*m - 3, R: len(ap3.Best(m)), T: m}
+}
+
+// PaperShape returns the asymptotic shape quoted in Proposition 2.1 for
+// an N-vertex RS graph: t = N/3 and r = N/e^{c√(ln N)} with Behrend's
+// constant c = 2√(2·ln 2).
+func PaperShape(n int) RSShape {
+	r := float64(n) / Envelope(float64(n))
+	if r < 1 {
+		r = 1
+	}
+	return RSShape{N: n, R: int(r), T: n / 3}
+}
+
+// Envelope returns e^{c·√(ln x)} with Behrend's constant c = 2√(2·ln 2):
+// the sub-polynomial factor separating the bound from √n.
+func Envelope(x float64) float64 {
+	if x <= 1 {
+		return 1
+	}
+	c := 2 * math.Sqrt(2*math.Log(2))
+	return math.Exp(c * math.Sqrt(math.Log(x)))
+}
+
+// MISBound transfers a matching bound through the Section 4 reduction:
+// an MIS protocol with b-bit sketches yields a matching protocol with
+// 2b-bit sketches, so the MIS lower bound is half the matching bound.
+func MISBound(matching float64) float64 { return matching / 2 }
+
+// Table evaluates PaperRow over the constructive family for a list of m
+// parameters.
+func Table(ms []int) ([]Row, error) {
+	rows := make([]Row, 0, len(ms))
+	for _, m := range ms {
+		row, err := PaperRow(BehrendShape(m))
+		if err != nil {
+			return nil, fmt.Errorf("bounds: m=%d: %w", m, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,142 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+)
+
+func TestShapeValid(t *testing.T) {
+	cases := []struct {
+		shape RSShape
+		ok    bool
+	}{
+		{RSShape{N: 10, R: 2, T: 3}, true},
+		{RSShape{N: 10, R: 5, T: 1}, true},
+		{RSShape{N: 10, R: 6, T: 1}, false},
+		{RSShape{N: 0, R: 1, T: 1}, false},
+		{RSShape{N: 10, R: 0, T: 1}, false},
+	}
+	for _, c := range cases {
+		if err := c.shape.Valid(); (err == nil) != c.ok {
+			t.Errorf("Valid(%+v) err = %v, want ok=%v", c.shape, err, c.ok)
+		}
+	}
+}
+
+func TestLowerBoundFormula(t *testing.T) {
+	// Hand-computed: N=100, r=10, t=20, k=20.
+	// n = 100-20+400 = 480; info = 200/6; |P| = 80; unique = 20*100/20 = 100.
+	// b = (200/6)/180.
+	row, err := LowerBound(RSShape{N: 100, R: 10, T: 20}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.NTotal != 480 {
+		t.Errorf("NTotal = %d, want 480", row.NTotal)
+	}
+	want := (200.0 / 6) / 180
+	if math.Abs(row.BitsPerPlayer-want) > 1e-12 {
+		t.Errorf("BitsPerPlayer = %v, want %v", row.BitsPerPlayer, want)
+	}
+	if math.Abs(row.SqrtNRatio-want/math.Sqrt(480)) > 1e-12 {
+		t.Errorf("SqrtNRatio = %v", row.SqrtNRatio)
+	}
+}
+
+func TestLowerBoundRejectsBadInput(t *testing.T) {
+	if _, err := LowerBound(RSShape{N: 10, R: 2, T: 2}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := LowerBound(RSShape{N: 2, R: 2, T: 1}, 1); err == nil {
+		t.Error("invalid shape accepted")
+	}
+}
+
+func TestPaperParamsApproachR36(t *testing.T) {
+	// With k = t and t = N/3: b = (t·r/6)/((N-2r) + N) → r/36 as r/N → 0.
+	shape := RSShape{N: 3 * 100000, R: 50, T: 100000}
+	row, err := PaperRow(shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(shape.R) / 36
+	if math.Abs(row.BitsPerPlayer-want)/want > 0.01 {
+		t.Errorf("bound = %v, want ≈ r/36 = %v", row.BitsPerPlayer, want)
+	}
+}
+
+func TestBoundGrowsWithM(t *testing.T) {
+	rows, err := Table([]int{50, 200, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].BitsPerPlayer <= rows[i-1].BitsPerPlayer {
+			t.Errorf("bound not increasing: m index %d: %v <= %v",
+				i, rows[i].BitsPerPlayer, rows[i-1].BitsPerPlayer)
+		}
+	}
+	// The bound is sub-√n: ratio strictly below 1 and decreasing in n.
+	for _, r := range rows {
+		if r.SqrtNRatio >= 1 {
+			t.Errorf("bound exceeds √n at m-row %+v", r)
+		}
+	}
+}
+
+func TestBehrendShapeConsistent(t *testing.T) {
+	s := BehrendShape(25)
+	if s.N != 122 || s.T != 25 {
+		t.Errorf("shape = %+v", s)
+	}
+	if err := s.Valid(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperShape(t *testing.T) {
+	s := PaperShape(3000)
+	if s.T != 1000 {
+		t.Errorf("T = %d, want 1000", s.T)
+	}
+	if s.R < 1 || 2*s.R > s.N {
+		t.Errorf("R = %d out of range", s.R)
+	}
+	if err := s.Valid(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnvelopeMonotone(t *testing.T) {
+	if Envelope(0.5) != 1 {
+		t.Error("Envelope below 1 not clamped")
+	}
+	prev := 0.0
+	for _, x := range []float64{10, 100, 1e4, 1e8} {
+		e := Envelope(x)
+		if e <= prev {
+			t.Errorf("Envelope not increasing at %v", x)
+		}
+		prev = e
+	}
+	// Sub-polynomial: the exponent ratio ln(Envelope(x))/ln(x) = c/√ln x
+	// must decrease toward 0 (the crossover against any fixed x^ε lies at
+	// astronomically large x, so compare exponents, not values).
+	r1 := math.Log(Envelope(1e6)) / math.Log(1e6)
+	r2 := math.Log(Envelope(1e12)) / math.Log(1e12)
+	if r2 >= r1 {
+		t.Errorf("exponent ratio not decreasing: %v -> %v", r1, r2)
+	}
+}
+
+func TestMISBound(t *testing.T) {
+	if MISBound(10) != 5 {
+		t.Error("MIS bound is half the matching bound")
+	}
+}
+
+func TestTablePropagatesErrors(t *testing.T) {
+	if _, err := Table([]int{0}); err == nil {
+		t.Error("m=0 accepted")
+	}
+}

@@ -1,0 +1,126 @@
+// Package cclique simulates the broadcast congested clique model: in each
+// round every player broadcasts one message computed from its local view,
+// the public coins, and the transcript of all previous rounds; after the
+// last round a referee (equivalently, any player) computes the output from
+// the full transcript.
+//
+// Restricted to one round with a referee-only output, this model is
+// exactly the paper's distributed sketching model (Section 1.1 and [30,
+// 39]); the adapter OneRound and experiment E12 exercise that equivalence.
+// Multi-round protocols are the escape hatch the paper points to in
+// Section 1.1: with one extra adaptive round, maximal matching and MIS
+// admit O(√n·polylog n)-bit messages ([46], [35]), implemented in
+// packages matchproto and misproto.
+package cclique
+
+import (
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Transcript gives read access to all broadcasts of completed rounds.
+type Transcript struct {
+	writers [][]*bitio.Writer // [round][vertex]
+}
+
+// Rounds returns the number of completed rounds.
+func (t *Transcript) Rounds() int { return len(t.writers) }
+
+// Message returns a fresh reader over player v's broadcast in the given
+// completed round.
+func (t *Transcript) Message(round, v int) *bitio.Reader {
+	return bitio.ReaderFor(t.writers[round][v])
+}
+
+// Protocol is a multi-round broadcast protocol with output type O.
+type Protocol[O any] interface {
+	// Name identifies the protocol in tables.
+	Name() string
+	// Rounds is the total number of broadcast rounds.
+	Rounds() int
+	// Broadcast computes player view.ID's message for the given round;
+	// transcript holds every earlier round.
+	Broadcast(round int, view core.VertexView, transcript *Transcript, coins *rng.PublicCoins) (*bitio.Writer, error)
+	// Decode computes the output from the complete transcript.
+	Decode(n int, transcript *Transcript, coins *rng.PublicCoins) (O, error)
+}
+
+// Result reports one execution.
+type Result[O any] struct {
+	Output O
+	// MaxMessageBits is the worst-case single message length over all
+	// rounds and players.
+	MaxMessageBits int
+	// RoundMaxBits[r] is the worst-case message length within round r.
+	RoundMaxBits []int
+	// TotalBits is the sum of all message lengths.
+	TotalBits int
+}
+
+// Run executes the protocol on g.
+func Run[O any](p Protocol[O], g *graph.Graph, coins *rng.PublicCoins) (Result[O], error) {
+	var res Result[O]
+	views := core.Views(g)
+	transcript := &Transcript{}
+	res.RoundMaxBits = make([]int, p.Rounds())
+	for round := 0; round < p.Rounds(); round++ {
+		msgs := make([]*bitio.Writer, len(views))
+		for v, view := range views {
+			w, err := p.Broadcast(round, view, transcript, coins)
+			if err != nil {
+				return res, fmt.Errorf("cclique: round %d player %d: %w", round, v, err)
+			}
+			if w == nil {
+				w = &bitio.Writer{}
+			}
+			msgs[v] = w
+			if w.Len() > res.RoundMaxBits[round] {
+				res.RoundMaxBits[round] = w.Len()
+			}
+			res.TotalBits += w.Len()
+		}
+		if res.RoundMaxBits[round] > res.MaxMessageBits {
+			res.MaxMessageBits = res.RoundMaxBits[round]
+		}
+		transcript.writers = append(transcript.writers, msgs)
+	}
+	out, err := p.Decode(g.N(), transcript, coins)
+	if err != nil {
+		return res, fmt.Errorf("cclique: decode: %w", err)
+	}
+	res.Output = out
+	return res, nil
+}
+
+// OneRound adapts a one-round sketching protocol (package core) to the
+// broadcast congested clique, witnessing the models' equivalence for
+// one-round computations.
+type OneRound[O any] struct {
+	P core.Protocol[O]
+}
+
+var _ Protocol[int] = (*OneRound[int])(nil)
+
+// Name implements Protocol.
+func (a *OneRound[O]) Name() string { return a.P.Name() + "/bcc" }
+
+// Rounds implements Protocol.
+func (a *OneRound[O]) Rounds() int { return 1 }
+
+// Broadcast implements Protocol.
+func (a *OneRound[O]) Broadcast(_ int, view core.VertexView, _ *Transcript, coins *rng.PublicCoins) (*bitio.Writer, error) {
+	return a.P.Sketch(view, coins)
+}
+
+// Decode implements Protocol.
+func (a *OneRound[O]) Decode(n int, transcript *Transcript, coins *rng.PublicCoins) (O, error) {
+	readers := make([]*bitio.Reader, n)
+	for v := 0; v < n; v++ {
+		readers[v] = transcript.Message(0, v)
+	}
+	return a.P.Decode(n, readers, coins)
+}

@@ -1,0 +1,190 @@
+package coloring
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func run(t *testing.T, g *graph.Graph, cfg Config, coins *rng.PublicCoins) ([]int, int) {
+	t.Helper()
+	cfg.MaxDegree = g.MaxDegree()
+	res, err := core.Run[[]int](New(cfg), g, coins)
+	if err != nil {
+		t.Fatalf("coloring failed on %v: %v", g, err)
+	}
+	return res.Output, res.MaxSketchBits
+}
+
+func TestColorsSimpleFamilies(t *testing.T) {
+	coins := rng.NewPublicCoins(1)
+	for name, g := range map[string]*graph.Graph{
+		"path":  gen.Path(10),
+		"cycle": gen.Cycle(9),
+		"star":  gen.Star(12),
+		"grid":  gen.Grid(5, 5),
+	} {
+		colors, _ := run(t, g, Config{}, coins.Derive(name))
+		if !graph.IsProperColoring(g, colors, g.MaxDegree()+1) {
+			t.Errorf("%s: improper or out-of-palette coloring", name)
+		}
+	}
+}
+
+func TestColorsRandomGraphs(t *testing.T) {
+	coins := rng.NewPublicCoins(2)
+	src := rng.NewSource(3)
+	for trial := 0; trial < 10; trial++ {
+		g := gen.Gnp(80, 0.15, src)
+		colors, _ := run(t, g, Config{}, coins.DeriveIndex(trial))
+		if !graph.IsProperColoring(g, colors, g.MaxDegree()+1) {
+			t.Errorf("trial %d: improper coloring", trial)
+		}
+	}
+}
+
+func TestColorsDenseGraph(t *testing.T) {
+	// Dense regime where lists are far smaller than the palette.
+	coins := rng.NewPublicCoins(4)
+	g := gen.Gnp(150, 0.5, rng.NewSource(5))
+	colors, _ := run(t, g, Config{}, coins)
+	if !graph.IsProperColoring(g, colors, g.MaxDegree()+1) {
+		t.Error("dense graph coloring improper")
+	}
+}
+
+func TestEmptyAndSingletonGraphs(t *testing.T) {
+	coins := rng.NewPublicCoins(6)
+	for _, n := range []int{1, 4} {
+		g := graph.NewBuilder(n).Build()
+		res, err := core.Run[[]int](New(Config{MaxDegree: 0}), g, coins)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !graph.IsProperColoring(g, res.Output, 1) {
+			t.Errorf("n=%d: empty graph not colored with single color", n)
+		}
+	}
+}
+
+func TestDegreePromiseViolationDetected(t *testing.T) {
+	g := gen.Star(5)
+	_, err := core.Run[[]int](New(Config{MaxDegree: 1}), g, rng.NewPublicCoins(7))
+	if err == nil {
+		t.Error("degree promise violation not reported")
+	}
+}
+
+func TestListsAreSharedKnowledge(t *testing.T) {
+	// Palette much larger than the list so lists are proper subsets.
+	p := New(Config{MaxDegree: 500})
+	coins := rng.NewPublicCoins(8)
+	a := p.list(100, 7, coins)
+	b := p.list(100, 7, coins)
+	if len(a) != len(b) {
+		t.Fatal("same vertex produced different list sizes")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same vertex produced different lists")
+		}
+	}
+	c := p.list(100, 8, coins)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("distinct vertices got identical lists (suspicious)")
+	}
+}
+
+func TestListSizeCappedAtPalette(t *testing.T) {
+	p := New(Config{MaxDegree: 2, ListSize: 100})
+	l := p.list(10, 0, rng.NewPublicCoins(9))
+	if len(l) != 3 {
+		t.Errorf("list size %d, want 3 (palette size)", len(l))
+	}
+	for _, c := range l {
+		if c < 0 || c > 2 {
+			t.Errorf("color %d outside palette", c)
+		}
+	}
+}
+
+func TestListsWithinPalette(t *testing.T) {
+	p := New(Config{MaxDegree: 50})
+	coins := rng.NewPublicCoins(10)
+	for v := 0; v < 30; v++ {
+		seen := make(map[int]bool)
+		for _, c := range p.list(200, v, coins) {
+			if c < 0 || c > 50 {
+				t.Fatalf("color %d outside palette", c)
+			}
+			if seen[c] {
+				t.Fatalf("duplicate color %d in list of %d", c, v)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestSketchOmitsNonConflictingNeighbors(t *testing.T) {
+	// With tiny lists in a huge palette, most neighbors do not conflict,
+	// so sketches must be much smaller than degree * log n bits.
+	g := gen.Complete(60) // Δ = 59, palette of 60
+	cfg := Config{MaxDegree: 59, ListSize: 3, Attempts: 2}
+	p := New(cfg)
+	view := core.Views(g)[0]
+	w, err := p.Sketch(view, rng.NewPublicCoins(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullBits := view.Degree() * bitsFor(60)
+	if w.Len() >= fullBits {
+		t.Errorf("sketch %d bits, full neighborhood would be %d; no sparsification happened", w.Len(), fullBits)
+	}
+}
+
+func bitsFor(n int) int {
+	w := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		w++
+	}
+	return w
+}
+
+func TestSuccessRateAcceptable(t *testing.T) {
+	src := rng.NewSource(12)
+	g := gen.Gnp(100, 0.25, src)
+	p := New(Config{MaxDegree: g.MaxDegree()})
+	stats := core.EstimateSuccess[[]int](p, func(i int) core.Trial[[]int] {
+		return core.Trial[[]int]{
+			Graph:  g,
+			Verify: func(out []int) bool { return graph.IsProperColoring(g, out, g.MaxDegree()+1) },
+		}
+	}, 10, rng.NewPublicCoins(13))
+	if stats.SuccessRate() < 0.9 {
+		t.Errorf("coloring success rate %.2f", stats.SuccessRate())
+	}
+}
+
+func BenchmarkColoringN200(b *testing.B) {
+	g := gen.Gnp(200, 0.3, rng.NewSource(1))
+	p := New(Config{MaxDegree: g.MaxDegree()})
+	coins := rng.NewPublicCoins(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run[[]int](p, g, coins); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

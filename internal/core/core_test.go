@@ -1,0 +1,233 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bitio"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestViews(t *testing.T) {
+	g := gen.Path(4)
+	views := Views(g)
+	if len(views) != 4 {
+		t.Fatalf("got %d views", len(views))
+	}
+	if views[1].N != 4 || views[1].ID != 1 || views[1].Degree() != 2 {
+		t.Errorf("view 1 = %+v", views[1])
+	}
+	if views[0].Neighbors[0] != 1 {
+		t.Errorf("view 0 neighbors = %v", views[0].Neighbors)
+	}
+}
+
+func TestTrivialMatchingOnFamilies(t *testing.T) {
+	coins := rng.NewPublicCoins(1)
+	p := NewTrivialMatching()
+	for _, g := range []*graph.Graph{
+		gen.Path(7), gen.Cycle(8), gen.Complete(6), gen.Star(5),
+		gen.Gnp(20, 0.3, rng.NewSource(2)),
+	} {
+		res, err := Run(p, g, coins)
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if !graph.IsMaximalMatching(g, res.Output) {
+			t.Errorf("%v: output not a maximal matching", g)
+		}
+		if res.MaxSketchBits != g.N() {
+			t.Errorf("%v: max sketch bits = %d, want n = %d", g, res.MaxSketchBits, g.N())
+		}
+		if res.TotalSketchBits != g.N()*g.N() {
+			t.Errorf("%v: total bits = %d, want n^2", g, res.TotalSketchBits)
+		}
+	}
+}
+
+func TestTrivialMISOnFamilies(t *testing.T) {
+	coins := rng.NewPublicCoins(3)
+	p := NewTrivialMIS()
+	for _, g := range []*graph.Graph{
+		gen.Path(9), gen.Complete(5), gen.Grid(4, 4),
+		gen.Gnp(25, 0.2, rng.NewSource(4)),
+	} {
+		res, err := Run(p, g, coins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !graph.IsMaximalIndependentSet(g, res.Output) {
+			t.Errorf("%v: output not a maximal IS", g)
+		}
+	}
+}
+
+func TestTrivialSpanningForest(t *testing.T) {
+	coins := rng.NewPublicCoins(5)
+	p := NewTrivialSpanningForest()
+	g := gen.Gnp(30, 0.1, rng.NewSource(6))
+	res, err := Run(p, g, coins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.IsSpanningForest(g, res.Output) {
+		t.Error("output not a spanning forest")
+	}
+}
+
+func TestPlayerBitsAccounting(t *testing.T) {
+	g := gen.Star(5) // degrees 4,1,1,1,1 but bitmap sketches are all n bits
+	res, err := Run(NewTrivialMatching(), g, rng.NewPublicCoins(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PlayerBits) != 5 {
+		t.Fatalf("PlayerBits has %d entries", len(res.PlayerBits))
+	}
+	sum := 0
+	for _, b := range res.PlayerBits {
+		sum += b
+		if b != 5 {
+			t.Errorf("bitmap sketch %d bits, want n=5", b)
+		}
+	}
+	if sum != res.TotalSketchBits {
+		t.Errorf("PlayerBits sum %d != TotalSketchBits %d", sum, res.TotalSketchBits)
+	}
+}
+
+func TestAvgSketchBits(t *testing.T) {
+	r := Result[int]{TotalSketchBits: 30}
+	if got := r.AvgSketchBits(10); got != 3 {
+		t.Errorf("AvgSketchBits = %v, want 3", got)
+	}
+	if got := r.AvgSketchBits(0); got != 0 {
+		t.Errorf("AvgSketchBits(0) = %v, want 0", got)
+	}
+}
+
+// faultyProtocol exercises error propagation paths.
+type faultyProtocol struct {
+	sketchErr bool
+}
+
+func (f *faultyProtocol) Name() string { return "faulty" }
+
+func (f *faultyProtocol) Sketch(view VertexView, _ *rng.PublicCoins) (*bitio.Writer, error) {
+	if f.sketchErr {
+		return nil, errors.New("boom")
+	}
+	return nil, nil // nil writer must be tolerated
+}
+
+func (f *faultyProtocol) Decode(n int, _ []*bitio.Reader, _ *rng.PublicCoins) (int, error) {
+	return 0, errors.New("cannot decode")
+}
+
+func TestRunPropagatesSketchError(t *testing.T) {
+	_, err := Run[int](&faultyProtocol{sketchErr: true}, gen.Path(3), rng.NewPublicCoins(1))
+	if err == nil {
+		t.Fatal("sketch error not propagated")
+	}
+}
+
+func TestRunToleratesNilWriterAndPropagatesDecodeError(t *testing.T) {
+	res, err := Run[int](&faultyProtocol{}, gen.Path(3), rng.NewPublicCoins(1))
+	if err == nil {
+		t.Fatal("decode error not propagated")
+	}
+	if res.MaxSketchBits != 0 {
+		t.Errorf("empty sketches reported %d bits", res.MaxSketchBits)
+	}
+}
+
+func TestDecodeBitmapGraphDetectsDisagreement(t *testing.T) {
+	// Player 0 claims edge to 1; player 1 denies it.
+	w0, w1 := &bitio.Writer{}, &bitio.Writer{}
+	w0.WriteBit(false)
+	w0.WriteBit(true)
+	w1.WriteBit(false)
+	w1.WriteBit(false)
+	_, err := DecodeBitmapGraph(2, []*bitio.Reader{bitio.ReaderFor(w0), bitio.ReaderFor(w1)})
+	if err == nil {
+		t.Error("edge disagreement not detected")
+	}
+}
+
+func TestDecodeBitmapGraphDetectsSelfLoop(t *testing.T) {
+	w0, w1 := &bitio.Writer{}, &bitio.Writer{}
+	w0.WriteBit(true) // self loop at 0
+	w0.WriteBit(false)
+	w1.WriteBit(false)
+	w1.WriteBit(false)
+	_, err := DecodeBitmapGraph(2, []*bitio.Reader{bitio.ReaderFor(w0), bitio.ReaderFor(w1)})
+	if err == nil {
+		t.Error("self loop not detected")
+	}
+}
+
+func TestDecodeBitmapGraphWrongCount(t *testing.T) {
+	if _, err := DecodeBitmapGraph(2, nil); err == nil {
+		t.Error("sketch-count mismatch not detected")
+	}
+}
+
+func TestEstimateSuccess(t *testing.T) {
+	p := NewTrivialMatching()
+	src := rng.NewSource(7)
+	stats := EstimateSuccess(p, func(i int) Trial[[]graph.Edge] {
+		g := gen.Gnp(12, 0.3, src)
+		return Trial[[]graph.Edge]{
+			Graph:  g,
+			Verify: func(out []graph.Edge) bool { return graph.IsMaximalMatching(g, out) },
+		}
+	}, 20, rng.NewPublicCoins(9))
+	if stats.SuccessRate() != 1.0 {
+		t.Errorf("trivial protocol success rate = %v, want 1", stats.SuccessRate())
+	}
+	if stats.MaxSketchBits != 12 {
+		t.Errorf("MaxSketchBits = %d, want 12", stats.MaxSketchBits)
+	}
+	if stats.AvgSketchBits != 12 {
+		t.Errorf("AvgSketchBits = %v, want 12", stats.AvgSketchBits)
+	}
+}
+
+func TestEstimateSuccessCountsErrorsAsFailures(t *testing.T) {
+	stats := EstimateSuccess[int](&faultyProtocol{}, func(i int) Trial[int] {
+		return Trial[int]{Graph: gen.Path(2), Verify: func(int) bool { return true }}
+	}, 5, rng.NewPublicCoins(1))
+	if stats.Successes != 0 {
+		t.Errorf("faulty protocol recorded %d successes", stats.Successes)
+	}
+	if stats.SuccessRate() != 0 {
+		t.Errorf("rate = %v", stats.SuccessRate())
+	}
+}
+
+func TestStatsZeroTrials(t *testing.T) {
+	if (Stats{}).SuccessRate() != 0 {
+		t.Error("zero-trial rate not 0")
+	}
+}
+
+func TestRunDeterministicGivenCoins(t *testing.T) {
+	g := gen.Gnp(15, 0.4, rng.NewSource(11))
+	p := NewTrivialMIS()
+	coins := rng.NewPublicCoins(42)
+	a, err1 := Run(p, g, coins)
+	b, err2 := Run(p, g, coins)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if len(a.Output) != len(b.Output) {
+		t.Fatal("same coins gave different outputs")
+	}
+	for i := range a.Output {
+		if a.Output[i] != b.Output[i] {
+			t.Fatal("same coins gave different outputs")
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// ExampleRun demonstrates the one-round sketching model end to end with
+// the trivial full-graph protocol.
+func ExampleRun() {
+	g := gen.Path(6)
+	coins := rng.NewPublicCoins(1)
+	res, err := core.Run(core.NewTrivialMatching(), g, coins)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("maximal:", graph.IsMaximalMatching(g, res.Output))
+	fmt.Println("bits per player:", res.MaxSketchBits)
+	// Output:
+	// maximal: true
+	// bits per player: 6
+}
+
+// ExampleEstimateSuccess shows the Monte-Carlo harness used by every
+// experiment sweep.
+func ExampleEstimateSuccess() {
+	p := core.NewTrivialMIS()
+	stats := core.EstimateSuccess(p, func(i int) core.Trial[[]int] {
+		g := gen.Cycle(5 + i%3)
+		return core.Trial[[]int]{
+			Graph:  g,
+			Verify: func(out []int) bool { return graph.IsMaximalIndependentSet(g, out) },
+		}
+	}, 6, rng.NewPublicCoins(2))
+	fmt.Printf("success rate: %.2f\n", stats.SuccessRate())
+	// Output:
+	// success rate: 1.00
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// FullGraphProtocol is the trivial Θ(n)-bit upper bound that exists for
+// every problem in this model: each player sends its adjacency row as an
+// n-bit bitmap, the referee reconstructs G exactly and solves the problem
+// centrally. It both calibrates the cost axis of every experiment (the
+// paper: "the problem is trivial with sketches of size Θ(n)") and serves
+// as a correctness oracle for other protocols.
+type FullGraphProtocol[O any] struct {
+	// ProtocolName labels the protocol in tables.
+	ProtocolName string
+	// Solve computes the output from the exactly-reconstructed graph.
+	Solve func(g *graph.Graph, coins *rng.PublicCoins) (O, error)
+}
+
+// Name implements Protocol.
+func (p *FullGraphProtocol[O]) Name() string { return p.ProtocolName }
+
+// Sketch implements Protocol: an n-bit adjacency bitmap.
+func (p *FullGraphProtocol[O]) Sketch(view VertexView, _ *rng.PublicCoins) (*bitio.Writer, error) {
+	w := &bitio.Writer{}
+	next := 0
+	for u := 0; u < view.N; u++ {
+		isNeighbor := next < len(view.Neighbors) && view.Neighbors[next] == u
+		if isNeighbor {
+			next++
+		}
+		w.WriteBit(isNeighbor)
+	}
+	return w, nil
+}
+
+// Decode implements Protocol: rebuild G from the bitmaps and solve. The
+// referee cross-checks the two copies of every edge and fails loudly on
+// inconsistency, which would indicate a corrupted transcript.
+func (p *FullGraphProtocol[O]) Decode(n int, sketches []*bitio.Reader, coins *rng.PublicCoins) (O, error) {
+	var zero O
+	g, err := DecodeBitmapGraph(n, sketches)
+	if err != nil {
+		return zero, err
+	}
+	return p.Solve(g, coins)
+}
+
+// DecodeBitmapGraph reconstructs a graph from n adjacency bitmaps,
+// verifying that the two endpoints of every edge agree.
+func DecodeBitmapGraph(n int, sketches []*bitio.Reader) (*graph.Graph, error) {
+	if len(sketches) != n {
+		return nil, fmt.Errorf("core: %d sketches for %d players", len(sketches), n)
+	}
+	rows := make([][]bool, n)
+	for v := 0; v < n; v++ {
+		rows[v] = make([]bool, n)
+		for u := 0; u < n; u++ {
+			b, err := sketches[v].ReadBit()
+			if err != nil {
+				return nil, fmt.Errorf("core: player %d bitmap: %w", v, err)
+			}
+			rows[v][u] = b
+		}
+	}
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		if rows[v][v] {
+			return nil, fmt.Errorf("core: player %d claims a self loop", v)
+		}
+		for u := v + 1; u < n; u++ {
+			if rows[v][u] != rows[u][v] {
+				return nil, fmt.Errorf("core: players %d and %d disagree on edge", v, u)
+			}
+			if rows[v][u] {
+				b.AddEdge(v, u)
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// NewTrivialMatching returns the Θ(n)-bit maximal matching protocol.
+func NewTrivialMatching() Protocol[[]graph.Edge] {
+	return &FullGraphProtocol[[]graph.Edge]{
+		ProtocolName: "trivial-full-graph",
+		Solve: func(g *graph.Graph, _ *rng.PublicCoins) ([]graph.Edge, error) {
+			return graph.GreedyMaximalMatching(g, nil), nil
+		},
+	}
+}
+
+// NewTrivialMIS returns the Θ(n)-bit maximal independent set protocol.
+func NewTrivialMIS() Protocol[[]int] {
+	return &FullGraphProtocol[[]int]{
+		ProtocolName: "trivial-full-graph",
+		Solve: func(g *graph.Graph, _ *rng.PublicCoins) ([]int, error) {
+			return graph.GreedyMIS(g, nil), nil
+		},
+	}
+}
+
+// NewTrivialSpanningForest returns the Θ(n)-bit spanning forest protocol.
+func NewTrivialSpanningForest() Protocol[[]graph.Edge] {
+	return &FullGraphProtocol[[]graph.Edge]{
+		ProtocolName: "trivial-full-graph",
+		Solve: func(g *graph.Graph, _ *rng.PublicCoins) ([]graph.Edge, error) {
+			return g.SpanningForestEdges(), nil
+		},
+	}
+}

@@ -1,0 +1,211 @@
+// Package degeneracy implements approximate graph degeneracy in the
+// distributed sketching model, after Farach-Colton and Tsai [31] — one of
+// the problems the paper's introduction lists as efficiently sketchable.
+//
+// The degeneracy d(G) is the largest minimum degree over all subgraphs,
+// computed exactly by the peeling (k-core) order. The sketching protocol
+// sends, per vertex, its degree plus c·log n uniformly sampled incident
+// edges; the referee peels the sampled multigraph with degree counts
+// scaled by the per-vertex sampling rate, giving a constant-factor
+// estimate w.h.p. at O(log² n)-bit sketches.
+package degeneracy
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Exact returns the degeneracy of g and its peeling order, by the
+// classic O(n + m) bucket peeling.
+func Exact(g *graph.Graph) (int, []int) {
+	n := g.N()
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	buckets := make([][]int, maxDeg+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], v)
+	}
+	removed := make([]bool, n)
+	order := make([]int, 0, n)
+	degeneracy := 0
+	cur := 0
+	for len(order) < n && cur < len(buckets) {
+		if len(buckets[cur]) == 0 {
+			cur++
+			continue
+		}
+		v := buckets[cur][len(buckets[cur])-1]
+		buckets[cur] = buckets[cur][:len(buckets[cur])-1]
+		if removed[v] || deg[v] != cur {
+			continue // stale entry; the fresh one lives in its own bucket
+		}
+		removed[v] = true
+		order = append(order, v)
+		if cur > degeneracy {
+			degeneracy = cur
+		}
+		g.EachNeighbor(v, func(u int) {
+			if !removed[u] {
+				deg[u]--
+				buckets[deg[u]] = append(buckets[deg[u]], u)
+				if deg[u] < cur {
+					cur = deg[u]
+				}
+			}
+		})
+	}
+	return degeneracy, order
+}
+
+// Protocol is the sketching estimator. Output is the estimated
+// degeneracy.
+type Protocol struct {
+	// SamplesPerVertex is the incident-edge sample budget; 0 selects
+	// 4·ceil(log2(n+1)).
+	SamplesPerVertex int
+}
+
+var _ core.Protocol[int] = (*Protocol)(nil)
+
+// New returns the estimator with default budget.
+func New() *Protocol { return &Protocol{} }
+
+// Name implements core.Protocol.
+func (p *Protocol) Name() string { return "degeneracy-sketch" }
+
+func (p *Protocol) samples(n int) int {
+	if p.SamplesPerVertex > 0 {
+		return p.SamplesPerVertex
+	}
+	return 4 * (bitio.UintWidth(n+1) + 1)
+}
+
+// Sketch implements core.Protocol: degree + sampled neighbors.
+func (p *Protocol) Sketch(view core.VertexView, coins *rng.PublicCoins) (*bitio.Writer, error) {
+	w := &bitio.Writer{}
+	w.WriteUvarint(uint64(view.Degree()))
+	k := p.samples(view.N)
+	if k > view.Degree() {
+		k = view.Degree()
+	}
+	src := coins.Derive("degeneracy").DeriveIndex(view.ID).Source()
+	perm := src.Perm(view.Degree())
+	idWidth := bitio.UintWidth(view.N)
+	w.WriteUvarint(uint64(k))
+	for i := 0; i < k; i++ {
+		w.WriteUint(uint64(view.Neighbors[perm[i]]), idWidth)
+	}
+	return w, nil
+}
+
+// Decode implements core.Protocol: peel the sampled graph using scaled
+// degree estimates. Each vertex's true degree is known exactly (it was
+// sent); what sampling loses is which neighbors remain, so the referee
+// tracks, per vertex, the fraction of its sampled neighbors already
+// peeled and scales its true degree accordingly.
+func (p *Protocol) Decode(n int, sketches []*bitio.Reader, _ *rng.PublicCoins) (int, error) {
+	idWidth := bitio.UintWidth(n)
+	trueDeg := make([]int, n)
+	samples := make([][]int, n)
+	for v := 0; v < n; v++ {
+		d, err := sketches[v].ReadUvarint()
+		if err != nil {
+			return 0, fmt.Errorf("degeneracy: sketch %d: %w", v, err)
+		}
+		trueDeg[v] = int(d)
+		k, err := sketches[v].ReadUvarint()
+		if err != nil {
+			return 0, fmt.Errorf("degeneracy: sketch %d: %w", v, err)
+		}
+		for i := uint64(0); i < k; i++ {
+			u, err := sketches[v].ReadUint(idWidth)
+			if err != nil {
+				return 0, fmt.Errorf("degeneracy: sketch %d: %w", v, err)
+			}
+			if int(u) != v && int(u) < n {
+				samples[v] = append(samples[v], int(u))
+			}
+		}
+	}
+	// Reverse index: who sampled v.
+	sampledBy := make([][]int, n)
+	for v := 0; v < n; v++ {
+		for _, u := range samples[v] {
+			sampledBy[u] = append(sampledBy[u], v)
+		}
+	}
+
+	// Peel by estimated residual degree using a priority queue. Estimated
+	// residual degree of v = trueDeg[v] · (surviving sampled neighbors /
+	// total sampled neighbors), or the exact residual when the vertex
+	// sampled its full neighborhood.
+	peeled := make([]bool, n)
+	lostSamples := make([]int, n)
+	estimate := func(v int) float64 {
+		total := len(samples[v])
+		if total == 0 {
+			return 0
+		}
+		frac := float64(total-lostSamples[v]) / float64(total)
+		return float64(trueDeg[v]) * frac
+	}
+	pq := &vertexHeap{}
+	heap.Init(pq)
+	for v := 0; v < n; v++ {
+		heap.Push(pq, vertexPriority{v: v, priority: estimate(v)})
+	}
+	best := 0.0
+	for pq.Len() > 0 {
+		top := heap.Pop(pq).(vertexPriority)
+		v := top.v
+		if peeled[v] {
+			continue
+		}
+		cur := estimate(v)
+		if cur < top.priority-1e-9 {
+			heap.Push(pq, vertexPriority{v: v, priority: cur})
+			continue // stale entry
+		}
+		peeled[v] = true
+		if cur > best {
+			best = cur
+		}
+		for _, u := range sampledBy[v] {
+			if !peeled[u] {
+				lostSamples[u]++
+				heap.Push(pq, vertexPriority{v: u, priority: estimate(u)})
+			}
+		}
+	}
+	return int(best + 0.5), nil
+}
+
+type vertexPriority struct {
+	v        int
+	priority float64
+}
+
+type vertexHeap []vertexPriority
+
+func (h vertexHeap) Len() int            { return len(h) }
+func (h vertexHeap) Less(i, j int) bool  { return h[i].priority < h[j].priority }
+func (h vertexHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *vertexHeap) Push(x interface{}) { *h = append(*h, x.(vertexPriority)) }
+func (h *vertexHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

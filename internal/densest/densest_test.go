@@ -1,0 +1,130 @@
+package densest
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestExactPeelingKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want float64
+	}{
+		{"empty", graph.NewBuilder(4).Build(), 0},
+		{"single edge", graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}}), 0.5},
+		{"triangle", gen.Cycle(3), 1},
+		{"K4", gen.Complete(4), 1.5},
+		{"K5", gen.Complete(5), 2},
+		{"path", gen.Path(5), 4.0 / 5},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := ExactPeelingDensity(c.g)
+			if math.Abs(got-c.want) > 1e-9 {
+				t.Errorf("density = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestExactPeelingFindsPlantedClique(t *testing.T) {
+	// Sparse background + K10: density must reach at least (10-1)/2 = 4.5
+	// from the clique (peeling is a 2-approx so >= 4.5/... the clique
+	// itself survives peeling to give >= 45/10).
+	src := rng.NewSource(1)
+	b := graph.NewBuilder(60)
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	for i := 0; i < 60; i++ {
+		u, v := src.Intn(60), src.Intn(60)
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	g := b.Build()
+	if d := ExactPeelingDensity(g); d < 4.0 {
+		t.Errorf("planted K10 density %v, want >= 4", d)
+	}
+}
+
+func TestSketchFullSamplingIsExact(t *testing.T) {
+	src := rng.NewSource(2)
+	coins := rng.NewPublicCoins(3)
+	for trial := 0; trial < 10; trial++ {
+		g := gen.Gnp(40, 0.2, src)
+		exact := ExactPeelingDensity(g)
+		res, err := core.Run[float64](New(1.0), g, coins.DeriveIndex(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Output-exact) > 1e-9 {
+			t.Errorf("p=1 estimate %v != exact %v", res.Output, exact)
+		}
+	}
+}
+
+func TestSketchEstimateConcentrates(t *testing.T) {
+	src := rng.NewSource(5)
+	coins := rng.NewPublicCoins(6)
+	g := gen.Gnp(120, 0.3, src) // dense: density ~ 18
+	exact := ExactPeelingDensity(g)
+	within := 0
+	const trials = 15
+	for trial := 0; trial < trials; trial++ {
+		res, err := core.Run[float64](New(0.5), g, coins.DeriveIndex(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Output >= exact*0.6 && res.Output <= exact*1.6 {
+			within++
+		}
+	}
+	if within < trials*8/10 {
+		t.Errorf("estimate within 1.6x in %d/%d trials (exact %v)", within, trials, exact)
+	}
+}
+
+func TestSketchSavesBitsOnDenseGraphs(t *testing.T) {
+	g := gen.Gnp(300, 0.5, rng.NewSource(7))
+	res, err := core.Run[float64](New(0.1), g, rng.NewPublicCoins(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullBits := g.MaxDegree() * 9
+	if res.MaxSketchBits >= fullBits/3 {
+		t.Errorf("sampled sketch %d bits, full would be %d — sampling saved nothing", res.MaxSketchBits, fullBits)
+	}
+}
+
+func TestSamplingIsConsistentAcrossEndpoints(t *testing.T) {
+	// Both endpoints of an edge must make the same sampling decision, or
+	// the referee would see asymmetric reports.
+	coins := rng.NewPublicCoins(9)
+	n := 50
+	for u := 0; u < 10; u++ {
+		for v := u + 1; v < 10; v++ {
+			a := keeps(n, u, v, 0.5, coins)
+			b := keeps(n, v, u, 0.5, coins)
+			if a != b {
+				t.Fatalf("endpoints disagree on edge (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func BenchmarkExactPeelingN200(b *testing.B) {
+	g := gen.Gnp(200, 0.2, rng.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExactPeelingDensity(g)
+	}
+}

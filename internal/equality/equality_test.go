@@ -1,0 +1,228 @@
+package equality
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// twinGraph returns a graph where vertices 0 and 1 have identical
+// restricted neighborhoods.
+func twinGraph(n int, src *rng.Source) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for u := 2; u < n; u++ {
+		if src.Float64() < 0.3 {
+			b.AddEdge(0, u)
+			b.AddEdge(1, u)
+		}
+		for v := u + 1; v < n; v++ {
+			if src.Float64() < 0.1 {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// differGraph returns a graph where the restricted neighborhoods differ
+// in exactly `diffs` positions.
+func differGraph(n, diffs int, src *rng.Source) *graph.Graph {
+	b := graph.NewBuilder(n)
+	perm := src.Perm(n - 2)
+	for u := 2; u < n; u++ {
+		if src.Float64() < 0.3 {
+			b.AddEdge(0, u)
+			b.AddEdge(1, u)
+		}
+	}
+	g := b.Build()
+	// Flip `diffs` positions on vertex 1's side.
+	b2 := graph.NewBuilder(n)
+	for _, e := range g.Edges() {
+		b2.AddEdge(e.U, e.V)
+	}
+	flipped := 0
+	for _, idx := range perm {
+		if flipped == diffs {
+			break
+		}
+		u := idx + 2
+		if !g.HasEdge(1, u) {
+			b2.AddEdge(1, u)
+			flipped++
+		}
+	}
+	if flipped < diffs {
+		panic("differGraph: not enough free slots")
+	}
+	return b2.Build()
+}
+
+func runEq(t *testing.T, p core.Protocol[bool], g *graph.Graph, coins *rng.PublicCoins) (bool, int) {
+	t.Helper()
+	res, err := core.Run(p, g, coins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Output, res.MaxSketchBits
+}
+
+func TestDeterministicExact(t *testing.T) {
+	src := rng.NewSource(1)
+	coins := rng.NewPublicCoins(2)
+	for trial := 0; trial < 10; trial++ {
+		eq := twinGraph(40, src)
+		if got, bits := runEq(t, Deterministic{}, eq, coins); !got || bits != 38 {
+			t.Errorf("equal pair: got %v at %d bits (want true at n-2)", got, bits)
+		}
+		neq := differGraph(40, 1, src)
+		if got, _ := runEq(t, Deterministic{}, neq, coins); got {
+			t.Error("unequal pair accepted by deterministic protocol")
+		}
+	}
+}
+
+func TestPublicFingerprint(t *testing.T) {
+	src := rng.NewSource(3)
+	for trial := 0; trial < 25; trial++ {
+		coins := rng.NewPublicCoins(uint64(trial) + 100)
+		eq := twinGraph(60, src)
+		if got, bits := runEq(t, PublicFingerprint{}, eq, coins); !got {
+			t.Error("equal pair rejected (fingerprints of equal strings must match)")
+		} else if bits != 61 {
+			t.Errorf("fingerprint is %d bits, want 61", bits)
+		}
+		neq := differGraph(60, 1+src.Intn(3), src)
+		if got, _ := runEq(t, PublicFingerprint{}, neq, coins); got {
+			t.Errorf("trial %d: unequal pair accepted — fingerprint collision should be ~2^-60", trial)
+		}
+	}
+}
+
+func TestPrivateCodeEqualAlwaysAccepts(t *testing.T) {
+	src := rng.NewSource(5)
+	p := &PrivateCode{}
+	for trial := 0; trial < 10; trial++ {
+		g := twinGraph(80, src)
+		if got, _ := runEq(t, p, g, rng.NewPublicCoins(uint64(trial))); !got {
+			t.Error("equal pair rejected — identical codes cannot mismatch")
+		}
+	}
+}
+
+func TestPrivateCodeDetectsDifferences(t *testing.T) {
+	src := rng.NewSource(7)
+	p := &PrivateCode{}
+	detected := 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		g := differGraph(80, 1, src)
+		got, _ := runEq(t, p, g, rng.NewPublicCoins(uint64(trial)+500))
+		if !got {
+			detected++
+		}
+	}
+	// Collisions ~4 expected, each detecting w.p. >= 3/4 (code distance):
+	// overall detection should be strong but not perfect.
+	if detected < trials*6/10 {
+		t.Errorf("detected %d/%d unequal pairs", detected, trials)
+	}
+}
+
+func TestPrivateCodeUsesPrivateRandomness(t *testing.T) {
+	// Different private seeds must change the sampled positions (players
+	// don't share them), while equal-pair correctness is unaffected.
+	src := rng.NewSource(9)
+	g := twinGraph(60, src)
+	coins := rng.NewPublicCoins(11)
+	views := core.Views(g)
+	a, err := (&PrivateCode{PrivateSeed: 1}).Sketch(views[0], coins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (&PrivateCode{PrivateSeed: 2}).Sketch(views[0], coins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == b.Len() {
+		same := true
+		ab, bb := a.Bytes(), b.Bytes()
+		for i := range ab {
+			if ab[i] != bb[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("private seed does not affect the sketch")
+		}
+	}
+}
+
+func TestCostHierarchy(t *testing.T) {
+	// The separation: deterministic n-2 bits > private-coin Θ(√n log n)
+	// > public-coin O(log n). The private-coin constant (~36√n bits) puts
+	// the clear crossover around n ≈ 2^13; build a large twin pair with no
+	// background edges to keep the instance light.
+	src := rng.NewSource(13)
+	n := 1 << 14
+	b := graph.NewBuilder(n)
+	for u := 2; u < n; u++ {
+		if src.Float64() < 0.3 {
+			b.AddEdge(0, u)
+			b.AddEdge(1, u)
+		}
+	}
+	g := b.Build()
+	coins := rng.NewPublicCoins(17)
+
+	_, detBits := runEq(t, Deterministic{}, g, coins)
+	_, pubBits := runEq(t, PublicFingerprint{}, g, coins)
+	_, privBits := runEq(t, &PrivateCode{}, g, coins)
+
+	if !(pubBits < privBits && privBits < detBits) {
+		t.Errorf("hierarchy violated: public=%d private=%d deterministic=%d",
+			pubBits, privBits, detBits)
+	}
+	if privBits >= detBits/2 {
+		t.Errorf("private-coin cost %d not well below deterministic %d", privBits, detBits)
+	}
+}
+
+func TestNonSpeakingPlayersSilent(t *testing.T) {
+	g := twinGraph(30, rng.NewSource(15))
+	coins := rng.NewPublicCoins(16)
+	for _, p := range []core.Protocol[bool]{Deterministic{}, PublicFingerprint{}, &PrivateCode{}} {
+		views := core.Views(g)
+		w, err := p.Sketch(views[7], coins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Len() != 0 {
+			t.Errorf("%s: player 7 sent %d bits, want 0", p.Name(), w.Len())
+		}
+	}
+}
+
+func TestEncodeDistance(t *testing.T) {
+	// Two distinct rows must yield codewords differing in most positions
+	// (degree < symbols, so agreement <= symbols-1 points).
+	row1 := make([]bool, 120)
+	row2 := make([]bool, 120)
+	row2[59] = true
+	symbols, points := rsParams(122, 4)
+	c1 := encode(row1, symbols, points)
+	c2 := encode(row2, symbols, points)
+	agree := 0
+	for i := range c1 {
+		if c1[i] == c2[i] {
+			agree++
+		}
+	}
+	if agree >= symbols {
+		t.Errorf("codewords agree on %d of %d points, want < %d (degree bound)",
+			agree, points, symbols)
+	}
+}

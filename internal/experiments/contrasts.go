@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/degeneracy"
+	"repro/internal/densest"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sparsify"
+)
+
+// E17CutSparsifier measures the AGM-style cut sparsifier the paper's
+// introduction cites ("cut sparsifiers and approximate min/max cuts
+// [2]"): relative cut errors over random cuts, sparsification ratio, and
+// the K quality knob.
+func E17CutSparsifier(scale Scale, seed uint64) ([]*Table, error) {
+	src := rng.NewSource(seed)
+	coins := rng.NewPublicCoins(seed ^ 0x27182818)
+	cuts := 40
+	n := 40
+	if scale == Full {
+		cuts = 120
+		n = 56
+	}
+	t := &Table{
+		ID:      "E17",
+		Title:   "AGM cut sparsifier: relative cut error over random cuts",
+		Columns: []string{"n", "K", "graph edges", "sparsifier edges", "median err", "p90 err", "max err"},
+		Notes: []string{
+			"weight 2^i at the shallowest skeleton level retaining the edge (Benczúr–Karger rate matching)",
+			"K is the per-level skeleton connectivity: the ε-knob",
+		},
+	}
+	for _, k := range []int{2, 4, 8} {
+		g := gen.Gnp(n, 0.4, src)
+		res, err := core.Run[*sparsify.Sparsifier](sparsify.New(sparsify.Config{K: k}), g, coins.DeriveIndex(k))
+		if err != nil {
+			return nil, err
+		}
+		sp := res.Output
+		var rels []float64
+		for c := 0; c < cuts; c++ {
+			side := make([]bool, g.N())
+			for v := range side {
+				side[v] = src.Bool()
+			}
+			truth := sparsify.TrueCut(g, side)
+			if truth == 0 {
+				continue
+			}
+			rels = append(rels, math.Abs(sp.CutValue(side)-truth)/truth)
+		}
+		sort.Float64s(rels)
+		t.AddRow(n, k, g.M(), sp.Edges(),
+			fmt.Sprintf("%.3f", rels[len(rels)/2]),
+			fmt.Sprintf("%.3f", rels[len(rels)*9/10]),
+			fmt.Sprintf("%.3f", rels[len(rels)-1]))
+	}
+
+	// E17b: the cited application — approximate global min cut from the
+	// sparsifier, on a planted-bottleneck topology.
+	mc := &Table{
+		ID:      "E17b",
+		Title:   "Approximate min cut from the sparsifier (planted bottleneck)",
+		Columns: []string{"blob size", "planted cut", "true min cut", "sparsifier min cut", "side correct"},
+	}
+	for _, blob := range []int{8, 12} {
+		g := graphBuilderTwoBlobs(blob, 3)
+		truth, _ := graph.GlobalMinCut(g)
+		res, err := core.Run[*sparsify.Sparsifier](sparsify.New(sparsify.Config{K: 4}), g, coins.Derive("mincut").DeriveIndex(blob))
+		if err != nil {
+			return nil, err
+		}
+		est, side := graph.WeightedMinCut(g.N(), res.Output.Weight)
+		mc.AddRow(blob, 3, truth, est, len(side) == blob)
+	}
+	return []*Table{t, mc}, nil
+}
+
+// graphBuilderTwoBlobs returns two complete blobs joined by `cut` edges.
+func graphBuilderTwoBlobs(blob, cut int) *graph.Graph {
+	b := graph.NewBuilder(2 * blob)
+	for i := 0; i < blob; i++ {
+		for j := i + 1; j < blob; j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(blob+i, blob+j)
+		}
+	}
+	for c := 0; c < cut; c++ {
+		b.AddEdge(c, blob+c)
+	}
+	return b.Build()
+}
+
+// E18DegeneracyDensest measures the remaining two §1 contrast problems:
+// graph degeneracy [31] and densest subgraph [22, 48], both with
+// sampled-neighborhood sketches.
+func E18DegeneracyDensest(scale Scale, seed uint64) ([]*Table, error) {
+	src := rng.NewSource(seed)
+	coins := rng.NewPublicCoins(seed ^ 0x16180339)
+	trials := 8
+	ns := []int{80, 160}
+	if scale == Full {
+		trials = 20
+		ns = append(ns, 320)
+	}
+
+	deg := &Table{
+		ID:      "E18a",
+		Title:   "Degeneracy sketches [31]: scaled peeling on sampled neighborhoods",
+		Columns: []string{"n", "trials", "mean exact", "mean estimate", "within 2x", "max sketch bits", "n bits"},
+		Notes: []string{
+			"12 sampled neighbors per vertex — below the mean degree, so the scaled peeling genuinely estimates",
+		},
+	}
+	for _, n := range ns {
+		exactSum, estSum, within, maxBits := 0, 0, 0, 0
+		for trial := 0; trial < trials; trial++ {
+			g := gen.Gnp(n, 0.3, src)
+			exact, _ := degeneracy.Exact(g)
+			res, err := core.Run[int](&degeneracy.Protocol{SamplesPerVertex: 12}, g, coins.Derive("deg").DeriveIndex(n+trial))
+			if err != nil {
+				return nil, err
+			}
+			exactSum += exact
+			estSum += res.Output
+			if res.MaxSketchBits > maxBits {
+				maxBits = res.MaxSketchBits
+			}
+			if exact > 0 {
+				r := float64(res.Output) / float64(exact)
+				if r >= 0.5 && r <= 2 {
+					within++
+				}
+			}
+		}
+		deg.AddRow(n, trials,
+			float64(exactSum)/float64(trials), float64(estSum)/float64(trials),
+			fmt.Sprintf("%d/%d", within, trials), maxBits, n)
+	}
+
+	den := &Table{
+		ID:      "E18b",
+		Title:   "Densest subgraph sketches [22,48]: rescaled peeling on sampled edges",
+		Columns: []string{"n", "sample p", "trials", "mean exact", "mean estimate", "within 1.5x", "max sketch bits"},
+		Notes: []string{
+			"reference value is Charikar peeling density (2-approx of the optimum)",
+		},
+	}
+	for _, n := range ns {
+		p := 0.3
+		exactSum, estSum := 0.0, 0.0
+		within, maxBits := 0, 0
+		for trial := 0; trial < trials; trial++ {
+			g := gen.Gnp(n, 0.3, src)
+			exact := densest.ExactPeelingDensity(g)
+			res, err := core.Run[float64](densest.New(p), g, coins.Derive("den").DeriveIndex(n+trial))
+			if err != nil {
+				return nil, err
+			}
+			exactSum += exact
+			estSum += res.Output
+			if res.MaxSketchBits > maxBits {
+				maxBits = res.MaxSketchBits
+			}
+			if exact > 0 && res.Output >= exact/1.5 && res.Output <= exact*1.5 {
+				within++
+			}
+		}
+		den.AddRow(n, p, trials,
+			fmt.Sprintf("%.2f", exactSum/float64(trials)),
+			fmt.Sprintf("%.2f", estSum/float64(trials)),
+			fmt.Sprintf("%d/%d", within, trials), maxBits)
+	}
+	return []*Table{deg, den}, nil
+}

@@ -1,0 +1,196 @@
+// Package experiments produces every table in EXPERIMENTS.md: one
+// function per experiment E1–E12 of DESIGN.md, each returning a typed
+// Table that cmd/sketchlab renders and bench_test.go regenerates.
+//
+// The paper (PODC'20, theory) has no numbered tables or measured figures;
+// its reproducible artifacts are its construction (Fig. 1), its reduction
+// (Fig. 2), its claims/lemmas, and the upper bounds it cites as contrast.
+// Each experiment below regenerates one of those artifacts empirically or
+// exactly; EXPERIMENTS.md records paper-vs-measured for all of them.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Scale selects experiment sizes: Small keeps everything unit-test fast,
+// Full is for the CLI and the recorded EXPERIMENTS.md numbers.
+type Scale int
+
+// Scale values.
+const (
+	Small Scale = iota
+	Full
+)
+
+// Table is one rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "-0" {
+		return "0"
+	}
+	return s
+}
+
+// Render writes an aligned text rendering.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return strings.Join(parts, "  ")
+	}
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+		return err
+	}
+	total := len(t.Columns) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// RenderMarkdown writes the table as GitHub-flavored markdown.
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "### %s: %s\n\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	escape := func(cells []string) []string {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = strings.ReplaceAll(c, "|", "\\|")
+		}
+		return out
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(escape(t.Columns), " | ")); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(escape(row), " | ")); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "\n*%s*\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Runner maps experiment IDs to their functions.
+type Runner func(scale Scale, seed uint64) ([]*Table, error)
+
+// Registry returns all experiments keyed by ID, in execution order.
+func Registry() []struct {
+	ID  string
+	Run Runner
+} {
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{"E1", E1RSConstruction},
+		{"E2", E2HardDistribution},
+		{"E3", E3Claim31},
+		{"E4", E4InformationChain},
+		{"E5", E5MatchingLowerBound},
+		{"E6", E6MISReduction},
+		{"E7", E7MISLowerBound},
+		{"E8", E8AGMSpanningForest},
+		{"E9", E9BridgeFinding},
+		{"E10", E10Coloring},
+		{"E11", E11TwoRound},
+		{"E12", E12BCCEquivalence},
+		{"E13", E13Certificates},
+		{"E14", E14BudgetScaling},
+		{"E15", E15RandomnessHierarchy},
+		{"E16", E16MSTEstimator},
+		{"E17", E17CutSparsifier},
+		{"E18", E18DegeneracyDensest},
+		{"E19", E19TriangleCounting},
+	}
+}
+
+// All runs every experiment.
+func All(scale Scale, seed uint64) ([]*Table, error) {
+	var out []*Table
+	for _, entry := range Registry() {
+		tables, err := entry.Run(scale, seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", entry.ID, err)
+		}
+		out = append(out, tables...)
+	}
+	return out, nil
+}

@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ap3"
+	"repro/internal/bounds"
+	"repro/internal/harddist"
+	"repro/internal/proofcheck"
+	"repro/internal/rng"
+	"repro/internal/rsgraph"
+)
+
+// E1RSConstruction reproduces Proposition 2.1 constructively: Behrend /
+// greedy 3-AP-free set sizes and the verified (r, t) of the RS graphs
+// they induce.
+func E1RSConstruction(scale Scale, _ uint64) ([]*Table, error) {
+	ms := []int{10, 25, 60, 150}
+	if scale == Full {
+		ms = append(ms, 400, 1000)
+	}
+	t := &Table{
+		ID:      "E1",
+		Title:   "Ruzsa–Szemerédi graphs from 3-AP-free sets (Prop 2.1)",
+		Columns: []string{"m", "|Behrend|", "|Greedy|", "r=|Best|", "t", "N", "edges", "induced-verified"},
+		Notes: []string{
+			"t = N/5 here vs the paper's N/3: a constant from our explicit construction",
+			"greedy (Stanley) sets dominate Behrend's at practical m; Behrend wins only asymptotically",
+		},
+	}
+	for _, m := range ms {
+		rs, err := rsgraph.BuildBehrend(m)
+		if err != nil {
+			return nil, err
+		}
+		verified := "yes"
+		if err := rsgraph.Verify(rs); err != nil {
+			verified = fmt.Sprintf("NO: %v", err)
+		}
+		t.AddRow(m, len(ap3.Behrend(m)), len(ap3.Greedy(m)), rs.R(), rs.T(), rs.N(), rs.G.M(), verified)
+	}
+	return []*Table{t}, nil
+}
+
+// E2HardDistribution reproduces Figure 1: the shape of D_MM samples.
+func E2HardDistribution(scale Scale, seed uint64) ([]*Table, error) {
+	ms := []int{8, 15, 25}
+	if scale == Full {
+		ms = append(ms, 60)
+	}
+	t := &Table{
+		ID:      "E2",
+		Title:   "Samples from the hard distribution D_MM (Fig. 1)",
+		Columns: []string{"m", "r", "t=k", "n", "edges", "public", "unique", "survived C", "E[C]=kr/2", "floor kr/3"},
+		Notes: []string{
+			"survived C counts the special edges alive across all k copies",
+		},
+	}
+	src := rng.NewSource(seed)
+	for _, m := range ms {
+		rs, err := rsgraph.BuildBehrend(m)
+		if err != nil {
+			return nil, err
+		}
+		p := harddist.NewParams(rs)
+		inst, err := harddist.Sample(p, src)
+		if err != nil {
+			return nil, err
+		}
+		kr := float64(p.K * rs.R())
+		t.AddRow(m, rs.R(), p.K, inst.G.N(), inst.G.M(),
+			len(inst.PublicVertices()), 2*rs.R()*p.K,
+			inst.SurvivedSpecialCount(), kr/2, kr/3)
+	}
+	return []*Table{t}, nil
+}
+
+// E3Claim31 verifies Claim 3.1 over repeated draws, including the exact
+// structural bound and the drop-probability ablation.
+func E3Claim31(scale Scale, seed uint64) ([]*Table, error) {
+	trials, matchings := 10, 15
+	ms := []int{10, 20}
+	if scale == Full {
+		trials, matchings = 40, 40
+		ms = append(ms, 40)
+	}
+	src := rng.NewSource(seed)
+
+	main := &Table{
+		ID:      "E3",
+		Title:   "Claim 3.1: unique–unique edges forced into every maximal matching",
+		Columns: []string{"m", "drop", "trials", "mean C", "mean minUU", "exact-bound violations", "kr/4", "kr/4 met"},
+		Notes: []string{
+			"exact bound: minUU >= C - (N_RS - 2r), deterministic consequence of induced matchings",
+			"the kr/4 threshold needs kr/12 >= N-2r (paper-scale parameters); rows below that scale report the miss honestly",
+		},
+	}
+	for _, m := range ms {
+		rs, err := rsgraph.BuildBehrend(m)
+		if err != nil {
+			return nil, err
+		}
+		for _, drop := range []float64{0.3, 0.5, 0.7} {
+			p := harddist.Params{RS: rs, K: rs.T(), DropProb: drop}
+			stats, err := harddist.EstimateClaim31(p, trials, matchings, src)
+			if err != nil {
+				return nil, err
+			}
+			threshold := float64(p.K*rs.R()) / 4
+			met := stats.Trials - stats.PaperViolations
+			main.AddRow(m, drop, stats.Trials, stats.MeanSurvived, stats.MeanMinUU,
+				stats.ExactViolations, threshold,
+				fmt.Sprintf("%d/%d", met, stats.Trials))
+		}
+	}
+
+	// Disjoint-matching family: every surviving special edge is forced.
+	forced := &Table{
+		ID:      "E3b",
+		Title:   "Ablation: disjoint-matching RS family forces every surviving special edge",
+		Columns: []string{"r", "t=k", "trials", "mean C", "mean minUU", "minUU == C"},
+	}
+	for _, rt := range [][2]int{{4, 6}, {6, 8}} {
+		rs := rsgraph.DisjointMatchings(rt[0], rt[1])
+		p := harddist.Params{RS: rs, K: rt[1], DropProb: 0.5}
+		stats, err := harddist.EstimateClaim31(p, trials, matchings, src)
+		if err != nil {
+			return nil, err
+		}
+		forcedAll := stats.MeanMinUU == stats.MeanSurvived
+		forced.AddRow(rt[0], rt[1], stats.Trials, stats.MeanSurvived, stats.MeanMinUU, forcedAll)
+	}
+	return []*Table{main, forced}, nil
+}
+
+// E4InformationChain verifies the Lemma 3.3 → 3.4 → 3.5 chain exactly on
+// micro-instances for the whole protocol portfolio.
+func E4InformationChain(scale Scale, _ uint64) ([]*Table, error) {
+	rsD := rsgraph.DisjointMatchings(1, 2)
+	rsB, err := rsgraph.BuildFromAPFreeSet(2, []int{0, 1})
+	if err != nil {
+		return nil, err
+	}
+	type family struct {
+		name string
+		rs   *rsgraph.RSGraph
+		k    int
+	}
+	families := []family{
+		{"disjoint r=1 t=2 k=2", rsD, 2},
+		{"disjoint r=1 t=3 k=3", rsgraph.DisjointMatchings(1, 3), 3},
+	}
+	if scale == Full {
+		families = append(families, family{"behrend m=2 (r=2 t=2) k=2", rsB, 2})
+	} else {
+		families = append(families, family{"behrend m=2 (r=2 t=2) k=1", rsB, 1})
+	}
+	protocols := []proofcheck.Protocol{
+		proofcheck.FullInfo{}, proofcheck.Silent{}, proofcheck.PublicAll{},
+		proofcheck.CopyZero{}, proofcheck.FixedGuess{J0: 0}, proofcheck.FirstSlot{},
+	}
+	var out []*Table
+	for _, fam := range families {
+		t := &Table{
+			ID:      "E4",
+			Title:   "Exact information chain on micro-D_MM: " + fam.name,
+			Columns: []string{"protocol", "kr", "I(M;Π|Σ,J)", "H(Π(P))", "ΣI(Mi;ΠUi|Σ,J)", "E|MU|", "Pr[err]", "L3.3", "L3.4", "L3.5", "count"},
+			Notes: []string{
+				"every inequality computed exactly by enumerating J and all edge-survival outcomes",
+				"full-info and fixed-guess meet Lemma 3.5 with equality — the 1/t direct-sum factor is sharp",
+			},
+		}
+		p := harddist.Params{RS: fam.rs, K: fam.k, DropProb: 0.5}
+		n := p.N()
+		sigma := make([]int, n)
+		for i := range sigma {
+			sigma[i] = i
+		}
+		cfg := proofcheck.Config{Params: p, Sigma: sigma}
+		for _, proto := range protocols {
+			rep, err := proofcheck.VerifyChain(cfg, proto)
+			if err != nil {
+				return nil, err
+			}
+			sumIU := 0.0
+			l35 := "ok"
+			for i, l := range rep.Lemma35 {
+				sumIU += rep.IUnique[i]
+				if !l.Holds {
+					l35 = "VIOLATED"
+				}
+				_ = i
+			}
+			t.AddRow(rep.Protocol, rep.KR, rep.ITotal, rep.HPiP, sumIU, rep.EMU, rep.PErr,
+				holds(rep.Lemma33.Holds), holds(rep.Lemma34.Holds), l35, holds(rep.Counting.Holds))
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func holds(b bool) string {
+	if b {
+		return "ok"
+	}
+	return "VIOLATED"
+}
+
+// E5MatchingLowerBound produces (a) the analytic Theorem 1 table and (b)
+// the empirical success-vs-budget sweep on D_MM.
+func E5MatchingLowerBound(scale Scale, seed uint64) ([]*Table, error) {
+	analytic := &Table{
+		ID:      "E5a",
+		Title:   "Theorem 1 counting bound b ≥ kr/(6(|P|+kN/t)) on the constructive family",
+		Columns: []string{"m", "N", "r", "t=k", "n", "bound bits", "bound/√n", "√n"},
+		Notes: []string{
+			"bound/√n charts the e^{-Θ(√log n)} factor between the bound and √n",
+		},
+	}
+	ms := []int{25, 100, 400}
+	if scale == Full {
+		ms = append(ms, 1600, 6400)
+	}
+	rows, err := bounds.Table(ms)
+	if err != nil {
+		return nil, err
+	}
+	for i, row := range rows {
+		analytic.AddRow(ms[i], row.Shape.N, row.Shape.R, row.Shape.T, row.NTotal,
+			row.BitsPerPlayer, row.SqrtNRatio, fmt.Sprintf("%.1f", sqrtf(row.NTotal)))
+	}
+
+	asym := &Table{
+		ID:      "E5b",
+		Title:   "Theorem 1 at the paper's asymptotic shape (t = N/3, r = N/e^{c√log N})",
+		Columns: []string{"N", "r", "n", "bound bits", "r/36"},
+	}
+	for _, n := range []int{1000, 10000, 100000, 1000000} {
+		shape := bounds.PaperShape(n)
+		row, err := bounds.PaperRow(shape)
+		if err != nil {
+			return nil, err
+		}
+		asym.AddRow(shape.N, shape.R, row.NTotal, row.BitsPerPlayer, float64(shape.R)/36)
+	}
+
+	sweep, err := matchingSweep(scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{analytic, asym, sweep}, nil
+}
+
+func sqrtf(n int) float64 { return math.Sqrt(float64(n)) }

@@ -1,0 +1,96 @@
+// Package field implements arithmetic in GF(p) for the Mersenne prime
+// p = 2^61 - 1.
+//
+// The field underlies the k-wise independent hash families in package
+// hashing and the polynomial fingerprints used by one-sparse recovery in
+// package l0. A Mersenne modulus admits fast reduction without division.
+package field
+
+import "math/bits"
+
+// P is the field modulus, the Mersenne prime 2^61 - 1.
+const P uint64 = (1 << 61) - 1
+
+// Elem is an element of GF(P), kept reduced to [0, P).
+type Elem uint64
+
+// Reduce maps an arbitrary uint64 into [0, P).
+func Reduce(x uint64) Elem {
+	// x = hi*2^61 + lo  =>  x ≡ hi + lo (mod 2^61-1)
+	v := (x >> 61) + (x & uint64(P))
+	if v >= P {
+		v -= P
+	}
+	return Elem(v)
+}
+
+// Add returns a + b mod P.
+func Add(a, b Elem) Elem {
+	v := uint64(a) + uint64(b)
+	if v >= P {
+		v -= P
+	}
+	return Elem(v)
+}
+
+// Sub returns a - b mod P.
+func Sub(a, b Elem) Elem {
+	if a >= b {
+		return a - b
+	}
+	return a + Elem(P) - b
+}
+
+// Neg returns -a mod P.
+func Neg(a Elem) Elem {
+	if a == 0 {
+		return 0
+	}
+	return Elem(P) - a
+}
+
+// Mul returns a * b mod P using 128-bit intermediate products.
+func Mul(a, b Elem) Elem {
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	// a*b = hi*2^64 + lo = hi*8*2^61 + lo ≡ 8*hi + lo (mod 2^61-1),
+	// and lo itself reduces as (lo >> 61) + (lo & P).
+	v := hi<<3 | lo>>61 // combined high part, < 2^64-ish but small enough
+	w := (lo & uint64(P)) + (v & uint64(P)) + (v >> 61)
+	for w >= P {
+		w -= P
+	}
+	return Elem(w)
+}
+
+// Pow returns a^e mod P by square-and-multiply.
+func Pow(a Elem, e uint64) Elem {
+	result := Elem(1)
+	base := a
+	for e > 0 {
+		if e&1 == 1 {
+			result = Mul(result, base)
+		}
+		base = Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse of a, or 0 when a is 0.
+func Inv(a Elem) Elem {
+	if a == 0 {
+		return 0
+	}
+	// Fermat: a^(P-2) = a^{-1} in GF(P).
+	return Pow(a, P-2)
+}
+
+// EvalPoly evaluates the polynomial with the given coefficients
+// (coeffs[0] is the constant term) at x, by Horner's rule.
+func EvalPoly(coeffs []Elem, x Elem) Elem {
+	var acc Elem
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc = Add(Mul(acc, x), coeffs[i])
+	}
+	return acc
+}

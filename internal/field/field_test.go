@@ -1,0 +1,154 @@
+package field
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func bigP() *big.Int { return new(big.Int).SetUint64(P) }
+
+func TestReduce(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want Elem
+	}{
+		{0, 0},
+		{1, 1},
+		{P - 1, Elem(P - 1)},
+		{P, 0},
+		{P + 1, 1},
+		{2 * P, 0},
+		{^uint64(0), Elem((^uint64(0)) % P)},
+	}
+	for _, c := range cases {
+		if got := Reduce(c.in); got != c.want {
+			t.Errorf("Reduce(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestReduceMatchesBigIntQuick(t *testing.T) {
+	f := func(x uint64) bool {
+		want := new(big.Int).Mod(new(big.Int).SetUint64(x), bigP()).Uint64()
+		return uint64(Reduce(x)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddSubNeg(t *testing.T) {
+	f := func(x, y uint64) bool {
+		a, b := Reduce(x), Reduce(y)
+		s := Add(a, b)
+		if Sub(s, b) != a || Sub(s, a) != b {
+			return false
+		}
+		return Add(a, Neg(a)) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulMatchesBigIntQuick(t *testing.T) {
+	f := func(x, y uint64) bool {
+		a, b := Reduce(x), Reduce(y)
+		prod := new(big.Int).Mul(new(big.Int).SetUint64(uint64(a)), new(big.Int).SetUint64(uint64(b)))
+		want := prod.Mod(prod, bigP()).Uint64()
+		return uint64(Mul(a, b)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulEdgeCases(t *testing.T) {
+	max := Elem(P - 1)
+	if got := Mul(max, max); got != 1 {
+		// (-1)*(-1) = 1
+		t.Errorf("Mul(P-1, P-1) = %d, want 1", got)
+	}
+	if got := Mul(max, 2); got != Elem(P-2) {
+		t.Errorf("Mul(P-1, 2) = %d, want %d", got, P-2)
+	}
+	if got := Mul(0, max); got != 0 {
+		t.Errorf("Mul(0, P-1) = %d, want 0", got)
+	}
+}
+
+func TestPow(t *testing.T) {
+	if got := Pow(2, 61); got != 1 {
+		// 2^61 = P+1 ≡ 1
+		t.Errorf("Pow(2,61) = %d, want 1", got)
+	}
+	if got := Pow(3, 0); got != 1 {
+		t.Errorf("Pow(3,0) = %d, want 1", got)
+	}
+	if got := Pow(5, 1); got != 5 {
+		t.Errorf("Pow(5,1) = %d, want 5", got)
+	}
+	// Fermat's little theorem: a^(P-1) = 1 for a != 0.
+	for _, a := range []Elem{1, 2, 12345, Elem(P - 1)} {
+		if got := Pow(a, P-1); got != 1 {
+			t.Errorf("Pow(%d, P-1) = %d, want 1", a, got)
+		}
+	}
+}
+
+func TestInv(t *testing.T) {
+	if Inv(0) != 0 {
+		t.Error("Inv(0) != 0")
+	}
+	f := func(x uint64) bool {
+		a := Reduce(x)
+		if a == 0 {
+			a = 1
+		}
+		return Mul(a, Inv(a)) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalPoly(t *testing.T) {
+	// p(x) = 3 + 2x + x^2 at x = 5 -> 3 + 10 + 25 = 38.
+	coeffs := []Elem{3, 2, 1}
+	if got := EvalPoly(coeffs, 5); got != 38 {
+		t.Errorf("EvalPoly = %d, want 38", got)
+	}
+	if got := EvalPoly(nil, 7); got != 0 {
+		t.Errorf("EvalPoly(nil) = %d, want 0", got)
+	}
+	if got := EvalPoly([]Elem{9}, 1000); got != 9 {
+		t.Errorf("constant poly = %d, want 9", got)
+	}
+}
+
+func TestDistributivityQuick(t *testing.T) {
+	f := func(x, y, z uint64) bool {
+		a, b, c := Reduce(x), Reduce(y), Reduce(z)
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	x, y := Reduce(0xdeadbeefcafebabe), Reduce(0x123456789abcdef)
+	for i := 0; i < b.N; i++ {
+		x = Mul(x, y)
+	}
+	_ = x
+}
+
+func BenchmarkInv(b *testing.B) {
+	x := Reduce(0xdeadbeefcafebabe)
+	for i := 0; i < b.N; i++ {
+		x = Inv(x + Elem(1))
+	}
+	_ = x
+}

@@ -1,0 +1,146 @@
+// Package gen constructs the deterministic and random graph families used
+// by tests, examples and experiments: G(n,p), random bipartite graphs,
+// paths, cycles, stars, complete graphs, grids, and unions of matchings.
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Path returns the path graph on n vertices.
+func Path(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle on n >= 3 vertices.
+func Cycle(n int) *graph.Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("gen: cycle needs n >= 3, got %d", n))
+	}
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	return b.Build()
+}
+
+// Complete returns K_n.
+func Complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build()
+}
+
+// Star returns the star with one center (vertex 0) and n-1 leaves.
+func Star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, i)
+	}
+	return b.Build()
+}
+
+// CompleteBipartite returns K_{a,b} with sides [0,a) and [a,a+b).
+func CompleteBipartite(a, b int) *graph.Graph {
+	bl := graph.NewBuilder(a + b)
+	for i := 0; i < a; i++ {
+		for j := a; j < a+b; j++ {
+			bl.AddEdge(i, j)
+		}
+	}
+	return bl.Build()
+}
+
+// Grid returns the rows x cols grid graph.
+func Grid(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows * cols)
+	at := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(at(r, c), at(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(at(r, c), at(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Gnp returns an Erdős–Rényi G(n, p) sample.
+func Gnp(n int, p float64, src *rng.Source) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if src.Float64() < p {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// GnpBipartite returns a random bipartite graph with sides [0,a) and
+// [a,a+b), each cross pair present independently with probability p.
+func GnpBipartite(a, b int, p float64, src *rng.Source) *graph.Graph {
+	bl := graph.NewBuilder(a + b)
+	for i := 0; i < a; i++ {
+		for j := a; j < a+b; j++ {
+			if src.Float64() < p {
+				bl.AddEdge(i, j)
+			}
+		}
+	}
+	return bl.Build()
+}
+
+// RandomMatchingUnion returns a graph on n vertices (n even) that is the
+// union of k uniformly random perfect matchings; useful as a bounded-degree
+// test family.
+func RandomMatchingUnion(n, k int, src *rng.Source) *graph.Graph {
+	if n%2 != 0 {
+		panic(fmt.Sprintf("gen: RandomMatchingUnion needs even n, got %d", n))
+	}
+	b := graph.NewBuilder(n)
+	for rep := 0; rep < k; rep++ {
+		p := src.Perm(n)
+		for i := 0; i < n; i += 2 {
+			b.AddEdge(p[i], p[i+1])
+		}
+	}
+	return b.Build()
+}
+
+// TwoBlobsWithBridge returns the footnote-1 hard-looking instance: two
+// disjoint G(half, p) blobs joined by exactly one bridge edge, returned
+// together with that bridge. The bridge endpoints are chosen uniformly in
+// each blob.
+func TwoBlobsWithBridge(half int, p float64, src *rng.Source) (*graph.Graph, graph.Edge) {
+	b := graph.NewBuilder(2 * half)
+	for i := 0; i < half; i++ {
+		for j := i + 1; j < half; j++ {
+			if src.Float64() < p {
+				b.AddEdge(i, j)
+			}
+			if src.Float64() < p {
+				b.AddEdge(half+i, half+j)
+			}
+		}
+	}
+	u := src.Intn(half)
+	v := half + src.Intn(half)
+	b.AddEdge(u, v)
+	return b.Build(), graph.NewEdge(u, v)
+}

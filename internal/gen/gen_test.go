@@ -1,0 +1,154 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestPath(t *testing.T) {
+	g := Path(5)
+	if g.N() != 5 || g.M() != 4 {
+		t.Errorf("P5: n=%d m=%d", g.N(), g.M())
+	}
+	if !g.IsConnected() {
+		t.Error("path not connected")
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g := Cycle(6)
+	if g.N() != 6 || g.M() != 6 {
+		t.Errorf("C6: n=%d m=%d", g.N(), g.M())
+	}
+	for v := 0; v < 6; v++ {
+		if g.Degree(v) != 2 {
+			t.Errorf("cycle degree(%d) = %d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestCyclePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Cycle(2) did not panic")
+		}
+	}()
+	Cycle(2)
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(6)
+	if g.M() != 15 {
+		t.Errorf("K6 has %d edges, want 15", g.M())
+	}
+	if g.MaxDegree() != 5 {
+		t.Errorf("K6 max degree %d", g.MaxDegree())
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(7)
+	if g.Degree(0) != 6 || g.M() != 6 {
+		t.Errorf("star: deg0=%d m=%d", g.Degree(0), g.M())
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	g := CompleteBipartite(3, 4)
+	if g.N() != 7 || g.M() != 12 {
+		t.Errorf("K34: n=%d m=%d", g.N(), g.M())
+	}
+	if _, ok := g.Bipartition(); !ok {
+		t.Error("K34 not bipartite")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 {
+		t.Errorf("grid n = %d", g.N())
+	}
+	// Edges: 3*3 horizontal + 2*4 vertical = 17.
+	if g.M() != 17 {
+		t.Errorf("grid m = %d, want 17", g.M())
+	}
+	if !g.IsConnected() {
+		t.Error("grid not connected")
+	}
+}
+
+func TestGnpEdgeCountConcentrates(t *testing.T) {
+	src := rng.NewSource(1)
+	n, p := 100, 0.3
+	g := Gnp(n, p, src)
+	want := p * float64(n*(n-1)/2)
+	if got := float64(g.M()); got < want*0.8 || got > want*1.2 {
+		t.Errorf("Gnp edge count %v, want ~%v", got, want)
+	}
+}
+
+func TestGnpExtremes(t *testing.T) {
+	src := rng.NewSource(2)
+	if Gnp(20, 0, src).M() != 0 {
+		t.Error("G(n,0) has edges")
+	}
+	if Gnp(20, 1, src).M() != 190 {
+		t.Error("G(n,1) not complete")
+	}
+}
+
+func TestGnpBipartite(t *testing.T) {
+	src := rng.NewSource(3)
+	g := GnpBipartite(10, 15, 1.0, src)
+	if g.M() != 150 {
+		t.Errorf("complete bipartite via p=1: m=%d", g.M())
+	}
+	if _, ok := g.Bipartition(); !ok {
+		t.Error("GnpBipartite output not bipartite")
+	}
+}
+
+func TestRandomMatchingUnion(t *testing.T) {
+	src := rng.NewSource(4)
+	g := RandomMatchingUnion(50, 3, src)
+	if g.MaxDegree() > 3 {
+		t.Errorf("union of 3 matchings has degree %d", g.MaxDegree())
+	}
+	if g.M() < 25 {
+		t.Errorf("union unexpectedly small: %d edges", g.M())
+	}
+}
+
+func TestRandomMatchingUnionPanicsOdd(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("odd n did not panic")
+		}
+	}()
+	RandomMatchingUnion(5, 1, rng.NewSource(1))
+}
+
+func TestTwoBlobsWithBridge(t *testing.T) {
+	src := rng.NewSource(5)
+	g, bridge := TwoBlobsWithBridge(30, 0.3, src)
+	if !g.HasEdge(bridge.U, bridge.V) {
+		t.Fatal("bridge not present in graph")
+	}
+	if bridge.U >= 30 || bridge.V < 30 {
+		t.Fatalf("bridge %v does not cross the blobs", bridge)
+	}
+	// Removing the bridge must disconnect its endpoints.
+	b := graph.NewBuilder(g.N())
+	for _, e := range g.Edges() {
+		if e != bridge {
+			b.AddEdge(e.U, e.V)
+		}
+	}
+	cut := b.Build()
+	comp, _ := cut.Components()
+	if comp[bridge.U] == comp[bridge.V] {
+		t.Error("bridge endpoints connected without the bridge")
+	}
+}

@@ -1,0 +1,156 @@
+package graph
+
+// Maximum matching in general graphs via Edmonds' blossom algorithm,
+// in the classic O(V³) base-array formulation. Used by
+// MaximumMatchingSize so the experiment harness can compare protocol
+// outputs against true optima on arbitrary graphs, not just bipartite or
+// enumerable ones.
+
+// MaximumMatching returns a maximum-cardinality matching of g.
+func MaximumMatching(g *Graph) []Edge {
+	n := g.N()
+	bs := &blossomState{
+		g:     g,
+		match: make([]int, n),
+		p:     make([]int, n),
+		base:  make([]int, n),
+		used:  make([]bool, n),
+	}
+	for i := range bs.match {
+		bs.match[i] = -1
+	}
+	// Greedy warm start reduces the number of augmentation phases.
+	for v := 0; v < n; v++ {
+		if bs.match[v] != -1 {
+			continue
+		}
+		g.EachNeighbor(v, func(u int) {
+			if bs.match[v] == -1 && bs.match[u] == -1 {
+				bs.match[v] = u
+				bs.match[u] = v
+			}
+		})
+	}
+	for v := 0; v < n; v++ {
+		if bs.match[v] == -1 {
+			bs.findPath(v)
+		}
+	}
+	var out []Edge
+	for v := 0; v < n; v++ {
+		if bs.match[v] > v {
+			out = append(out, Edge{U: v, V: bs.match[v]})
+		}
+	}
+	return out
+}
+
+type blossomState struct {
+	g     *Graph
+	match []int
+	p     []int  // alternating-tree parent of inner vertices
+	base  []int  // current blossom base of each vertex
+	used  []bool // outer ("even") vertices, already queued
+	queue []int
+}
+
+// findPath grows an alternating tree from free vertex root, contracting
+// blossoms as it goes, and augments if it reaches a free vertex.
+func (b *blossomState) findPath(root int) {
+	n := b.g.N()
+	for i := 0; i < n; i++ {
+		b.p[i] = -1
+		b.base[i] = i
+		b.used[i] = false
+	}
+	b.used[root] = true
+	b.queue = append(b.queue[:0], root)
+
+	for qi := 0; qi < len(b.queue); qi++ {
+		v := b.queue[qi]
+		done := false
+		b.g.EachNeighbor(v, func(to int) {
+			if done {
+				return
+			}
+			if b.base[v] == b.base[to] || b.match[v] == to {
+				return
+			}
+			if to == root || (b.match[to] != -1 && b.p[b.match[to]] != -1) {
+				// Outer-outer edge: contract the blossom around the cycle.
+				curBase := b.lca(v, to)
+				inBlossom := make([]bool, n)
+				b.markPath(v, curBase, to, inBlossom)
+				b.markPath(to, curBase, v, inBlossom)
+				for i := 0; i < n; i++ {
+					if inBlossom[b.base[i]] {
+						b.base[i] = curBase
+						if !b.used[i] {
+							b.used[i] = true
+							b.queue = append(b.queue, i)
+						}
+					}
+				}
+			} else if b.p[to] == -1 {
+				b.p[to] = v
+				if b.match[to] == -1 {
+					b.augment(to)
+					done = true
+					return
+				}
+				b.used[b.match[to]] = true
+				b.queue = append(b.queue, b.match[to])
+			}
+		})
+		if done {
+			return
+		}
+	}
+}
+
+// lca finds the common blossom base of two outer vertices by walking
+// their base chains toward the root.
+func (b *blossomState) lca(a, c int) int {
+	seen := make([]bool, b.g.N())
+	v := a
+	for {
+		v = b.base[v]
+		seen[v] = true
+		if b.match[v] == -1 {
+			break
+		}
+		v = b.p[b.match[v]]
+	}
+	v = c
+	for {
+		v = b.base[v]
+		if seen[v] {
+			return v
+		}
+		v = b.p[b.match[v]]
+	}
+}
+
+// markPath marks the blossom bases on the path from v down to the common
+// base and rewires parents through the cycle edge.
+func (b *blossomState) markPath(v, curBase, child int, inBlossom []bool) {
+	for b.base[v] != curBase {
+		inBlossom[b.base[v]] = true
+		inBlossom[b.base[b.match[v]]] = true
+		b.p[v] = child
+		child = b.match[v]
+		v = b.p[b.match[v]]
+	}
+}
+
+// augment flips matched and unmatched edges along the alternating path
+// ending at free vertex v.
+func (b *blossomState) augment(v int) {
+	for v != -1 {
+		pv := b.p[v]
+		next := b.match[pv]
+		b.match[v] = pv
+		b.match[pv] = v
+		v = next
+	}
+}

@@ -1,0 +1,161 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestMaximumMatchingKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"empty", NewBuilder(5).Build(), 0},
+		{"single edge", FromEdges(2, []Edge{{0, 1}}), 1},
+		{"P4", path(4), 2},
+		{"P5", path(5), 2},
+		{"C5 (odd cycle)", cycle(5), 2},
+		{"C6", cycle(6), 3},
+		{"K4", complete(4), 2},
+		{"K5", complete(5), 2},
+		{"K7", complete(7), 3},
+		{"star", FromEdges(5, []Edge{{0, 1}, {0, 2}, {0, 3}, {0, 4}}), 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := MaximumMatching(c.g)
+			if !IsMatching(c.g, m) {
+				t.Fatalf("output %v not a matching", m)
+			}
+			if len(m) != c.want {
+				t.Errorf("size %d, want %d", len(m), c.want)
+			}
+		})
+	}
+}
+
+func TestMaximumMatchingPetersen(t *testing.T) {
+	// The Petersen graph has a perfect matching; it is also the classic
+	// blossom stress case (odd cycles everywhere).
+	b := NewBuilder(10)
+	outer := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}
+	inner := [][2]int{{5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5}}
+	for _, e := range outer {
+		b.AddEdge(e[0], e[1])
+	}
+	for _, e := range inner {
+		b.AddEdge(e[0], e[1])
+	}
+	for i := 0; i < 5; i++ {
+		b.AddEdge(i, i+5)
+	}
+	g := b.Build()
+	m := MaximumMatching(g)
+	if !IsMatching(g, m) || len(m) != 5 {
+		t.Errorf("Petersen: matching size %d, want 5 (perfect)", len(m))
+	}
+}
+
+func TestMaximumMatchingTwoTrianglesBridge(t *testing.T) {
+	// Two triangles joined by an edge: maximum matching is 3 and needs
+	// the bridge or careful triangle choices.
+	b := NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 3)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	m := MaximumMatching(g)
+	if !IsMatching(g, m) || len(m) != 3 {
+		t.Errorf("size %d, want 3", len(m))
+	}
+}
+
+func TestMaximumMatchingBlossomChain(t *testing.T) {
+	// A chain of odd cycles sharing cut vertices — forces repeated
+	// contraction. Triangles 0-1-2, 2-3-4, 4-5-6: n=7, max matching 3.
+	b := NewBuilder(7)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 2}, {4, 5}, {5, 6}, {6, 4}} {
+		b.AddEdge(e[0], e[1])
+	}
+	g := b.Build()
+	m := MaximumMatching(g)
+	if !IsMatching(g, m) || len(m) != 3 {
+		t.Errorf("size %d, want 3", len(m))
+	}
+}
+
+func TestMaximumMatchingAgainstExhaustiveQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.NewSource(seed)
+		n := 4 + src.Intn(8)
+		b := NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			u, v := src.Intn(n), src.Intn(n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		m := MaximumMatching(g)
+		if !IsMatching(g, m) {
+			return false
+		}
+		best := 0
+		for _, mm := range AllMaximalMatchings(g, 1<<22) {
+			if len(mm) > best {
+				best = len(mm)
+			}
+		}
+		return len(m) == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaximumMatchingAgainstBipartite(t *testing.T) {
+	// On bipartite graphs, blossom must agree with augmenting-path.
+	src := rng.NewSource(11)
+	for trial := 0; trial < 30; trial++ {
+		a, b := 3+src.Intn(6), 3+src.Intn(6)
+		builder := NewBuilder(a + b)
+		for i := 0; i < a; i++ {
+			for j := a; j < a+b; j++ {
+				if src.Float64() < 0.4 {
+					builder.AddEdge(i, j)
+				}
+			}
+		}
+		g := builder.Build()
+		side, ok := g.Bipartition()
+		if !ok {
+			t.Fatal("bipartite graph not bipartite")
+		}
+		if got, want := len(MaximumMatching(g)), bipartiteMaxMatching(g, side); got != want {
+			t.Fatalf("blossom %d != hopcroft %d", got, want)
+		}
+	}
+}
+
+func BenchmarkMaximumMatchingN100(b *testing.B) {
+	src := rng.NewSource(1)
+	builder := NewBuilder(100)
+	for i := 0; i < 400; i++ {
+		u, v := src.Intn(100), src.Intn(100)
+		if u != v {
+			builder.AddEdge(u, v)
+		}
+	}
+	g := builder.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaximumMatching(g)
+	}
+}

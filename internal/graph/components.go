@@ -1,0 +1,87 @@
+package graph
+
+// Components returns, for every vertex, the ID of its connected component,
+// plus the number of components. Component IDs are assigned in order of
+// the smallest vertex they contain.
+func (g *Graph) Components() (comp []int, count int) {
+	comp = make([]int, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	queue := make([]int, 0, g.n)
+	for v := 0; v < g.n; v++ {
+		if comp[v] != -1 {
+			continue
+		}
+		comp[v] = count
+		queue = append(queue[:0], v)
+		for len(queue) > 0 {
+			x := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, u := range g.adj[x] {
+				if comp[u] == -1 {
+					comp[u] = count
+					queue = append(queue, u)
+				}
+			}
+		}
+		count++
+	}
+	return comp, count
+}
+
+// IsConnected reports whether the graph has at most one connected
+// component.
+func (g *Graph) IsConnected() bool {
+	_, c := g.Components()
+	return c <= 1
+}
+
+// BFSDistances returns the distance from src to every vertex, with -1 for
+// unreachable vertices.
+func (g *Graph) BFSDistances(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, u := range g.adj[x] {
+			if dist[u] == -1 {
+				dist[u] = dist[x] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// SpanningForestEdges returns a spanning forest of g (one BFS tree per
+// component) as an edge list.
+func (g *Graph) SpanningForestEdges() []Edge {
+	visited := make([]bool, g.n)
+	var forest []Edge
+	queue := make([]int, 0, g.n)
+	for v := 0; v < g.n; v++ {
+		if visited[v] {
+			continue
+		}
+		visited[v] = true
+		queue = append(queue[:0], v)
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for _, u := range g.adj[x] {
+				if !visited[u] {
+					visited[u] = true
+					forest = append(forest, NewEdge(x, u))
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return forest
+}

@@ -1,0 +1,39 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format, with optional vertex
+// highlighting (e.g. an independent set) and edge highlighting (e.g. a
+// matching). Nil highlight arguments are fine. Used by the examples and
+// handy when debugging hard-distribution instances.
+func WriteDOT(w io.Writer, g *Graph, name string, vertexClass map[int]string, edgeClass map[Edge]string) error {
+	if _, err := fmt.Fprintf(w, "graph %q {\n", name); err != nil {
+		return err
+	}
+	// Deterministic vertex order for stable output.
+	classes := make([]int, 0, len(vertexClass))
+	for v := range vertexClass {
+		classes = append(classes, v)
+	}
+	sort.Ints(classes)
+	for _, v := range classes {
+		if _, err := fmt.Fprintf(w, "  %d [%s];\n", v, vertexClass[v]); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		attr := ""
+		if a, ok := edgeClass[e]; ok {
+			attr = " [" + a + "]"
+		}
+		if _, err := fmt.Fprintf(w, "  %d -- %d%s;\n", e.U, e.V, attr); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

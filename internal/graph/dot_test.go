@@ -1,0 +1,55 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := path(3)
+	var buf bytes.Buffer
+	err := WriteDOT(&buf, g, "p3",
+		map[int]string{1: `color="red"`},
+		map[Edge]string{NewEdge(0, 1): `style="bold"`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`graph "p3" {`,
+		`1 [color="red"];`,
+		`0 -- 1 [style="bold"];`,
+		`1 -- 2;`,
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTNilMaps(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, complete(3), "k3", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "--"); got != 3 {
+		t.Errorf("K3 DOT has %d edges, want 3", got)
+	}
+}
+
+func TestWriteDOTDeterministic(t *testing.T) {
+	g := cycle(5)
+	vc := map[int]string{3: "a", 1: "b", 4: "c"}
+	var a, b bytes.Buffer
+	if err := WriteDOT(&a, g, "c", vc, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDOT(&b, g, "c", vc, nil); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("DOT output not deterministic")
+	}
+}

@@ -1,0 +1,163 @@
+package graph
+
+// Exhaustive enumerators for tiny instances. The information-theoretic
+// verification in internal/proofcheck and the exact Claim 3.1 check need
+// the complete set of maximal matchings / maximal independent sets of
+// micro graphs; these enumerators provide them with an explicit work cap
+// so a mistakenly-large input fails fast instead of hanging.
+
+// AllMaximalMatchings returns every (inclusion-)maximal matching of g.
+// The search explores at most maxSteps recursion nodes and returns nil if
+// the cap is exceeded.
+func AllMaximalMatchings(g *Graph, maxSteps int) [][]Edge {
+	edges := g.Edges()
+	matched := make([]bool, g.N())
+	steps := 0
+	var cur []Edge
+	var out [][]Edge
+	ok := true
+
+	// isMaximal checks that no remaining edge can extend cur.
+	isMaximal := func() bool {
+		for _, e := range edges {
+			if !matched[e.U] && !matched[e.V] {
+				return false
+			}
+		}
+		return true
+	}
+
+	var rec func(i int)
+	rec = func(i int) {
+		if !ok {
+			return
+		}
+		steps++
+		if steps > maxSteps {
+			ok = false
+			return
+		}
+		if i == len(edges) {
+			if isMaximal() {
+				m := make([]Edge, len(cur))
+				copy(m, cur)
+				out = append(out, m)
+			}
+			return
+		}
+		e := edges[i]
+		// Branch 1: include e if possible.
+		if !matched[e.U] && !matched[e.V] {
+			matched[e.U], matched[e.V] = true, true
+			cur = append(cur, e)
+			rec(i + 1)
+			cur = cur[:len(cur)-1]
+			matched[e.U], matched[e.V] = false, false
+		}
+		// Branch 2: exclude e.
+		rec(i + 1)
+	}
+	rec(0)
+	if !ok {
+		return nil
+	}
+	return dedupMatchings(out)
+}
+
+// dedupMatchings removes duplicate matchings (the include/exclude search
+// can revisit the same set through different paths only if pruning is
+// loose; dedup keeps the contract simple).
+func dedupMatchings(ms [][]Edge) [][]Edge {
+	seen := make(map[string]bool, len(ms))
+	var out [][]Edge
+	for _, m := range ms {
+		key := matchingKey(m)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func matchingKey(m []Edge) string {
+	// Edges are generated in a fixed global order by the enumerator, so a
+	// positional encoding suffices.
+	buf := make([]byte, 0, len(m)*8)
+	for _, e := range m {
+		buf = append(buf,
+			byte(e.U), byte(e.U>>8), byte(e.U>>16), byte(e.U>>24),
+			byte(e.V), byte(e.V>>8), byte(e.V>>16), byte(e.V>>24))
+	}
+	return string(buf)
+}
+
+// AllMaximalIndependentSets returns every maximal independent set of g.
+// The search explores at most maxSteps recursion nodes and returns nil if
+// the cap is exceeded.
+func AllMaximalIndependentSets(g *Graph, maxSteps int) [][]int {
+	n := g.N()
+	state := make([]int8, n) // 0 undecided, 1 in, -1 out
+	steps := 0
+	ok := true
+	var out [][]int
+
+	canAdd := func(v int) bool {
+		for _, u := range g.adj[v] {
+			if state[u] == 1 {
+				return false
+			}
+		}
+		return true
+	}
+
+	var rec func(v int)
+	rec = func(v int) {
+		if !ok {
+			return
+		}
+		steps++
+		if steps > maxSteps {
+			ok = false
+			return
+		}
+		if v == n {
+			// Verify maximality: every "out" vertex must be dominated.
+			for x := 0; x < n; x++ {
+				if state[x] == 1 {
+					continue
+				}
+				dominated := false
+				for _, u := range g.adj[x] {
+					if state[u] == 1 {
+						dominated = true
+						break
+					}
+				}
+				if !dominated {
+					return
+				}
+			}
+			var set []int
+			for x := 0; x < n; x++ {
+				if state[x] == 1 {
+					set = append(set, x)
+				}
+			}
+			out = append(out, set)
+			return
+		}
+		if canAdd(v) {
+			state[v] = 1
+			rec(v + 1)
+		}
+		state[v] = -1
+		rec(v + 1)
+		state[v] = 0
+	}
+	rec(0)
+	if !ok {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestAllMaximalMatchingsPath(t *testing.T) {
+	// P4 = 0-1-2-3 has maximal matchings {01,23} and {12}.
+	ms := AllMaximalMatchings(path(4), 1<<16)
+	if len(ms) != 2 {
+		t.Fatalf("P4 has %d maximal matchings, want 2: %v", len(ms), ms)
+	}
+	for _, m := range ms {
+		if !IsMaximalMatching(path(4), m) {
+			t.Errorf("enumerated matching %v not maximal", m)
+		}
+	}
+}
+
+func TestAllMaximalMatchingsTriangle(t *testing.T) {
+	ms := AllMaximalMatchings(cycle(3), 1<<16)
+	if len(ms) != 3 {
+		t.Fatalf("K3 has %d maximal matchings, want 3", len(ms))
+	}
+}
+
+func TestAllMaximalMatchingsEmptyGraph(t *testing.T) {
+	ms := AllMaximalMatchings(NewBuilder(3).Build(), 1<<10)
+	if len(ms) != 1 || len(ms[0]) != 0 {
+		t.Errorf("empty graph maximal matchings = %v, want [[]]", ms)
+	}
+}
+
+func TestAllMaximalMatchingsCap(t *testing.T) {
+	if got := AllMaximalMatchings(complete(8), 10); got != nil {
+		t.Error("cap exceeded but result non-nil")
+	}
+}
+
+func TestAllMaximalISPath(t *testing.T) {
+	// P4: maximal independent sets are {0,2}, {0,3}, {1,3}.
+	sets := AllMaximalIndependentSets(path(4), 1<<16)
+	if len(sets) != 3 {
+		t.Fatalf("P4 has %d maximal IS, want 3: %v", len(sets), sets)
+	}
+	for _, s := range sets {
+		if !IsMaximalIndependentSet(path(4), s) {
+			t.Errorf("enumerated set %v not a maximal IS", s)
+		}
+	}
+}
+
+func TestAllMaximalISComplete(t *testing.T) {
+	sets := AllMaximalIndependentSets(complete(5), 1<<16)
+	if len(sets) != 5 {
+		t.Fatalf("K5 has %d maximal IS, want 5", len(sets))
+	}
+	for _, s := range sets {
+		if len(s) != 1 {
+			t.Errorf("K5 maximal IS %v has size != 1", s)
+		}
+	}
+}
+
+func TestAllMaximalISCap(t *testing.T) {
+	if got := AllMaximalIndependentSets(complete(20), 10); got != nil {
+		t.Error("cap exceeded but result non-nil")
+	}
+}
+
+func TestEnumerationConsistentWithGreedy(t *testing.T) {
+	// Every greedy outcome must appear in the exhaustive enumeration.
+	src := rng.NewSource(3)
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + src.Intn(5)
+		b := NewBuilder(n)
+		for i := 0; i < n+2; i++ {
+			u, v := src.Intn(n), src.Intn(n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		all := AllMaximalMatchings(g, 1<<20)
+		if all == nil {
+			t.Fatal("enumeration cap hit on tiny graph")
+		}
+		keys := make(map[string]bool, len(all))
+		for _, m := range all {
+			keys[canonicalMatchingKey(m)] = true
+		}
+		for rep := 0; rep < 10; rep++ {
+			m := GreedyMaximalMatching(g, src.Perm(n))
+			if !keys[canonicalMatchingKey(m)] {
+				t.Fatalf("greedy matching %v missing from enumeration", m)
+			}
+		}
+	}
+}
+
+// canonicalMatchingKey sorts edges before encoding so matchings compare
+// set-wise.
+func canonicalMatchingKey(m []Edge) string {
+	cp := append([]Edge(nil), m...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && (cp[j].U < cp[j-1].U || (cp[j].U == cp[j-1].U && cp[j].V < cp[j-1].V)); j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	return matchingKey(cp)
+}
+
+func TestAllMaximalISMatchesKnownCounts(t *testing.T) {
+	// C5 has 5 maximal independent sets (each of size 2).
+	sets := AllMaximalIndependentSets(cycle(5), 1<<16)
+	if len(sets) != 5 {
+		t.Errorf("C5 maximal IS count = %d, want 5", len(sets))
+	}
+	// Star K_{1,4}: {center} and {all leaves}.
+	b := NewBuilder(5)
+	for i := 1; i < 5; i++ {
+		b.AddEdge(0, i)
+	}
+	sets = AllMaximalIndependentSets(b.Build(), 1<<16)
+	if len(sets) != 2 {
+		t.Errorf("star maximal IS count = %d, want 2", len(sets))
+	}
+}

@@ -1,0 +1,248 @@
+// Package graph provides the undirected graph type shared by every
+// subsystem in this repository, together with verifiers and reference
+// algorithms for the combinatorial objects the paper studies: matchings,
+// maximal matchings, independent sets, maximal independent sets, spanning
+// forests and proper colorings.
+//
+// Vertices are integers in [0, n). Graphs are simple (no loops, no
+// parallel edges) and immutable once built; use Builder to construct them.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected edge, normalized so that U < V.
+type Edge struct {
+	U, V int
+}
+
+// NewEdge returns the normalized edge {u, v}. It panics when u == v, since
+// graphs here are simple.
+func NewEdge(u, v int) Edge {
+	switch {
+	case u == v:
+		panic(fmt.Sprintf("graph: self loop at %d", u))
+	case u < v:
+		return Edge{U: u, V: v}
+	default:
+		return Edge{U: v, V: u}
+	}
+}
+
+// Other returns the endpoint of e that is not x. It panics if x is not an
+// endpoint.
+func (e Edge) Other(x int) int {
+	switch x {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	default:
+		panic(fmt.Sprintf("graph: %d is not an endpoint of %v", x, e))
+	}
+}
+
+// Graph is an immutable simple undirected graph with sorted adjacency
+// lists.
+type Graph struct {
+	n   int
+	m   int
+	adj [][]int
+}
+
+// Builder accumulates edges for a Graph. The zero value is unusable; call
+// NewBuilder.
+type Builder struct {
+	n   int
+	adj [][]int
+}
+
+// NewBuilder returns a builder for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n, adj: make([][]int, n)}
+}
+
+// AddEdge records the undirected edge {u, v}. Duplicate insertions are
+// deduplicated at Build time. It panics on out-of-range endpoints or self
+// loops.
+func (b *Builder) AddEdge(u, v int) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph: self loop at %d", u))
+	}
+	b.adj[u] = append(b.adj[u], v)
+	b.adj[v] = append(b.adj[v], u)
+}
+
+// AddEdges records each edge in the slice.
+func (b *Builder) AddEdges(edges []Edge) {
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+}
+
+// Build finalizes the graph: adjacency lists are sorted and deduplicated.
+// The builder must not be reused afterwards.
+func (b *Builder) Build() *Graph {
+	g := &Graph{n: b.n, adj: b.adj}
+	b.adj = nil
+	for v := range g.adj {
+		lst := g.adj[v]
+		sort.Ints(lst)
+		out := lst[:0]
+		for i, u := range lst {
+			if i == 0 || u != lst[i-1] {
+				out = append(out, u)
+			}
+		}
+		g.adj[v] = out
+		g.m += len(out)
+	}
+	g.m /= 2
+	return g
+}
+
+// FromEdges builds a graph on n vertices with the given edge set.
+func FromEdges(n int, edges []Edge) *Graph {
+	b := NewBuilder(n)
+	b.AddEdges(edges)
+	return b.Build()
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns the maximum degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := range g.adj {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Neighbors returns a copy of v's sorted neighbor list.
+func (g *Graph) Neighbors(v int) []int {
+	out := make([]int, len(g.adj[v]))
+	copy(out, g.adj[v])
+	return out
+}
+
+// EachNeighbor calls fn for every neighbor of v in ascending order,
+// without allocating. fn must not retain or mutate graph state.
+func (g *Graph) EachNeighbor(v int, fn func(u int)) {
+	for _, u := range g.adj[v] {
+		fn(u)
+	}
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u == v || u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return false
+	}
+	lst := g.adj[u]
+	i := sort.SearchInts(lst, v)
+	return i < len(lst) && lst[i] == v
+}
+
+// Edges returns all edges, sorted lexicographically.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			if u < v {
+				out = append(out, Edge{U: u, V: v})
+			}
+		}
+	}
+	return out
+}
+
+// Relabel returns the graph with vertex v renamed to perm[v]. perm must be
+// a permutation of [0, n).
+func (g *Graph) Relabel(perm []int) (*Graph, error) {
+	if len(perm) != g.n {
+		return nil, fmt.Errorf("graph: permutation length %d != n %d", len(perm), g.n)
+	}
+	seen := make([]bool, g.n)
+	for _, p := range perm {
+		if p < 0 || p >= g.n || seen[p] {
+			return nil, fmt.Errorf("graph: perm is not a permutation of [0,%d)", g.n)
+		}
+		seen[p] = true
+	}
+	b := NewBuilder(g.n)
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			if u < v {
+				b.AddEdge(perm[u], perm[v])
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// Union returns the union of g and h, which must have the same vertex
+// count.
+func Union(g, h *Graph) (*Graph, error) {
+	if g.n != h.n {
+		return nil, fmt.Errorf("graph: union of mismatched sizes %d and %d", g.n, h.n)
+	}
+	b := NewBuilder(g.n)
+	for _, e := range g.Edges() {
+		b.AddEdge(e.U, e.V)
+	}
+	for _, e := range h.Edges() {
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Build(), nil
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertices,
+// relabeled to [0, len(vertices)), along with the mapping from new labels
+// back to the original ones (the input slice, sorted and deduplicated).
+func (g *Graph) InducedSubgraph(vertices []int) (*Graph, []int) {
+	keep := append([]int(nil), vertices...)
+	sort.Ints(keep)
+	out := keep[:0]
+	for i, v := range keep {
+		if i == 0 || v != keep[i-1] {
+			out = append(out, v)
+		}
+	}
+	keep = out
+	index := make(map[int]int, len(keep))
+	for i, v := range keep {
+		index[v] = i
+	}
+	b := NewBuilder(len(keep))
+	for i, v := range keep {
+		for _, u := range g.adj[v] {
+			if j, ok := index[u]; ok && i < j {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.Build(), keep
+}
+
+// String summarizes the graph for debugging.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d}", g.n, g.m)
+}

@@ -1,0 +1,314 @@
+package graph
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func path(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+func complete(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build()
+}
+
+func cycle(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	return b.Build()
+}
+
+func TestNewEdgeNormalizes(t *testing.T) {
+	e := NewEdge(5, 2)
+	if e.U != 2 || e.V != 5 {
+		t.Errorf("NewEdge(5,2) = %v, want {2 5}", e)
+	}
+	if e.Other(2) != 5 || e.Other(5) != 2 {
+		t.Error("Other endpoint lookup wrong")
+	}
+}
+
+func TestNewEdgePanicsOnLoop(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewEdge(3,3) did not panic")
+		}
+	}()
+	NewEdge(3, 3)
+}
+
+func TestEdgeOtherPanicsOnNonEndpoint(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Other(9) did not panic")
+		}
+	}()
+	NewEdge(1, 2).Other(9)
+}
+
+func TestBuilderDeduplicates(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	if g.M() != 2 {
+		t.Errorf("M() = %d, want 2", g.M())
+	}
+	if got := g.Neighbors(1); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Errorf("Neighbors(1) = %v, want [0 2]", got)
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddEdge out of range did not panic")
+		}
+	}()
+	NewBuilder(2).AddEdge(0, 2)
+}
+
+func TestHasEdge(t *testing.T) {
+	g := path(4)
+	cases := []struct {
+		u, v int
+		want bool
+	}{
+		{0, 1, true}, {1, 0, true}, {0, 2, false}, {2, 3, true},
+		{3, 3, false}, {-1, 0, false}, {0, 99, false},
+	}
+	for _, c := range cases {
+		if got := g.HasEdge(c.u, c.v); got != c.want {
+			t.Errorf("HasEdge(%d,%d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestEdgesSortedAndComplete(t *testing.T) {
+	g := complete(4)
+	edges := g.Edges()
+	if len(edges) != 6 {
+		t.Fatalf("K4 has %d edges, want 6", len(edges))
+	}
+	if !sort.SliceIsSorted(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	}) {
+		t.Error("Edges() not sorted")
+	}
+}
+
+func TestDegreesAndMaxDegree(t *testing.T) {
+	g := path(5)
+	wantDeg := []int{1, 2, 2, 2, 1}
+	for v, want := range wantDeg {
+		if got := g.Degree(v); got != want {
+			t.Errorf("Degree(%d) = %d, want %d", v, got, want)
+		}
+	}
+	if g.MaxDegree() != 2 {
+		t.Errorf("MaxDegree = %d, want 2", g.MaxDegree())
+	}
+	if NewBuilder(0).Build().MaxDegree() != 0 {
+		t.Error("empty graph MaxDegree != 0")
+	}
+}
+
+func TestEachNeighborMatchesNeighbors(t *testing.T) {
+	g := complete(6)
+	for v := 0; v < 6; v++ {
+		var got []int
+		g.EachNeighbor(v, func(u int) { got = append(got, u) })
+		if !reflect.DeepEqual(got, g.Neighbors(v)) {
+			t.Errorf("EachNeighbor(%d) = %v != Neighbors %v", v, got, g.Neighbors(v))
+		}
+	}
+}
+
+func TestNeighborsReturnsCopy(t *testing.T) {
+	g := path(3)
+	n1 := g.Neighbors(1)
+	n1[0] = 999
+	if got := g.Neighbors(1); got[0] == 999 {
+		t.Error("Neighbors exposes internal state")
+	}
+}
+
+func TestRelabel(t *testing.T) {
+	g := path(4) // 0-1-2-3
+	perm := []int{3, 2, 1, 0}
+	h, err := g.Relabel(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edge {0,1} becomes {3,2}, etc. — still a path.
+	for _, e := range []Edge{{2, 3}, {1, 2}, {0, 1}} {
+		if !h.HasEdge(e.U, e.V) {
+			t.Errorf("relabeled graph missing edge %v", e)
+		}
+	}
+	if h.M() != g.M() {
+		t.Errorf("relabel changed edge count: %d != %d", h.M(), g.M())
+	}
+}
+
+func TestRelabelRejectsBadPerm(t *testing.T) {
+	g := path(3)
+	if _, err := g.Relabel([]int{0, 1}); err == nil {
+		t.Error("short perm accepted")
+	}
+	if _, err := g.Relabel([]int{0, 0, 1}); err == nil {
+		t.Error("non-permutation accepted")
+	}
+	if _, err := g.Relabel([]int{0, 1, 3}); err == nil {
+		t.Error("out-of-range perm accepted")
+	}
+}
+
+func TestRelabelPreservesDegreesQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.NewSource(seed)
+		n := 2 + src.Intn(20)
+		b := NewBuilder(n)
+		for i := 0; i < n; i++ {
+			u, v := src.Intn(n), src.Intn(n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		perm := src.Perm(n)
+		h, err := g.Relabel(perm)
+		if err != nil {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if g.Degree(v) != h.Degree(perm[v]) {
+				return false
+			}
+		}
+		return h.M() == g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := FromEdges(4, []Edge{{0, 1}})
+	b := FromEdges(4, []Edge{{0, 1}, {2, 3}})
+	u, err := Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.M() != 2 {
+		t.Errorf("union M = %d, want 2", u.M())
+	}
+	if _, err := Union(a, FromEdges(5, nil)); err == nil {
+		t.Error("mismatched union accepted")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := complete(5)
+	sub, mapping := g.InducedSubgraph([]int{4, 1, 3, 1})
+	if sub.N() != 3 {
+		t.Fatalf("induced N = %d, want 3 (dedup)", sub.N())
+	}
+	if !reflect.DeepEqual(mapping, []int{1, 3, 4}) {
+		t.Errorf("mapping = %v, want [1 3 4]", mapping)
+	}
+	if sub.M() != 3 {
+		t.Errorf("induced K3 has %d edges, want 3", sub.M())
+	}
+}
+
+func TestInducedSubgraphDropsOutsideEdges(t *testing.T) {
+	g := path(5)
+	sub, _ := g.InducedSubgraph([]int{0, 2, 4})
+	if sub.M() != 0 {
+		t.Errorf("independent-set induced subgraph has %d edges, want 0", sub.M())
+	}
+}
+
+func TestComponents(t *testing.T) {
+	b := NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(4, 5)
+	g := b.Build()
+	comp, count := g.Components()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Error("component of 0,1,2 differs")
+	}
+	if comp[3] == comp[0] || comp[3] == comp[4] {
+		t.Error("isolated vertex 3 shares a component")
+	}
+	if comp[4] != comp[5] {
+		t.Error("4 and 5 in different components")
+	}
+	if g.IsConnected() {
+		t.Error("disconnected graph reported connected")
+	}
+	if !path(4).IsConnected() {
+		t.Error("path not connected")
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := path(5)
+	d := g.BFSDistances(0)
+	if !reflect.DeepEqual(d, []int{0, 1, 2, 3, 4}) {
+		t.Errorf("distances = %v", d)
+	}
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	d = b.Build().BFSDistances(0)
+	if d[2] != -1 {
+		t.Errorf("unreachable distance = %d, want -1", d[2])
+	}
+}
+
+func TestSpanningForestEdges(t *testing.T) {
+	b := NewBuilder(7)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0) // cycle
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 6)
+	g := b.Build()
+	forest := g.SpanningForestEdges()
+	if !IsSpanningForest(g, forest) {
+		t.Errorf("SpanningForestEdges output fails verification: %v", forest)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := path(3).String(); got != "graph{n=3 m=2}" {
+		t.Errorf("String() = %q", got)
+	}
+}

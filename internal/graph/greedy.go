@@ -1,0 +1,202 @@
+package graph
+
+// Reference sequential algorithms. These are the ground-truth producers
+// used to validate sketching protocols and to sample "adversarial" maximal
+// matchings in the Claim 3.1 experiments.
+
+// GreedyMaximalMatching scans edges in the induced order of vertexOrder
+// (each vertex proposes to its first unmatched neighbor in vertexOrder
+// position) and returns a maximal matching. Passing nil uses the identity
+// order.
+func GreedyMaximalMatching(g *Graph, vertexOrder []int) []Edge {
+	order := vertexOrder
+	if order == nil {
+		order = make([]int, g.N())
+		for i := range order {
+			order[i] = i
+		}
+	}
+	pos := make([]int, g.N())
+	for i, v := range order {
+		pos[v] = i
+	}
+	matched := make([]bool, g.N())
+	var matching []Edge
+	for _, v := range order {
+		if matched[v] {
+			continue
+		}
+		best := -1
+		for _, u := range g.adj[v] {
+			if !matched[u] && (best == -1 || pos[u] < pos[best]) {
+				best = u
+			}
+		}
+		if best != -1 {
+			matched[v] = true
+			matched[best] = true
+			matching = append(matching, NewEdge(v, best))
+		}
+	}
+	return matching
+}
+
+// GreedyMaximalMatchingEdgeOrder adds edges in the given order whenever
+// both endpoints are free, then returns the resulting maximal matching of
+// the subgraph formed by those edges. When edges covers E(g), the result
+// is a maximal matching of g.
+func GreedyMaximalMatchingEdgeOrder(n int, edges []Edge) []Edge {
+	matched := make([]bool, n)
+	var matching []Edge
+	for _, e := range edges {
+		if !matched[e.U] && !matched[e.V] {
+			matched[e.U] = true
+			matched[e.V] = true
+			matching = append(matching, e)
+		}
+	}
+	return matching
+}
+
+// GreedyMIS adds vertices in the given order whenever none of their
+// neighbors is already in the set, producing a maximal independent set.
+// Passing nil uses the identity order.
+func GreedyMIS(g *Graph, vertexOrder []int) []int {
+	order := vertexOrder
+	if order == nil {
+		order = make([]int, g.N())
+		for i := range order {
+			order[i] = i
+		}
+	}
+	blocked := make([]bool, g.N())
+	inSet := make([]bool, g.N())
+	var set []int
+	for _, v := range order {
+		if blocked[v] {
+			continue
+		}
+		inSet[v] = true
+		set = append(set, v)
+		blocked[v] = true
+		for _, u := range g.adj[v] {
+			blocked[u] = true
+		}
+	}
+	return set
+}
+
+// GreedyColoring assigns each vertex, in the given order, the smallest
+// color not used by an already-colored neighbor. It uses at most
+// MaxDegree+1 colors. Passing nil uses the identity order.
+func GreedyColoring(g *Graph, vertexOrder []int) []int {
+	order := vertexOrder
+	if order == nil {
+		order = make([]int, g.N())
+		for i := range order {
+			order[i] = i
+		}
+	}
+	colors := make([]int, g.N())
+	for i := range colors {
+		colors[i] = -1
+	}
+	used := make([]bool, g.MaxDegree()+2)
+	for _, v := range order {
+		for _, u := range g.adj[v] {
+			if c := colors[u]; c >= 0 {
+				used[c] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		colors[v] = c
+		for _, u := range g.adj[v] {
+			if cu := colors[u]; cu >= 0 {
+				used[cu] = false
+			}
+		}
+	}
+	return colors
+}
+
+// MaximumMatchingSize returns the size of a maximum matching of g:
+// augmenting-path search on bipartite graphs, Edmonds' blossom algorithm
+// (blossom.go) on general graphs.
+func MaximumMatchingSize(g *Graph) int {
+	if side, ok := g.Bipartition(); ok {
+		return bipartiteMaxMatching(g, side)
+	}
+	return len(MaximumMatching(g))
+}
+
+// Bipartition 2-colors the graph if possible, returning side[v] in {0,1}.
+func (g *Graph) Bipartition() (side []byte, ok bool) {
+	side = make([]byte, g.n)
+	color := make([]int8, g.n)
+	for i := range color {
+		color[i] = -1
+	}
+	var queue []int
+	for s := 0; s < g.n; s++ {
+		if color[s] != -1 {
+			continue
+		}
+		color[s] = 0
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, u := range g.adj[v] {
+				if color[u] == -1 {
+					color[u] = 1 - color[v]
+					queue = append(queue, u)
+				} else if color[u] == color[v] {
+					return nil, false
+				}
+			}
+		}
+	}
+	for v := range color {
+		side[v] = byte(color[v])
+	}
+	return side, true
+}
+
+// bipartiteMaxMatching runs simple augmenting-path matching from the
+// side-0 vertices.
+func bipartiteMaxMatching(g *Graph, side []byte) int {
+	match := make([]int, g.n)
+	for i := range match {
+		match[i] = -1
+	}
+	var visited []bool
+	var try func(v int) bool
+	try = func(v int) bool {
+		for _, u := range g.adj[v] {
+			if visited[u] {
+				continue
+			}
+			visited[u] = true
+			if match[u] == -1 || try(match[u]) {
+				match[u] = v
+				match[v] = u
+				return true
+			}
+		}
+		return false
+	}
+	size := 0
+	for v := 0; v < g.n; v++ {
+		if side[v] != 0 || match[v] != -1 {
+			continue
+		}
+		visited = make([]bool, g.n)
+		if try(v) {
+			size++
+		}
+	}
+	return size
+}

@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestGreedyMaximalMatchingPath(t *testing.T) {
+	g := path(4)
+	m := GreedyMaximalMatching(g, nil)
+	if !IsMaximalMatching(g, m) {
+		t.Fatalf("greedy output %v is not a maximal matching", m)
+	}
+	if len(m) != 2 {
+		t.Errorf("identity-order greedy on P4 found %d edges, want 2", len(m))
+	}
+}
+
+func TestGreedyMaximalMatchingAdversarialOrder(t *testing.T) {
+	g := path(4)
+	// Order starting from vertex 1 matches {1,0} first then {2,3}: size 2.
+	// Order picking the middle edge: start at 1 with neighbor order by
+	// position — put 2 before 0 so {1,2} is chosen, leaving 0 and 3
+	// unmatched: size 1.
+	m := GreedyMaximalMatching(g, []int{1, 2, 0, 3})
+	if !IsMaximalMatching(g, m) {
+		t.Fatalf("output %v not maximal", m)
+	}
+	if len(m) != 1 {
+		t.Errorf("adversarial order found %d edges, want 1 ({1,2})", len(m))
+	}
+}
+
+func TestGreedyMaximalMatchingEdgeOrder(t *testing.T) {
+	g := path(4)
+	m := GreedyMaximalMatchingEdgeOrder(4, g.Edges())
+	if !IsMaximalMatching(g, m) {
+		t.Fatalf("edge-order greedy output %v invalid", m)
+	}
+	m2 := GreedyMaximalMatchingEdgeOrder(4, []Edge{{1, 2}, {0, 1}, {2, 3}})
+	if len(m2) != 1 || m2[0] != (Edge{1, 2}) {
+		t.Errorf("edge-order greedy = %v, want [{1 2}]", m2)
+	}
+}
+
+func TestGreedyMISComplete(t *testing.T) {
+	g := complete(5)
+	s := GreedyMIS(g, nil)
+	if len(s) != 1 {
+		t.Errorf("MIS of K5 has size %d, want 1", len(s))
+	}
+	if !IsMaximalIndependentSet(g, s) {
+		t.Error("greedy MIS invalid on K5")
+	}
+}
+
+func TestGreedyMISEmptyGraph(t *testing.T) {
+	g := NewBuilder(4).Build()
+	s := GreedyMIS(g, nil)
+	if len(s) != 4 {
+		t.Errorf("MIS of empty graph has size %d, want 4", len(s))
+	}
+}
+
+func TestGreedyColoringUsesAtMostDeltaPlusOne(t *testing.T) {
+	src := rng.NewSource(5)
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + src.Intn(25)
+		b := NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			u, v := src.Intn(n), src.Intn(n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		c := GreedyColoring(g, src.Perm(n))
+		if !IsProperColoring(g, c, g.MaxDegree()+1) {
+			t.Fatalf("coloring exceeds Δ+1 or improper on trial %d", trial)
+		}
+	}
+}
+
+func TestBipartition(t *testing.T) {
+	if _, ok := cycle(5).Bipartition(); ok {
+		t.Error("odd cycle reported bipartite")
+	}
+	side, ok := cycle(6).Bipartition()
+	if !ok {
+		t.Fatal("even cycle reported non-bipartite")
+	}
+	for i := 0; i < 6; i++ {
+		if side[i] == side[(i+1)%6] {
+			t.Fatal("bipartition puts adjacent vertices on same side")
+		}
+	}
+}
+
+func TestMaximumMatchingSizeBipartite(t *testing.T) {
+	// Perfect matching in K_{3,3}.
+	b := NewBuilder(6)
+	for i := 0; i < 3; i++ {
+		for j := 3; j < 6; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	if got := MaximumMatchingSize(b.Build()); got != 3 {
+		t.Errorf("K33 max matching = %d, want 3", got)
+	}
+	if got := MaximumMatchingSize(path(5)); got != 2 {
+		t.Errorf("P5 max matching = %d, want 2", got)
+	}
+}
+
+func TestMaximumMatchingSizeNonBipartite(t *testing.T) {
+	if got := MaximumMatchingSize(cycle(5)); got != 2 {
+		t.Errorf("C5 max matching = %d, want 2", got)
+	}
+	if got := MaximumMatchingSize(complete(4)); got != 2 {
+		t.Errorf("K4 max matching = %d, want 2", got)
+	}
+}
+
+func TestMaximumMatchingAtLeastGreedy(t *testing.T) {
+	src := rng.NewSource(9)
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + src.Intn(8)
+		b := NewBuilder(n)
+		for i := 0; i < n; i++ {
+			u, v := src.Intn(n), src.Intn(n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		greedy := len(GreedyMaximalMatching(g, src.Perm(n)))
+		max := MaximumMatchingSize(g)
+		if max < greedy {
+			t.Fatalf("maximum %d < greedy %d", max, greedy)
+		}
+		if 2*greedy < max {
+			t.Fatalf("greedy %d below half of maximum %d", greedy, max)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestGlobalMinCutKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want float64
+	}{
+		{"path", path(5), 1},
+		{"cycle", cycle(6), 2},
+		{"K4", complete(4), 3},
+		{"K6", complete(6), 5},
+		{"disconnected", FromEdges(4, []Edge{{U: 0, V: 1}, {U: 2, V: 3}}), 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, side := GlobalMinCut(c.g)
+			if got != c.want {
+				t.Errorf("min cut = %v, want %v", got, c.want)
+			}
+			if c.want > 0 && (len(side) == 0 || len(side) == c.g.N()) {
+				t.Errorf("degenerate side %v", side)
+			}
+			// Verify the reported side achieves the reported value.
+			if got < maxCutValue {
+				in := make(map[int]bool)
+				for _, v := range side {
+					in[v] = true
+				}
+				val := 0.0
+				for _, e := range c.g.Edges() {
+					if in[e.U] != in[e.V] {
+						val++
+					}
+				}
+				if val != got {
+					t.Errorf("reported side cuts %v, value says %v", val, got)
+				}
+			}
+		})
+	}
+}
+
+func TestGlobalMinCutTwoBlobsBridge(t *testing.T) {
+	b := NewBuilder(10)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(5+i, 5+j)
+		}
+	}
+	b.AddEdge(0, 5)
+	got, side := GlobalMinCut(b.Build())
+	if got != 1 {
+		t.Fatalf("min cut = %v, want 1 (the bridge)", got)
+	}
+	if len(side) != 5 {
+		t.Errorf("side size %d, want 5", len(side))
+	}
+}
+
+func TestWeightedMinCut(t *testing.T) {
+	// Triangle with one heavy edge: min cut isolates the vertex whose two
+	// incident edges are lightest.
+	weights := map[Edge]float64{
+		{U: 0, V: 1}: 10,
+		{U: 1, V: 2}: 1,
+		{U: 0, V: 2}: 1,
+	}
+	got, side := WeightedMinCut(3, weights)
+	if got != 2 {
+		t.Errorf("weighted min cut = %v, want 2", got)
+	}
+	if len(side) != 1 || side[0] != 2 {
+		t.Errorf("side = %v, want [2]", side)
+	}
+}
+
+func TestMinCutTinyGraphs(t *testing.T) {
+	if v, side := WeightedMinCut(1, nil); v != maxCutValue || side != nil {
+		t.Error("single vertex should report no cut")
+	}
+	if v, _ := WeightedMinCut(2, map[Edge]float64{{U: 0, V: 1}: 3}); v != 3 {
+		t.Errorf("two-vertex cut = %v, want 3", v)
+	}
+}
+
+func TestMinCutAgainstBruteForceQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.NewSource(seed)
+		n := 3 + src.Intn(8)
+		b := NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			u, v := src.Intn(n), src.Intn(n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		got, _ := GlobalMinCut(g)
+		// Brute force over all 2^(n-1)-1 proper cuts containing vertex 0
+		// on side A.
+		best := maxCutValue
+		for mask := 0; mask < 1<<uint(n-1); mask++ {
+			side := make([]bool, n)
+			side[0] = true
+			nonTrivial := false
+			for v := 1; v < n; v++ {
+				side[v] = mask&(1<<uint(v-1)) != 0
+				if !side[v] {
+					nonTrivial = true
+				}
+			}
+			if !nonTrivial {
+				continue
+			}
+			val := 0.0
+			for _, e := range g.Edges() {
+				if side[e.U] != side[e.V] {
+					val++
+				}
+			}
+			if val < best {
+				best = val
+			}
+		}
+		return got == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGlobalMinCutN60(b *testing.B) {
+	src := rng.NewSource(1)
+	builder := NewBuilder(60)
+	for i := 0; i < 300; i++ {
+		u, v := src.Intn(60), src.Intn(60)
+		if u != v {
+			builder.AddEdge(u, v)
+		}
+	}
+	g := builder.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GlobalMinCut(g)
+	}
+}

@@ -1,0 +1,185 @@
+package graph
+
+// This file holds the output verifiers used by every experiment. The
+// paper's protocols are allowed to err (Section 2.1: a matching protocol
+// may output edges not in the graph, or a non-maximal matching), so the
+// harness never trusts a protocol's own bookkeeping — it re-checks outputs
+// with these functions.
+
+// IsVertexDisjoint reports whether no two edges in the list share an
+// endpoint. It does not consult any graph, matching the paper's note that
+// an erring protocol can output "edges" that do not exist.
+func IsVertexDisjoint(edges []Edge) bool {
+	seen := make(map[int]bool, 2*len(edges))
+	for _, e := range edges {
+		if seen[e.U] || seen[e.V] || e.U == e.V {
+			return false
+		}
+		seen[e.U] = true
+		seen[e.V] = true
+	}
+	return true
+}
+
+// IsMatching reports whether edges form a matching of g: every edge exists
+// in g and no two edges share an endpoint.
+func IsMatching(g *Graph, edges []Edge) bool {
+	if !IsVertexDisjoint(edges) {
+		return false
+	}
+	for _, e := range edges {
+		if !g.HasEdge(e.U, e.V) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMaximalMatching reports whether edges form a maximal matching of g:
+// a matching such that every edge of g has at least one matched endpoint.
+func IsMaximalMatching(g *Graph, edges []Edge) bool {
+	if !IsMatching(g, edges) {
+		return false
+	}
+	matched := make([]bool, g.N())
+	for _, e := range edges {
+		matched[e.U] = true
+		matched[e.V] = true
+	}
+	for u := 0; u < g.N(); u++ {
+		if matched[u] {
+			continue
+		}
+		for _, v := range g.adj[u] {
+			if !matched[v] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsIndependentSet reports whether set is an independent set of g (no two
+// members adjacent). Duplicate or out-of-range members invalidate the set.
+func IsIndependentSet(g *Graph, set []int) bool {
+	in := make(map[int]bool, len(set))
+	for _, v := range set {
+		if v < 0 || v >= g.N() || in[v] {
+			return false
+		}
+		in[v] = true
+	}
+	for _, v := range set {
+		for _, u := range g.adj[v] {
+			if in[u] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsMaximalIndependentSet reports whether set is a maximal independent set
+// of g: independent, and every vertex outside it has a neighbor inside it.
+func IsMaximalIndependentSet(g *Graph, set []int) bool {
+	if !IsIndependentSet(g, set) {
+		return false
+	}
+	in := make([]bool, g.N())
+	for _, v := range set {
+		in[v] = true
+	}
+	for v := 0; v < g.N(); v++ {
+		if in[v] {
+			continue
+		}
+		dominated := false
+		for _, u := range g.adj[v] {
+			if in[u] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSpanningForest reports whether edges form a spanning forest of g: all
+// edges exist in g, the edge set is acyclic, and it has exactly
+// n - #components(g) edges (hence spans every component).
+func IsSpanningForest(g *Graph, edges []Edge) bool {
+	uf := newUnionFind(g.N())
+	for _, e := range edges {
+		if !g.HasEdge(e.U, e.V) {
+			return false
+		}
+		if !uf.union(e.U, e.V) {
+			return false // cycle
+		}
+	}
+	_, comps := g.Components()
+	return len(edges) == g.N()-comps
+}
+
+// IsProperColoring reports whether colors (indexed by vertex) assigns
+// different colors to every pair of adjacent vertices and uses colors in
+// [0, maxColors). Pass maxColors <= 0 to skip the range check.
+func IsProperColoring(g *Graph, colors []int, maxColors int) bool {
+	if len(colors) != g.N() {
+		return false
+	}
+	for v, c := range colors {
+		if maxColors > 0 && (c < 0 || c >= maxColors) {
+			return false
+		}
+		for _, u := range g.adj[v] {
+			if colors[u] == c {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// unionFind is a standard disjoint-set forest with union by rank and path
+// halving.
+type unionFind struct {
+	parent []int
+	rank   []byte
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]byte, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// union merges the sets of a and b, reporting false when they were already
+// in the same set.
+func (uf *unionFind) union(a, b int) bool {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return false
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+	return true
+}

@@ -1,0 +1,184 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestIsVertexDisjoint(t *testing.T) {
+	cases := []struct {
+		name  string
+		edges []Edge
+		want  bool
+	}{
+		{"empty", nil, true},
+		{"single", []Edge{{0, 1}}, true},
+		{"disjoint", []Edge{{0, 1}, {2, 3}}, true},
+		{"shared", []Edge{{0, 1}, {1, 2}}, false},
+		{"loop", []Edge{{2, 2}}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := IsVertexDisjoint(c.edges); got != c.want {
+				t.Errorf("got %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestIsMatching(t *testing.T) {
+	g := path(4)
+	if !IsMatching(g, []Edge{{0, 1}, {2, 3}}) {
+		t.Error("valid matching rejected")
+	}
+	if IsMatching(g, []Edge{{0, 2}}) {
+		t.Error("non-edge accepted (the paper's 'phantom edge' error type)")
+	}
+	if IsMatching(g, []Edge{{0, 1}, {1, 2}}) {
+		t.Error("overlapping edges accepted")
+	}
+}
+
+func TestIsMaximalMatching(t *testing.T) {
+	g := path(4) // 0-1-2-3
+	if !IsMaximalMatching(g, []Edge{{1, 2}}) {
+		t.Error("{1,2} is maximal in P4 but was rejected")
+	}
+	if IsMaximalMatching(g, []Edge{{0, 1}}) {
+		t.Error("{0,1} is not maximal in P4 (2-3 extends it) but was accepted")
+	}
+	if !IsMaximalMatching(g, []Edge{{0, 1}, {2, 3}}) {
+		t.Error("perfect matching rejected")
+	}
+	empty := NewBuilder(3).Build()
+	if !IsMaximalMatching(empty, nil) {
+		t.Error("empty matching not maximal in empty graph")
+	}
+	if IsMaximalMatching(g, nil) {
+		t.Error("empty matching maximal in P4")
+	}
+}
+
+func TestIsIndependentSet(t *testing.T) {
+	g := path(4)
+	if !IsIndependentSet(g, []int{0, 2}) {
+		t.Error("valid IS rejected")
+	}
+	if IsIndependentSet(g, []int{0, 1}) {
+		t.Error("adjacent pair accepted")
+	}
+	if IsIndependentSet(g, []int{0, 0}) {
+		t.Error("duplicate member accepted")
+	}
+	if IsIndependentSet(g, []int{-1}) || IsIndependentSet(g, []int{7}) {
+		t.Error("out-of-range member accepted")
+	}
+	if !IsIndependentSet(g, nil) {
+		t.Error("empty set rejected")
+	}
+}
+
+func TestIsMaximalIndependentSet(t *testing.T) {
+	g := path(4) // 0-1-2-3
+	if !IsMaximalIndependentSet(g, []int{0, 2}) {
+		t.Error("{0,2} rejected")
+	}
+	if !IsMaximalIndependentSet(g, []int{1, 3}) {
+		t.Error("{1,3} rejected")
+	}
+	if IsMaximalIndependentSet(g, []int{0}) {
+		t.Error("{0} accepted but 2,3 are undominated")
+	}
+	// {0,3} dominates 1 (via 0) and 2 (via 3), so it is maximal in P4.
+	if !IsMaximalIndependentSet(g, []int{0, 3}) {
+		t.Error("{0,3} is maximal in P4 but was rejected")
+	}
+}
+
+func TestIsSpanningForest(t *testing.T) {
+	g := cycle(4)
+	if !IsSpanningForest(g, []Edge{{0, 1}, {1, 2}, {2, 3}}) {
+		t.Error("valid spanning tree rejected")
+	}
+	if IsSpanningForest(g, []Edge{{0, 1}, {1, 2}, {2, 3}, NewEdge(3, 0)}) {
+		t.Error("cycle accepted")
+	}
+	if IsSpanningForest(g, []Edge{{0, 1}, {1, 2}}) {
+		t.Error("non-spanning accepted")
+	}
+	if IsSpanningForest(g, []Edge{{0, 2}, {0, 1}, {2, 3}}) {
+		t.Error("non-edge accepted")
+	}
+	// Forest across components.
+	b := NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	h := b.Build()
+	if !IsSpanningForest(h, []Edge{{0, 1}, {2, 3}}) {
+		t.Error("valid 3-component forest rejected")
+	}
+}
+
+func TestIsProperColoring(t *testing.T) {
+	g := cycle(4)
+	if !IsProperColoring(g, []int{0, 1, 0, 1}, 2) {
+		t.Error("valid 2-coloring rejected")
+	}
+	if IsProperColoring(g, []int{0, 0, 1, 1}, 2) {
+		t.Error("improper coloring accepted")
+	}
+	if IsProperColoring(g, []int{0, 1, 0, 2}, 2) {
+		t.Error("out-of-palette color accepted")
+	}
+	if !IsProperColoring(g, []int{0, 1, 0, 5}, 0) {
+		t.Error("maxColors<=0 should skip range check")
+	}
+	if IsProperColoring(g, []int{0, 1, 0}, 2) {
+		t.Error("wrong-length coloring accepted")
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := newUnionFind(5)
+	if !uf.union(0, 1) || !uf.union(1, 2) {
+		t.Fatal("fresh unions reported cycle")
+	}
+	if uf.union(0, 2) {
+		t.Error("cycle not detected")
+	}
+	if uf.find(0) != uf.find(2) {
+		t.Error("0 and 2 not merged")
+	}
+	if uf.find(3) == uf.find(0) {
+		t.Error("3 spuriously merged")
+	}
+}
+
+func TestVerifiersAgainstGreedyRandom(t *testing.T) {
+	src := rng.NewSource(77)
+	for trial := 0; trial < 50; trial++ {
+		n := 5 + src.Intn(30)
+		b := NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := src.Intn(n), src.Intn(n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		order := src.Perm(n)
+		if m := GreedyMaximalMatching(g, order); !IsMaximalMatching(g, m) {
+			t.Fatalf("greedy MM output invalid on trial %d", trial)
+		}
+		if s := GreedyMIS(g, order); !IsMaximalIndependentSet(g, s) {
+			t.Fatalf("greedy MIS output invalid on trial %d", trial)
+		}
+		if c := GreedyColoring(g, order); !IsProperColoring(g, c, g.MaxDegree()+1) {
+			t.Fatalf("greedy coloring invalid on trial %d", trial)
+		}
+		if f := g.SpanningForestEdges(); !IsSpanningForest(g, f) {
+			t.Fatalf("spanning forest invalid on trial %d", trial)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package harddist
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Claim 3.1 of the paper: with probability 1 - 2^{-kr/10} over G ~ D_MM,
+// every maximal matching of G has at least k·r/4 edges with both
+// endpoints unique.
+//
+// The proof actually establishes something exact and non-asymptotic that
+// we can verify directly: every surviving special edge (all of which are
+// unique–unique, since the special matchings live on V⋆) is *forced* into
+// any maximal matching unless one of its endpoints is matched to a public
+// vertex, and there are only N_RS - 2r public vertices to go around.
+// Hence, deterministically,
+//
+//	UU(M) >= C - (N_RS - 2r)   for every maximal matching M,
+//
+// where C is the number of surviving special edges. The paper's k·r/4
+// threshold follows once C >= k·r/3 (Chernoff) and k·r/12 >= N_RS - 2r
+// (parameter choice). CheckClaim31 validates both the exact bound and the
+// paper's threshold empirically against adversarially-sampled maximal
+// matchings.
+
+// Claim31Report summarizes one instance's Claim 3.1 check.
+type Claim31Report struct {
+	// Survived is C = |∪_i M_i|, the number of surviving special edges.
+	Survived int
+	// ChernoffFloor is k·r/3; the paper's concentration event is
+	// Survived >= ChernoffFloor.
+	ChernoffFloor float64
+	// ExactBound is max(0, C - (N_RS - 2r)): the structural minimum of
+	// unique–unique edges in any maximal matching.
+	ExactBound int
+	// PaperBound is k·r/4.
+	PaperBound float64
+	// MatchingsTried is the number of maximal matchings sampled.
+	MatchingsTried int
+	// MinUniqueUnique is the minimum UU count observed over all sampled
+	// maximal matchings.
+	MinUniqueUnique int
+	// ExactHolds reports MinUniqueUnique >= ExactBound.
+	ExactHolds bool
+	// PaperHolds reports MinUniqueUnique >= PaperBound; meaningful only
+	// when the instance is large enough that k·r/12 >= N_RS - 2r.
+	PaperHolds bool
+}
+
+// CheckClaim31 samples `matchings` maximal matchings of the instance —
+// random greedy orders plus an adversarial public-vertices-first order
+// that maximizes blocking of special edges — and reports the observed
+// minimum of unique–unique edges against both bounds.
+func CheckClaim31(inst *Instance, matchings int, src *rng.Source) Claim31Report {
+	rep := Claim31Report{
+		Survived:      inst.SurvivedSpecialCount(),
+		ChernoffFloor: float64(inst.Params.K) * float64(inst.Params.RS.R()) / 3,
+		PaperBound:    inst.Claim31Threshold(),
+	}
+	publicBudget := inst.Params.RS.N() - 2*inst.Params.RS.R()
+	rep.ExactBound = rep.Survived - publicBudget
+	if rep.ExactBound < 0 {
+		rep.ExactBound = 0
+	}
+
+	n := inst.G.N()
+	minUU := -1
+	try := func(order []int) {
+		m := graph.GreedyMaximalMatching(inst.G, order)
+		uu := inst.UniqueUniqueEdges(m)
+		if minUU == -1 || uu < minUU {
+			minUU = uu
+		}
+		rep.MatchingsTried++
+	}
+
+	// Adversarial order: public vertices first, so they grab unique
+	// partners and block as many special edges as possible.
+	adversarial := make([]int, 0, n)
+	adversarial = append(adversarial, inst.publicLabel...)
+	for v := 0; v < n; v++ {
+		if !inst.IsPublic(v) {
+			adversarial = append(adversarial, v)
+		}
+	}
+	try(adversarial)
+	for i := 1; i < matchings; i++ {
+		try(src.Perm(n))
+	}
+
+	rep.MinUniqueUnique = minUU
+	rep.ExactHolds = minUU >= rep.ExactBound
+	rep.PaperHolds = float64(minUU) >= rep.PaperBound
+	return rep
+}
+
+// CheckClaim31Exhaustive enumerates every maximal matching of a tiny
+// instance (via graph.AllMaximalMatchings with the given step cap) and
+// verifies the exact bound on each. It returns the minimum UU count and
+// whether the enumeration completed; callers must only pass micro
+// instances.
+func CheckClaim31Exhaustive(inst *Instance, maxSteps int) (minUU int, complete bool) {
+	all := graph.AllMaximalMatchings(inst.G, maxSteps)
+	if all == nil {
+		return 0, false
+	}
+	minUU = -1
+	for _, m := range all {
+		uu := inst.UniqueUniqueEdges(m)
+		if minUU == -1 || uu < minUU {
+			minUU = uu
+		}
+	}
+	return minUU, true
+}
+
+// SampleStats aggregates Claim 3.1 over repeated draws from D_MM.
+type SampleStats struct {
+	Trials          int
+	ExactViolations int
+	PaperViolations int
+	MeanSurvived    float64
+	MeanMinUU       float64
+}
+
+// EstimateClaim31 draws `trials` instances and checks each with
+// `matchingsPerTrial` sampled maximal matchings.
+func EstimateClaim31(p Params, trials, matchingsPerTrial int, src *rng.Source) (SampleStats, error) {
+	var stats SampleStats
+	stats.Trials = trials
+	for i := 0; i < trials; i++ {
+		inst, err := Sample(p, src)
+		if err != nil {
+			return stats, err
+		}
+		rep := CheckClaim31(inst, matchingsPerTrial, src)
+		if !rep.ExactHolds {
+			stats.ExactViolations++
+		}
+		if !rep.PaperHolds {
+			stats.PaperViolations++
+		}
+		stats.MeanSurvived += float64(rep.Survived)
+		stats.MeanMinUU += float64(rep.MinUniqueUnique)
+	}
+	if trials > 0 {
+		stats.MeanSurvived /= float64(trials)
+		stats.MeanMinUU /= float64(trials)
+	}
+	return stats, nil
+}

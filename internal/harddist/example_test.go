@@ -1,0 +1,32 @@
+package harddist_test
+
+import (
+	"fmt"
+
+	"repro/internal/harddist"
+	"repro/internal/rng"
+	"repro/internal/rsgraph"
+)
+
+// Example samples the paper's hard distribution and inspects its
+// ground-truth structure.
+func Example() {
+	rs, err := rsgraph.BuildBehrend(10) // (r=5, t=10)-RS graph on 47 vertices
+	if err != nil {
+		panic(err)
+	}
+	params := harddist.Params{RS: rs, K: 4, DropProb: 0.5}
+	inst, err := harddist.Sample(params, rng.NewSource(7))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("n:", inst.G.N())
+	fmt.Println("public vertices:", len(inst.PublicVertices()))
+	fmt.Println("unique vertices per copy:", len(inst.UniqueVertices(0)))
+	fmt.Println("special matching size (per copy, before drop):", len(inst.SpecialMatchingFull(0)))
+	// Output:
+	// n: 77
+	// public vertices: 37
+	// unique vertices per copy: 10
+	// special matching size (per copy, before drop): 5
+}

@@ -1,0 +1,350 @@
+// Package harddist implements the paper's hard input distribution D_MM
+// (Section 3.1) for maximal matching in the distributed sketching model,
+// together with the instance metadata the lower-bound machinery needs:
+// the hidden index j⋆, the relabeling permutation σ, the public/unique
+// vertex classification, and the per-copy edge-survival indicators
+// M_{i,j} that the information-theoretic argument reasons about.
+//
+// Construction (paper's notation): fix an (r,t)-RS graph G^RS on N
+// vertices. Draw j⋆ uniform in [t] and let V⋆ be the 2r vertices of the
+// induced matching M^RS_{j⋆}. Take k copies G_1,...,G_k of G^RS, dropping
+// each edge independently with probability 1/2 in each copy. Relabel with
+// a uniform permutation σ of [n], n = N - 2r + 2rk: the N - 2r vertices
+// outside V⋆ receive one shared block of labels (the "public" vertices —
+// they appear in every copy), while each copy's V⋆ vertices receive fresh
+// labels (its "unique" vertices). G is the union of the relabeled copies.
+package harddist
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/rsgraph"
+)
+
+// Params configures the sampler.
+type Params struct {
+	// RS is the base Ruzsa–Szemerédi graph.
+	RS *rsgraph.RSGraph
+	// K is the number of noisy copies. The paper sets K = t; smaller
+	// values give scaled-down instances for sweeps.
+	K int
+	// DropProb is the probability each edge is dropped in each copy
+	// (paper: 1/2).
+	DropProb float64
+}
+
+// NewParams returns the paper's parameterization for a base RS graph:
+// K = t and DropProb = 1/2.
+func NewParams(rs *rsgraph.RSGraph) Params {
+	return Params{RS: rs, K: rs.T(), DropProb: 0.5}
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	switch {
+	case p.RS == nil:
+		return fmt.Errorf("harddist: nil RS graph")
+	case p.RS.T() == 0 || p.RS.R() == 0:
+		return fmt.Errorf("harddist: degenerate RS graph (r=%d, t=%d)", p.RS.R(), p.RS.T())
+	case p.K < 1:
+		return fmt.Errorf("harddist: K must be >= 1, got %d", p.K)
+	case p.DropProb < 0 || p.DropProb > 1:
+		return fmt.Errorf("harddist: DropProb %v outside [0,1]", p.DropProb)
+	}
+	return nil
+}
+
+// N returns the number of vertices n = N_RS - 2r + 2rK of sampled
+// instances.
+func (p Params) N() int {
+	return p.RS.N() - 2*p.RS.R() + 2*p.RS.R()*p.K
+}
+
+// Instance is one sample from D_MM plus its ground-truth metadata. The
+// metadata is available to experiment harnesses and (per the paper's
+// Remark 3.6) to referees, but never to players.
+type Instance struct {
+	// G is the union graph on n vertices.
+	G *graph.Graph
+	// Params echoes the sampler configuration.
+	Params Params
+	// JStar is the hidden special matching index in [0, t).
+	JStar int
+
+	// publicLabel[p] is the G-label of the p-th public RS vertex.
+	publicLabel []int
+	// uniqueLabel[i][u] is the G-label of the u-th V⋆ vertex in copy i.
+	uniqueLabel [][]int
+	// class[v] is the vertex class of G-label v: -1 public, else copy id.
+	class []int
+	// rsIndex maps each RS vertex to (isPublic, position): position in the
+	// public enumeration or in the V⋆ enumeration.
+	rsPublicPos []int // -1 if in V⋆
+	rsUniquePos []int // -1 if public
+	// survive[i][j][x] reports whether edge x of matching j survived in
+	// copy i.
+	survive [][][]bool
+}
+
+// Sample draws an instance. The permutation σ, j⋆ and all edge drops come
+// from src.
+func Sample(p Params, src *rng.Source) (*Instance, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	jStar := src.Intn(p.RS.T())
+	sigma := src.Perm(p.N())
+	survive := make([][][]bool, p.K)
+	for i := 0; i < p.K; i++ {
+		survive[i] = make([][]bool, p.RS.T())
+		for j := 0; j < p.RS.T(); j++ {
+			survive[i][j] = make([]bool, len(p.RS.Matchings[j]))
+			for x := range survive[i][j] {
+				survive[i][j][x] = src.Float64() >= p.DropProb
+			}
+		}
+	}
+	return Build(p, jStar, sigma, survive)
+}
+
+// Build constructs the instance for fully specified randomness: the
+// special index j⋆, the label permutation σ (length n), and the survival
+// indicators survive[i][j][x] for edge x of matching j in copy i. It is
+// the deterministic core of Sample, and lets package proofcheck enumerate
+// the entire distribution of micro instances exactly.
+func Build(p Params, jStar int, sigma []int, survive [][][]bool) (*Instance, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rs := p.RS
+	nRS, r, t := rs.N(), rs.R(), rs.T()
+	if jStar < 0 || jStar >= t {
+		return nil, fmt.Errorf("harddist: jStar %d outside [0,%d)", jStar, t)
+	}
+	if len(sigma) != p.N() {
+		return nil, fmt.Errorf("harddist: sigma length %d, want %d", len(sigma), p.N())
+	}
+	seen := make([]bool, len(sigma))
+	for _, v := range sigma {
+		if v < 0 || v >= len(sigma) || seen[v] {
+			return nil, fmt.Errorf("harddist: sigma is not a permutation")
+		}
+		seen[v] = true
+	}
+	if len(survive) != p.K {
+		return nil, fmt.Errorf("harddist: survive has %d copies, want %d", len(survive), p.K)
+	}
+	for i := range survive {
+		if len(survive[i]) != t {
+			return nil, fmt.Errorf("harddist: survive[%d] has %d matchings, want %d", i, len(survive[i]), t)
+		}
+		for j := range survive[i] {
+			if len(survive[i][j]) != len(rs.Matchings[j]) {
+				return nil, fmt.Errorf("harddist: survive[%d][%d] has %d slots, want %d",
+					i, j, len(survive[i][j]), len(rs.Matchings[j]))
+			}
+		}
+	}
+
+	inst := &Instance{Params: p, JStar: jStar}
+
+	// Classify RS vertices: V⋆ = endpoints of matching jStar.
+	inVStar := make([]bool, nRS)
+	for _, v := range rs.MatchingVertices(jStar) {
+		inVStar[v] = true
+	}
+	inst.rsPublicPos = make([]int, nRS)
+	inst.rsUniquePos = make([]int, nRS)
+	pubCount, uniqCount := 0, 0
+	for v := 0; v < nRS; v++ {
+		if inVStar[v] {
+			inst.rsPublicPos[v] = -1
+			inst.rsUniquePos[v] = uniqCount
+			uniqCount++
+		} else {
+			inst.rsPublicPos[v] = pubCount
+			inst.rsUniquePos[v] = -1
+			pubCount++
+		}
+	}
+	if uniqCount != 2*r {
+		return nil, fmt.Errorf("harddist: |V⋆| = %d, want %d", uniqCount, 2*r)
+	}
+
+	// σ assigns labels: public block first, then per-copy unique blocks.
+	n := p.N()
+	inst.publicLabel = make([]int, pubCount)
+	for l := 0; l < pubCount; l++ {
+		inst.publicLabel[l] = sigma[l]
+	}
+	inst.uniqueLabel = make([][]int, p.K)
+	for i := 0; i < p.K; i++ {
+		inst.uniqueLabel[i] = make([]int, 2*r)
+		for l := 0; l < 2*r; l++ {
+			inst.uniqueLabel[i][l] = sigma[pubCount+i*2*r+l]
+		}
+	}
+	inst.class = make([]int, n)
+	for v := range inst.class {
+		inst.class[v] = -1
+	}
+	for i := 0; i < p.K; i++ {
+		for _, lbl := range inst.uniqueLabel[i] {
+			inst.class[lbl] = i
+		}
+	}
+
+	// Build the union graph from the surviving edges.
+	b := graph.NewBuilder(n)
+	inst.survive = survive
+	for i := 0; i < p.K; i++ {
+		for j := 0; j < t; j++ {
+			for x, e := range rs.Matchings[j] {
+				if survive[i][j][x] {
+					b.AddEdge(inst.Label(i, e.U), inst.Label(i, e.V))
+				}
+			}
+		}
+	}
+	inst.G = b.Build()
+	return inst, nil
+}
+
+// Label maps RS vertex v in copy i to its G-label.
+func (inst *Instance) Label(copy, rsVertex int) int {
+	if p := inst.rsPublicPos[rsVertex]; p >= 0 {
+		return inst.publicLabel[p]
+	}
+	return inst.uniqueLabel[copy][inst.rsUniquePos[rsVertex]]
+}
+
+// MapEdge maps an RS edge into copy i's G-labels.
+func (inst *Instance) MapEdge(copy int, e graph.Edge) graph.Edge {
+	return graph.NewEdge(inst.Label(copy, e.U), inst.Label(copy, e.V))
+}
+
+// IsPublic reports whether G-label v is a public vertex.
+func (inst *Instance) IsPublic(v int) bool { return inst.class[v] == -1 }
+
+// CopyOf returns the copy owning unique G-label v, or -1 when v is public.
+func (inst *Instance) CopyOf(v int) int { return inst.class[v] }
+
+// PublicVertices returns the G-labels of the public vertices.
+func (inst *Instance) PublicVertices() []int {
+	return append([]int(nil), inst.publicLabel...)
+}
+
+// RSPublicVertices returns the RS-graph vertices outside V⋆ in ascending
+// order — the p-th entry is the RS vertex held by the p-th public player.
+func (inst *Instance) RSPublicVertices() []int {
+	out := make([]int, 0, len(inst.publicLabel))
+	for v, pos := range inst.rsPublicPos {
+		if pos >= 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// UniqueVertices returns the G-labels of copy i's unique vertices.
+func (inst *Instance) UniqueVertices(copy int) []int {
+	return append([]int(nil), inst.uniqueLabel[copy]...)
+}
+
+// Survived reports whether edge x of matching j survived in copy i.
+func (inst *Instance) Survived(copy, j, x int) bool {
+	return inst.survive[copy][j][x]
+}
+
+// SpecialMatchingFull returns M^RS_{i,j⋆}: copy i's image of the special
+// matching before edge dropping (the superset used by the Section 4
+// reduction). It is a function of σ and j⋆ only.
+func (inst *Instance) SpecialMatchingFull(copy int) []graph.Edge {
+	src := inst.Params.RS.Matchings[inst.JStar]
+	out := make([]graph.Edge, len(src))
+	for x, e := range src {
+		out[x] = inst.MapEdge(copy, e)
+	}
+	return out
+}
+
+// SpecialMatchingSurvived returns the edges of M_{i,j⋆} that survived the
+// drop, in G-labels.
+func (inst *Instance) SpecialMatchingSurvived(copy int) []graph.Edge {
+	src := inst.Params.RS.Matchings[inst.JStar]
+	var out []graph.Edge
+	for x, e := range src {
+		if inst.survive[copy][inst.JStar][x] {
+			out = append(out, inst.MapEdge(copy, e))
+		}
+	}
+	return out
+}
+
+// SurvivedSpecialCount returns |∪_i M_i|: the total number of surviving
+// special edges over all copies (their vertex sets are disjoint, so this
+// is a plain sum).
+func (inst *Instance) SurvivedSpecialCount() int {
+	total := 0
+	for i := 0; i < inst.Params.K; i++ {
+		for _, ok := range inst.survive[i][inst.JStar] {
+			if ok {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// UniqueUniqueEdges counts the edges of a matching whose endpoints are
+// both unique vertices — the quantity Claim 3.1 lower-bounds by k·r/4.
+func (inst *Instance) UniqueUniqueEdges(matching []graph.Edge) int {
+	count := 0
+	for _, e := range matching {
+		if !inst.IsPublic(e.U) && !inst.IsPublic(e.V) {
+			count++
+		}
+	}
+	return count
+}
+
+// Claim31Threshold returns k·r/4, the paper's guaranteed number of
+// unique–unique edges in every maximal matching (with probability
+// 1 - 2^{-kr/10}).
+func (inst *Instance) Claim31Threshold() float64 {
+	return float64(inst.Params.K) * float64(inst.Params.RS.R()) / 4
+}
+
+// PublicPlayerEdges returns the G-edges seen by the p-th public player:
+// all edges of G incident on the p-th public vertex.
+func (inst *Instance) PublicPlayerEdges(p int) []graph.Edge {
+	v := inst.publicLabel[p]
+	var out []graph.Edge
+	inst.G.EachNeighbor(v, func(u int) {
+		out = append(out, graph.NewEdge(v, u))
+	})
+	return out
+}
+
+// UniquePlayerEdges returns the G-edges seen by unique player (i, v) in
+// the paper's augmented model (Section 3.1, "public and unique players"):
+// the surviving copy-i images of RS edges incident on RS vertex v. Note a
+// unique player holding a public vertex sees only that vertex's copy-i
+// edges, not all its G-edges.
+func (inst *Instance) UniquePlayerEdges(copy, rsVertex int) []graph.Edge {
+	rs := inst.Params.RS
+	var out []graph.Edge
+	for j, m := range rs.Matchings {
+		for x, e := range m {
+			if e.U != rsVertex && e.V != rsVertex {
+				continue
+			}
+			if inst.survive[copy][j][x] {
+				out = append(out, inst.MapEdge(copy, e))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,354 @@
+package harddist
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/rsgraph"
+)
+
+func mustRS(t testing.TB, m int) *rsgraph.RSGraph {
+	t.Helper()
+	rs, err := rsgraph.BuildBehrend(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func mustSample(t testing.TB, p Params, seed uint64) *Instance {
+	t.Helper()
+	inst, err := Sample(p, rng.NewSource(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestParamsValidate(t *testing.T) {
+	rs := mustRS(t, 10)
+	cases := []struct {
+		name string
+		p    Params
+		ok   bool
+	}{
+		{"paper", NewParams(rs), true},
+		{"small k", Params{RS: rs, K: 1, DropProb: 0.5}, true},
+		{"nil rs", Params{K: 2, DropProb: 0.5}, false},
+		{"zero k", Params{RS: rs, K: 0, DropProb: 0.5}, false},
+		{"bad drop", Params{RS: rs, K: 2, DropProb: 1.5}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.p.Validate(); (err == nil) != c.ok {
+				t.Errorf("Validate() err = %v, want ok=%v", err, c.ok)
+			}
+		})
+	}
+}
+
+func TestSampleVertexCount(t *testing.T) {
+	rs := mustRS(t, 12)
+	p := NewParams(rs)
+	inst := mustSample(t, p, 1)
+	if inst.G.N() != p.N() {
+		t.Errorf("G has %d vertices, want %d", inst.G.N(), p.N())
+	}
+	wantN := rs.N() - 2*rs.R() + 2*rs.R()*p.K
+	if p.N() != wantN {
+		t.Errorf("Params.N() = %d, want %d", p.N(), wantN)
+	}
+}
+
+func TestVertexClassification(t *testing.T) {
+	rs := mustRS(t, 10)
+	p := Params{RS: rs, K: 4, DropProb: 0.5}
+	inst := mustSample(t, p, 2)
+
+	pub := inst.PublicVertices()
+	if len(pub) != rs.N()-2*rs.R() {
+		t.Errorf("|public| = %d, want %d", len(pub), rs.N()-2*rs.R())
+	}
+	seen := make(map[int]bool)
+	for _, v := range pub {
+		if !inst.IsPublic(v) || inst.CopyOf(v) != -1 {
+			t.Errorf("public vertex %d misclassified", v)
+		}
+		if seen[v] {
+			t.Errorf("duplicate label %d", v)
+		}
+		seen[v] = true
+	}
+	for i := 0; i < p.K; i++ {
+		uniq := inst.UniqueVertices(i)
+		if len(uniq) != 2*rs.R() {
+			t.Errorf("copy %d: |unique| = %d, want %d", i, len(uniq), 2*rs.R())
+		}
+		for _, v := range uniq {
+			if inst.IsPublic(v) || inst.CopyOf(v) != i {
+				t.Errorf("unique vertex %d of copy %d misclassified", v, i)
+			}
+			if seen[v] {
+				t.Errorf("duplicate label %d", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != p.N() {
+		t.Errorf("labels cover %d vertices, want %d", len(seen), p.N())
+	}
+}
+
+func TestEveryGraphEdgeHasASurvivingPreimage(t *testing.T) {
+	rs := mustRS(t, 8)
+	p := Params{RS: rs, K: 3, DropProb: 0.5}
+	inst := mustSample(t, p, 3)
+	// Rebuild the expected edge set from the survival indicators.
+	want := make(map[graph.Edge]bool)
+	for i := 0; i < p.K; i++ {
+		for j, m := range rs.Matchings {
+			for x, e := range m {
+				if inst.Survived(i, j, x) {
+					want[inst.MapEdge(i, e)] = true
+				}
+			}
+		}
+	}
+	got := inst.G.Edges()
+	if len(got) != len(want) {
+		t.Fatalf("G has %d edges, indicators imply %d", len(got), len(want))
+	}
+	for _, e := range got {
+		if !want[e] {
+			t.Fatalf("edge %v in G without surviving preimage", e)
+		}
+	}
+}
+
+func TestDropProbExtremes(t *testing.T) {
+	rs := mustRS(t, 8)
+	all := mustSample(t, Params{RS: rs, K: 2, DropProb: 0}, 4)
+	// No drops: every copy is complete. Public-public edges coincide
+	// across copies, so count unique mapped edges.
+	want := make(map[graph.Edge]bool)
+	for i := 0; i < 2; i++ {
+		for _, m := range rs.Matchings {
+			for _, e := range m {
+				want[all.MapEdge(i, e)] = true
+			}
+		}
+	}
+	if all.G.M() != len(want) {
+		t.Errorf("DropProb=0: %d edges, want %d", all.G.M(), len(want))
+	}
+	none := mustSample(t, Params{RS: rs, K: 2, DropProb: 1}, 5)
+	if none.G.M() != 0 {
+		t.Errorf("DropProb=1: %d edges, want 0", none.G.M())
+	}
+}
+
+func TestSurvivalRateConcentrates(t *testing.T) {
+	rs := mustRS(t, 15)
+	p := NewParams(rs)
+	inst := mustSample(t, p, 6)
+	total := 0
+	for i := 0; i < p.K; i++ {
+		for j := range rs.Matchings {
+			for x := range rs.Matchings[j] {
+				if inst.Survived(i, j, x) {
+					total++
+				}
+			}
+		}
+	}
+	expected := float64(p.K*rs.T()*rs.R()) * 0.5
+	if f := float64(total); f < 0.9*expected || f > 1.1*expected {
+		t.Errorf("survived %d of %d edge slots, expected ~%.0f", total, p.K*rs.T()*rs.R(), expected)
+	}
+}
+
+func TestSpecialMatchingsAreUniqueUnique(t *testing.T) {
+	rs := mustRS(t, 10)
+	p := Params{RS: rs, K: 5, DropProb: 0.5}
+	inst := mustSample(t, p, 7)
+	for i := 0; i < p.K; i++ {
+		full := inst.SpecialMatchingFull(i)
+		if len(full) != rs.R() {
+			t.Fatalf("copy %d: full special matching has %d edges, want %d", i, len(full), rs.R())
+		}
+		for _, e := range full {
+			if inst.IsPublic(e.U) || inst.IsPublic(e.V) {
+				t.Fatalf("copy %d: special edge %v touches a public vertex", i, e)
+			}
+			if inst.CopyOf(e.U) != i || inst.CopyOf(e.V) != i {
+				t.Fatalf("copy %d: special edge %v crosses copies", i, e)
+			}
+		}
+		survived := inst.SpecialMatchingSurvived(i)
+		for _, e := range survived {
+			if !inst.G.HasEdge(e.U, e.V) {
+				t.Fatalf("surviving special edge %v missing from G", e)
+			}
+		}
+	}
+}
+
+func TestSurvivedSpecialCountMatchesPerCopySum(t *testing.T) {
+	rs := mustRS(t, 10)
+	inst := mustSample(t, NewParams(rs), 8)
+	sum := 0
+	for i := 0; i < inst.Params.K; i++ {
+		sum += len(inst.SpecialMatchingSurvived(i))
+	}
+	if got := inst.SurvivedSpecialCount(); got != sum {
+		t.Errorf("SurvivedSpecialCount = %d, per-copy sum %d", got, sum)
+	}
+}
+
+func TestUniquePlayerEdges(t *testing.T) {
+	rs := mustRS(t, 8)
+	p := Params{RS: rs, K: 3, DropProb: 0.3}
+	inst := mustSample(t, p, 9)
+	// Every unique player's edges must exist in G and be incident on the
+	// mapped vertex.
+	for i := 0; i < p.K; i++ {
+		for v := 0; v < rs.N(); v++ {
+			lbl := inst.Label(i, v)
+			for _, e := range inst.UniquePlayerEdges(i, v) {
+				if !inst.G.HasEdge(e.U, e.V) {
+					t.Fatalf("player (%d,%d) edge %v not in G", i, v, e)
+				}
+				if e.U != lbl && e.V != lbl {
+					t.Fatalf("player (%d,%d) edge %v not incident on label %d", i, v, e, lbl)
+				}
+			}
+		}
+	}
+}
+
+func TestUniquePlayersOfUniqueVertexSeeWholeNeighborhood(t *testing.T) {
+	// For a unique vertex u of copy i, the unique player (i, rs(u)) sees
+	// all of u's G-edges (paper: "a unique player corresponding to a
+	// unique vertex u in G sees all the edges incident on vertex u in G").
+	rs := mustRS(t, 8)
+	p := Params{RS: rs, K: 3, DropProb: 0.5}
+	inst := mustSample(t, p, 10)
+	for rsV := 0; rsV < rs.N(); rsV++ {
+		if inst.rsUniquePos[rsV] == -1 {
+			continue
+		}
+		for i := 0; i < p.K; i++ {
+			lbl := inst.Label(i, rsV)
+			if got, want := len(inst.UniquePlayerEdges(i, rsV)), inst.G.Degree(lbl); got != want {
+				t.Fatalf("unique player (%d,%d): sees %d edges, G-degree is %d", i, rsV, got, want)
+			}
+		}
+	}
+}
+
+func TestPublicPlayerEdges(t *testing.T) {
+	rs := mustRS(t, 8)
+	inst := mustSample(t, Params{RS: rs, K: 2, DropProb: 0.5}, 11)
+	for pIdx, v := range inst.PublicVertices() {
+		edges := inst.PublicPlayerEdges(pIdx)
+		if len(edges) != inst.G.Degree(v) {
+			t.Fatalf("public player %d sees %d edges, degree is %d", pIdx, len(edges), inst.G.Degree(v))
+		}
+	}
+}
+
+func TestClaim31ExactBoundHolds(t *testing.T) {
+	src := rng.NewSource(12)
+	for _, m := range []int{8, 15} {
+		rs := mustRS(t, m)
+		p := NewParams(rs)
+		inst, err := Sample(p, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := CheckClaim31(inst, 20, src)
+		if !rep.ExactHolds {
+			t.Errorf("m=%d: exact bound violated: minUU=%d < bound=%d",
+				m, rep.MinUniqueUnique, rep.ExactBound)
+		}
+		if rep.MatchingsTried != 20 {
+			t.Errorf("tried %d matchings, want 20", rep.MatchingsTried)
+		}
+	}
+}
+
+func TestClaim31DisjointFamilyForcesAllSpecialEdges(t *testing.T) {
+	// With disjoint matchings, unique vertices have no public neighbors,
+	// so every surviving special edge is forced: minUU == Survived.
+	rs := rsgraph.DisjointMatchings(6, 5)
+	p := Params{RS: rs, K: 5, DropProb: 0.5}
+	src := rng.NewSource(13)
+	inst, err := Sample(p, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := CheckClaim31(inst, 30, src)
+	if rep.MinUniqueUnique != rep.Survived {
+		t.Errorf("disjoint family: minUU=%d, want all %d surviving special edges forced",
+			rep.MinUniqueUnique, rep.Survived)
+	}
+}
+
+func TestClaim31Exhaustive(t *testing.T) {
+	// Micro instance small enough to enumerate every maximal matching.
+	rs := rsgraph.DisjointMatchings(2, 2)
+	p := Params{RS: rs, K: 2, DropProb: 0.5}
+	src := rng.NewSource(14)
+	inst, err := Sample(p, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minUU, complete := CheckClaim31Exhaustive(inst, 1<<20)
+	if !complete {
+		t.Fatal("exhaustive enumeration capped out on micro instance")
+	}
+	if minUU < inst.SurvivedSpecialCount()-(rs.N()-2*rs.R()) {
+		t.Errorf("exhaustive minUU %d below exact bound", minUU)
+	}
+}
+
+func TestEstimateClaim31(t *testing.T) {
+	rs := mustRS(t, 10)
+	p := NewParams(rs)
+	stats, err := EstimateClaim31(p, 5, 10, rng.NewSource(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ExactViolations != 0 {
+		t.Errorf("%d exact violations over %d trials", stats.ExactViolations, stats.Trials)
+	}
+	if stats.MeanSurvived <= 0 {
+		t.Error("mean survived not positive")
+	}
+}
+
+func TestSampleDeterministicPerSeed(t *testing.T) {
+	rs := mustRS(t, 8)
+	p := Params{RS: rs, K: 3, DropProb: 0.5}
+	a := mustSample(t, p, 42)
+	b := mustSample(t, p, 42)
+	if a.JStar != b.JStar || a.G.M() != b.G.M() {
+		t.Error("same seed produced different instances")
+	}
+}
+
+func BenchmarkSamplePaperM25(b *testing.B) {
+	rs, err := rsgraph.BuildBehrend(25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := NewParams(rs)
+	src := rng.NewSource(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sample(p, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

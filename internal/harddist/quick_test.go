@@ -1,0 +1,145 @@
+package harddist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/rsgraph"
+)
+
+// Property: label classification is a partition — every G-label is
+// either public or owned by exactly one copy, and counts match.
+func TestLabelPartitionQuick(t *testing.T) {
+	f := func(seed uint64, mSeed, kSeed uint8) bool {
+		m := 4 + int(mSeed%10)
+		k := 1 + int(kSeed%5)
+		rs, err := rsgraph.BuildBehrend(m)
+		if err != nil {
+			return false
+		}
+		p := Params{RS: rs, K: k, DropProb: 0.5}
+		inst, err := Sample(p, rng.NewSource(seed))
+		if err != nil {
+			return false
+		}
+		publicCount, uniqueCount := 0, 0
+		for v := 0; v < inst.G.N(); v++ {
+			if inst.IsPublic(v) {
+				if inst.CopyOf(v) != -1 {
+					return false
+				}
+				publicCount++
+			} else {
+				c := inst.CopyOf(v)
+				if c < 0 || c >= k {
+					return false
+				}
+				uniqueCount++
+			}
+		}
+		return publicCount == rs.N()-2*rs.R() && uniqueCount == 2*rs.R()*k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: unique vertices never have edges to other copies' unique
+// vertices — copies only overlap on public vertices.
+func TestNoCrossCopyEdgesQuick(t *testing.T) {
+	f := func(seed uint64, mSeed uint8) bool {
+		m := 4 + int(mSeed%8)
+		rs, err := rsgraph.BuildBehrend(m)
+		if err != nil {
+			return false
+		}
+		inst, err := Sample(Params{RS: rs, K: 3, DropProb: 0.5}, rng.NewSource(seed))
+		if err != nil {
+			return false
+		}
+		ok := true
+		for _, e := range inst.G.Edges() {
+			cu, cv := inst.CopyOf(e.U), inst.CopyOf(e.V)
+			if cu != -1 && cv != -1 && cu != cv {
+				ok = false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the exact Claim 3.1 bound holds for every greedy maximal
+// matching under random orders and any drop probability.
+func TestClaim31ExactQuick(t *testing.T) {
+	f := func(seed uint64, dropSeed uint8) bool {
+		rs, err := rsgraph.BuildBehrend(8)
+		if err != nil {
+			return false
+		}
+		drop := float64(dropSeed%11) / 10
+		inst, err := Sample(Params{RS: rs, K: rs.T(), DropProb: drop}, rng.NewSource(seed))
+		if err != nil {
+			return false
+		}
+		src := rng.NewSource(seed ^ 0x55)
+		bound := inst.SurvivedSpecialCount() - (rs.N() - 2*rs.R())
+		for trial := 0; trial < 5; trial++ {
+			mm := graph.GreedyMaximalMatching(inst.G, src.Perm(inst.G.N()))
+			if inst.UniqueUniqueEdges(mm) < bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Build is deterministic — identical inputs give identical
+// graphs and metadata.
+func TestBuildDeterministicQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rs, err := rsgraph.BuildBehrend(6)
+		if err != nil {
+			return false
+		}
+		p := Params{RS: rs, K: 2, DropProb: 0.5}
+		src := rng.NewSource(seed)
+		jStar := src.Intn(rs.T())
+		sigma := src.Perm(p.N())
+		survive := make([][][]bool, p.K)
+		for i := range survive {
+			survive[i] = make([][]bool, rs.T())
+			for j := range survive[i] {
+				survive[i][j] = make([]bool, rs.R())
+				for x := range survive[i][j] {
+					survive[i][j][x] = src.Bool()
+				}
+			}
+		}
+		a, err1 := Build(p, jStar, sigma, survive)
+		b, err2 := Build(p, jStar, sigma, survive)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if a.G.M() != b.G.M() || a.G.N() != b.G.N() {
+			return false
+		}
+		ae, be := a.G.Edges(), b.G.Edges()
+		for i := range ae {
+			if ae[i] != be[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

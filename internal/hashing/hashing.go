@@ -1,0 +1,64 @@
+// Package hashing provides k-wise independent hash families over
+// GF(2^61-1), seeded from public coins.
+//
+// A degree-(k-1) polynomial with uniform coefficients is a k-wise
+// independent function family; these are the standard building block for
+// the ℓ₀-samplers in package l0 and the sampling decisions in the AGM and
+// coloring sketches.
+package hashing
+
+import (
+	"repro/internal/field"
+	"repro/internal/rng"
+)
+
+// Family is a k-wise independent hash function h: [2^61-1] -> [2^61-1].
+type Family struct {
+	coeffs []field.Elem
+}
+
+// New draws a fresh k-wise independent function from the given source.
+// k must be at least 1.
+func New(k int, src *rng.Source) *Family {
+	if k < 1 {
+		panic("hashing: k must be >= 1")
+	}
+	coeffs := make([]field.Elem, k)
+	for i := range coeffs {
+		coeffs[i] = field.Reduce(src.Uint64())
+	}
+	// A zero leading coefficient only reduces the effective degree; that
+	// is fine for independence (uniform coefficients include zero).
+	return &Family{coeffs: coeffs}
+}
+
+// NewPairwise draws a 2-wise independent function.
+func NewPairwise(src *rng.Source) *Family { return New(2, src) }
+
+// Hash evaluates the function at x.
+func (f *Family) Hash(x uint64) uint64 {
+	return uint64(field.EvalPoly(f.coeffs, field.Reduce(x)))
+}
+
+// HashRange maps x uniformly-ish into [0, n) by reducing the field output.
+// The bias is at most n/P, negligible for the ranges used here.
+func (f *Family) HashRange(x uint64, n int) int {
+	if n <= 0 {
+		panic("hashing: HashRange with non-positive n")
+	}
+	return int(f.Hash(x) % uint64(n))
+}
+
+// Level returns the sampling level of x: the largest ℓ in [0, maxLevel]
+// such that h(x) falls in the top 2^-ℓ fraction of the field, giving
+// Pr[Level >= ℓ] ≈ 2^-ℓ. Used for geometric subsampling in ℓ₀-samplers.
+func (f *Family) Level(x uint64, maxLevel int) int {
+	h := f.Hash(x)
+	for l := maxLevel; l >= 1; l-- {
+		// threshold for level l: h < P / 2^l
+		if h < field.P>>uint(l) {
+			return l
+		}
+	}
+	return 0
+}

@@ -1,0 +1,139 @@
+package hashing
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestDeterministicForSameSource(t *testing.T) {
+	a := New(3, rng.NewSource(1))
+	b := New(3, rng.NewSource(1))
+	for x := uint64(0); x < 50; x++ {
+		if a.Hash(x) != b.Hash(x) {
+			t.Fatalf("same-seed families disagree at %d", x)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(2, rng.NewSource(1))
+	b := New(2, rng.NewSource(2))
+	same := 0
+	for x := uint64(0); x < 100; x++ {
+		if a.Hash(x) == b.Hash(x) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds agree on %d of 100 points", same)
+	}
+}
+
+func TestNewPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0, ...) did not panic")
+		}
+	}()
+	New(0, rng.NewSource(1))
+}
+
+func TestHashRangeBounds(t *testing.T) {
+	f := New(2, rng.NewSource(3))
+	for _, n := range []int{1, 2, 7, 100} {
+		for x := uint64(0); x < 200; x++ {
+			v := f.HashRange(x, n)
+			if v < 0 || v >= n {
+				t.Fatalf("HashRange(%d, %d) = %d out of range", x, n, v)
+			}
+		}
+	}
+}
+
+func TestHashRangeUniformity(t *testing.T) {
+	const n = 8
+	const points = 80000
+	f := NewPairwise(rng.NewSource(17))
+	counts := make([]int, n)
+	for x := uint64(0); x < points; x++ {
+		counts[f.HashRange(x, n)]++
+	}
+	want := float64(points) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("bucket %d has %d points, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+func TestPairwiseIndependenceEmpirical(t *testing.T) {
+	// Over many independently drawn pairwise families, (h(0), h(1))
+	// restricted to parity should be uniform over {0,1}^2.
+	counts := [4]int{}
+	const trials = 40000
+	src := rng.NewSource(23)
+	for i := 0; i < trials; i++ {
+		f := NewPairwise(src)
+		a := f.Hash(0) & 1
+		b := f.Hash(1) & 1
+		counts[a<<1|b]++
+	}
+	want := float64(trials) / 4
+	for pat, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("pattern %02b count %d, want ~%.0f", pat, c, want)
+		}
+	}
+}
+
+func TestLevelDistribution(t *testing.T) {
+	// Pr[Level(x) >= l] should be ~2^-l.
+	const maxLevel = 10
+	const points = 1 << 17
+	f := New(2, rng.NewSource(31))
+	atLeast := make([]int, maxLevel+1)
+	for x := uint64(0); x < points; x++ {
+		l := f.Level(x, maxLevel)
+		if l < 0 || l > maxLevel {
+			t.Fatalf("Level out of range: %d", l)
+		}
+		for i := 0; i <= l; i++ {
+			atLeast[i]++
+		}
+	}
+	for l := 1; l <= 6; l++ {
+		want := float64(points) / float64(uint64(1)<<uint(l))
+		got := float64(atLeast[l])
+		if math.Abs(got-want) > 8*math.Sqrt(want) {
+			t.Errorf("Pr[level >= %d]: got %.0f points, want ~%.0f", l, got, want)
+		}
+	}
+}
+
+func TestLevelMonotoneThresholds(t *testing.T) {
+	f := New(2, rng.NewSource(5))
+	// Level must be a deterministic function of the hash value.
+	for x := uint64(0); x < 1000; x++ {
+		l1 := f.Level(x, 20)
+		l2 := f.Level(x, 20)
+		if l1 != l2 {
+			t.Fatal("Level is not deterministic")
+		}
+	}
+}
+
+func BenchmarkHashPairwise(b *testing.B) {
+	f := NewPairwise(rng.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		_ = f.Hash(uint64(i))
+	}
+}
+
+func BenchmarkHashK8(b *testing.B) {
+	f := New(8, rng.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		_ = f.Hash(uint64(i))
+	}
+}

@@ -1,0 +1,191 @@
+// Package infotheory computes exact Shannon quantities — entropy,
+// conditional entropy, mutual information, conditional mutual information
+// — over explicitly enumerated joint distributions.
+//
+// It is the measurement instrument for package proofcheck, which
+// re-derives the paper's Lemma 3.3 → 3.4 → 3.5 chain numerically on
+// micro-instances of the hard distribution: the joint distribution over
+// (J, survival indicators, player messages) is enumerable there, so every
+// inequality in Section 3.2 can be checked to machine precision rather
+// than trusted.
+package infotheory
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Joint is a distribution over tuples of discrete variables. Outcomes are
+// int vectors of fixed arity; probabilities need not be normalized until
+// queried (queries normalize on the fly).
+type Joint struct {
+	arity int
+	prob  map[string]float64
+	total float64
+}
+
+// NewJoint returns an empty joint distribution over `arity` variables.
+func NewJoint(arity int) *Joint {
+	if arity < 1 {
+		panic("infotheory: arity must be positive")
+	}
+	return &Joint{arity: arity, prob: make(map[string]float64)}
+}
+
+// Arity returns the number of variables.
+func (j *Joint) Arity() int { return j.arity }
+
+// Add accumulates probability mass p on the outcome.
+func (j *Joint) Add(outcome []int, p float64) {
+	if len(outcome) != j.arity {
+		panic(fmt.Sprintf("infotheory: outcome arity %d, want %d", len(outcome), j.arity))
+	}
+	if p < 0 {
+		panic("infotheory: negative probability")
+	}
+	j.prob[encode(outcome)] += p
+	j.total += p
+}
+
+// Mass returns the total accumulated (unnormalized) mass.
+func (j *Joint) Mass() float64 { return j.total }
+
+// Support returns the number of distinct outcomes with positive mass.
+func (j *Joint) Support() int { return len(j.prob) }
+
+func encode(outcome []int) string {
+	var sb strings.Builder
+	for i, v := range outcome {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(v))
+	}
+	return sb.String()
+}
+
+// project returns the marginal mass function over the selected variable
+// indices.
+func (j *Joint) project(vars []int) map[string]float64 {
+	out := make(map[string]float64)
+	buf := make([]string, len(vars))
+	for key, p := range j.prob {
+		fields := strings.Split(key, ",")
+		for i, v := range vars {
+			buf[i] = fields[v]
+		}
+		out[strings.Join(buf, ",")] += p
+	}
+	return out
+}
+
+// Entropy returns H(X_vars) in bits.
+func (j *Joint) Entropy(vars ...int) float64 {
+	j.checkVars(vars)
+	if j.total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, p := range j.project(vars) {
+		q := p / j.total
+		if q > 0 {
+			h -= q * math.Log2(q)
+		}
+	}
+	return h
+}
+
+// CondEntropy returns H(X_vars | X_given) in bits.
+func (j *Joint) CondEntropy(vars, given []int) float64 {
+	if len(given) == 0 {
+		return j.Entropy(vars...)
+	}
+	both := append(append([]int(nil), vars...), given...)
+	return j.Entropy(both...) - j.Entropy(given...)
+}
+
+// MutualInfo returns I(X_a ; X_b | X_given) in bits, clamped at 0 to
+// absorb floating-point noise (mutual information is non-negative).
+func (j *Joint) MutualInfo(a, b, given []int) float64 {
+	// I(A;B|C) = H(A|C) - H(A|B,C)
+	bGiven := append(append([]int(nil), b...), given...)
+	mi := j.CondEntropy(a, given) - j.CondEntropy(a, bGiven)
+	if mi < 0 && mi > -1e-9 {
+		return 0
+	}
+	return mi
+}
+
+func (j *Joint) checkVars(vars []int) {
+	for _, v := range vars {
+		if v < 0 || v >= j.arity {
+			panic(fmt.Sprintf("infotheory: variable %d outside arity %d", v, j.arity))
+		}
+	}
+}
+
+// BinaryEntropy returns H(p) = -p·log2(p) - (1-p)·log2(1-p).
+func BinaryEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// EntropyOf returns the entropy in bits of an unnormalized mass vector.
+func EntropyOf(masses []float64) float64 {
+	total := 0.0
+	for _, m := range masses {
+		if m < 0 {
+			panic("infotheory: negative mass")
+		}
+		total += m
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, m := range masses {
+		if m > 0 {
+			q := m / total
+			h -= q * math.Log2(q)
+		}
+	}
+	return h
+}
+
+// ChernoffLowerTail bounds Pr[X <= (1-δ)μ] <= exp(-δ²μ/2) for a sum X of
+// independent 0/1 variables with mean μ.
+func ChernoffLowerTail(mu, delta float64) float64 {
+	if delta <= 0 {
+		return 1
+	}
+	if delta > 1 {
+		delta = 1
+	}
+	return math.Exp(-delta * delta * mu / 2)
+}
+
+// Interner assigns small integer ids to strings, for packing message
+// transcripts into Joint outcomes.
+type Interner struct {
+	ids map[string]int
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner { return &Interner{ids: make(map[string]int)} }
+
+// ID returns the id for s, allocating the next id on first sight.
+func (in *Interner) ID(s string) int {
+	if id, ok := in.ids[s]; ok {
+		return id
+	}
+	id := len(in.ids)
+	in.ids[s] = id
+	return id
+}
+
+// Len returns the number of distinct strings seen.
+func (in *Interner) Len() int { return len(in.ids) }

@@ -1,0 +1,231 @@
+package infotheory
+
+import (
+	"math"
+	"testing"
+)
+
+const eps = 1e-9
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestEntropyUniform(t *testing.T) {
+	j := NewJoint(1)
+	for v := 0; v < 8; v++ {
+		j.Add([]int{v}, 1)
+	}
+	if h := j.Entropy(0); !approx(h, 3) {
+		t.Errorf("H(uniform-8) = %v, want 3", h)
+	}
+}
+
+func TestEntropyDeterministic(t *testing.T) {
+	j := NewJoint(1)
+	j.Add([]int{7}, 5)
+	if h := j.Entropy(0); h != 0 {
+		t.Errorf("H(point mass) = %v", h)
+	}
+}
+
+func TestEntropyUnnormalizedInvariance(t *testing.T) {
+	a, b := NewJoint(1), NewJoint(1)
+	a.Add([]int{0}, 1)
+	a.Add([]int{1}, 3)
+	b.Add([]int{0}, 10)
+	b.Add([]int{1}, 30)
+	if !approx(a.Entropy(0), b.Entropy(0)) {
+		t.Error("entropy depends on normalization")
+	}
+	if !approx(a.Entropy(0), BinaryEntropy(0.25)) {
+		t.Errorf("H = %v, want H(1/4) = %v", a.Entropy(0), BinaryEntropy(0.25))
+	}
+}
+
+func TestIndependentVariables(t *testing.T) {
+	// X uniform 2, Y uniform 4, independent.
+	j := NewJoint(2)
+	for x := 0; x < 2; x++ {
+		for y := 0; y < 4; y++ {
+			j.Add([]int{x, y}, 1)
+		}
+	}
+	if h := j.Entropy(0, 1); !approx(h, 3) {
+		t.Errorf("H(X,Y) = %v, want 3", h)
+	}
+	if mi := j.MutualInfo([]int{0}, []int{1}, nil); !approx(mi, 0) {
+		t.Errorf("I(X;Y) = %v, want 0", mi)
+	}
+	if ce := j.CondEntropy([]int{0}, []int{1}); !approx(ce, 1) {
+		t.Errorf("H(X|Y) = %v, want 1", ce)
+	}
+}
+
+func TestPerfectlyCorrelated(t *testing.T) {
+	j := NewJoint(2)
+	for x := 0; x < 4; x++ {
+		j.Add([]int{x, x}, 1)
+	}
+	if mi := j.MutualInfo([]int{0}, []int{1}, nil); !approx(mi, 2) {
+		t.Errorf("I(X;X) = %v, want 2", mi)
+	}
+	if ce := j.CondEntropy([]int{0}, []int{1}); !approx(ce, 0) {
+		t.Errorf("H(X|X) = %v, want 0", ce)
+	}
+}
+
+func TestXORTriple(t *testing.T) {
+	// Z = X xor Y with X,Y independent fair bits: pairwise independent,
+	// jointly dependent. The classic CMI check: I(X;Y) = 0 but
+	// I(X;Y|Z) = 1.
+	j := NewJoint(3)
+	for x := 0; x < 2; x++ {
+		for y := 0; y < 2; y++ {
+			j.Add([]int{x, y, x ^ y}, 1)
+		}
+	}
+	if mi := j.MutualInfo([]int{0}, []int{1}, nil); !approx(mi, 0) {
+		t.Errorf("I(X;Y) = %v, want 0", mi)
+	}
+	if mi := j.MutualInfo([]int{0}, []int{1}, []int{2}); !approx(mi, 1) {
+		t.Errorf("I(X;Y|Z) = %v, want 1", mi)
+	}
+	if mi := j.MutualInfo([]int{0, 1}, []int{2}, nil); !approx(mi, 1) {
+		t.Errorf("I(X,Y;Z) = %v, want 1", mi)
+	}
+}
+
+func TestChainRuleIdentity(t *testing.T) {
+	// H(A,B) = H(A) + H(B|A) on an arbitrary distribution.
+	j := NewJoint(2)
+	j.Add([]int{0, 0}, 0.5)
+	j.Add([]int{0, 1}, 0.25)
+	j.Add([]int{1, 0}, 0.125)
+	j.Add([]int{1, 1}, 0.125)
+	lhs := j.Entropy(0, 1)
+	rhs := j.Entropy(0) + j.CondEntropy([]int{1}, []int{0})
+	if !approx(lhs, rhs) {
+		t.Errorf("chain rule violated: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestConditioningReducesEntropy(t *testing.T) {
+	j := NewJoint(2)
+	j.Add([]int{0, 0}, 3)
+	j.Add([]int{0, 1}, 1)
+	j.Add([]int{1, 0}, 1)
+	j.Add([]int{1, 1}, 3)
+	if j.CondEntropy([]int{0}, []int{1}) > j.Entropy(0)+eps {
+		t.Error("H(A|B) > H(A)")
+	}
+}
+
+func TestMutualInfoNonNegativeClamp(t *testing.T) {
+	j := NewJoint(2)
+	for x := 0; x < 3; x++ {
+		for y := 0; y < 3; y++ {
+			j.Add([]int{x, y}, 1.0/9)
+		}
+	}
+	if mi := j.MutualInfo([]int{0}, []int{1}, nil); mi < 0 {
+		t.Errorf("clamp failed: %v", mi)
+	}
+}
+
+func TestAddPanics(t *testing.T) {
+	j := NewJoint(2)
+	for _, tc := range []struct {
+		name string
+		f    func()
+	}{
+		{"wrong arity", func() { j.Add([]int{1}, 1) }},
+		{"negative mass", func() { j.Add([]int{1, 2}, -1) }},
+		{"bad var", func() { j.Entropy(5) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", tc.name)
+				}
+			}()
+			tc.f()
+		}()
+	}
+}
+
+func TestBinaryEntropy(t *testing.T) {
+	if !approx(BinaryEntropy(0.5), 1) {
+		t.Error("H(1/2) != 1")
+	}
+	if BinaryEntropy(0) != 0 || BinaryEntropy(1) != 0 {
+		t.Error("H(0) or H(1) != 0")
+	}
+	if !approx(BinaryEntropy(0.25), 0.8112781244591328) {
+		t.Errorf("H(1/4) = %v", BinaryEntropy(0.25))
+	}
+}
+
+func TestEntropyOf(t *testing.T) {
+	if !approx(EntropyOf([]float64{1, 1, 1, 1}), 2) {
+		t.Error("EntropyOf uniform-4 != 2")
+	}
+	if EntropyOf(nil) != 0 {
+		t.Error("EntropyOf(nil) != 0")
+	}
+	if EntropyOf([]float64{0, 5, 0}) != 0 {
+		t.Error("EntropyOf point mass != 0")
+	}
+}
+
+func TestChernoffLowerTail(t *testing.T) {
+	if p := ChernoffLowerTail(100, 0.5); p > math.Exp(-12) {
+		t.Errorf("tail bound too weak: %v", p)
+	}
+	if ChernoffLowerTail(100, 0) != 1 {
+		t.Error("delta=0 should give trivial bound")
+	}
+	if ChernoffLowerTail(10, 2) != ChernoffLowerTail(10, 1) {
+		t.Error("delta should clamp at 1")
+	}
+}
+
+func TestInterner(t *testing.T) {
+	in := NewInterner()
+	a := in.ID("hello")
+	b := in.ID("world")
+	if a == b {
+		t.Error("distinct strings share id")
+	}
+	if in.ID("hello") != a {
+		t.Error("repeat lookup changed id")
+	}
+	if in.Len() != 2 {
+		t.Errorf("Len = %d", in.Len())
+	}
+}
+
+func TestSupportAndMass(t *testing.T) {
+	j := NewJoint(1)
+	j.Add([]int{1}, 0.5)
+	j.Add([]int{1}, 0.5)
+	j.Add([]int{2}, 1)
+	if j.Support() != 2 {
+		t.Errorf("Support = %d", j.Support())
+	}
+	if !approx(j.Mass(), 2) {
+		t.Errorf("Mass = %v", j.Mass())
+	}
+}
+
+func TestDataProcessingInequality(t *testing.T) {
+	// Z = f(Y) (drop one bit): I(X;Z) <= I(X;Y).
+	j := NewJoint(3)
+	// X two bits; Y = X; Z = low bit of Y.
+	for x := 0; x < 4; x++ {
+		j.Add([]int{x, x, x & 1}, 1)
+	}
+	ixy := j.MutualInfo([]int{0}, []int{1}, nil)
+	ixz := j.MutualInfo([]int{0}, []int{2}, nil)
+	if ixz > ixy+eps {
+		t.Errorf("DPI violated: I(X;Z)=%v > I(X;Y)=%v", ixz, ixy)
+	}
+}

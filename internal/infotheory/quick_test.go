@@ -1,0 +1,128 @@
+package infotheory
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// randomJoint builds a random 3-variable joint distribution with small
+// alphabets from a seed.
+func randomJoint(seed uint64) *Joint {
+	src := rng.NewSource(seed)
+	j := NewJoint(3)
+	a := 2 + src.Intn(3)
+	b := 2 + src.Intn(3)
+	c := 2 + src.Intn(3)
+	for x := 0; x < a; x++ {
+		for y := 0; y < b; y++ {
+			for z := 0; z < c; z++ {
+				if src.Intn(4) > 0 { // leave some holes
+					j.Add([]int{x, y, z}, src.Float64()+0.01)
+				}
+			}
+		}
+	}
+	if j.Support() == 0 {
+		j.Add([]int{0, 0, 0}, 1)
+	}
+	return j
+}
+
+// Property: entropies are non-negative and monotone under adding
+// variables: H(A) <= H(A,B).
+func TestEntropyMonotoneQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		j := randomJoint(seed)
+		hA := j.Entropy(0)
+		hAB := j.Entropy(0, 1)
+		hABC := j.Entropy(0, 1, 2)
+		return hA >= -tolQ && hA <= hAB+tolQ && hAB <= hABC+tolQ
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+const tolQ = 1e-9
+
+// Property: conditioning reduces entropy — H(A|B) <= H(A); conditioning
+// on more reduces further: H(A|B,C) <= H(A|B).
+func TestConditioningReducesQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		j := randomJoint(seed)
+		hA := j.Entropy(0)
+		hAgB := j.CondEntropy([]int{0}, []int{1})
+		hAgBC := j.CondEntropy([]int{0}, []int{1, 2})
+		return hAgB <= hA+tolQ && hAgBC <= hAgB+tolQ && hAgBC >= -tolQ
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mutual information is non-negative and symmetric.
+func TestMutualInfoSymmetricQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		j := randomJoint(seed)
+		iAB := j.MutualInfo([]int{0}, []int{1}, nil)
+		iBA := j.MutualInfo([]int{1}, []int{0}, nil)
+		if iAB < 0 || iBA < 0 {
+			return false
+		}
+		return abs(iAB-iBA) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: chain rule for mutual information (the paper's Fact 2.2-(5)):
+// I(A,B;C) = I(A;C) + I(B;C|A).
+func TestChainRuleMIQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		j := randomJoint(seed)
+		lhs := j.MutualInfo([]int{0, 1}, []int{2}, nil)
+		rhs := j.MutualInfo([]int{0}, []int{2}, nil) + j.MutualInfo([]int{1}, []int{2}, []int{0})
+		return abs(lhs-rhs) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: H(A,B) = H(A) + H(B|A) (the paper's Fact 2.2-(4)).
+func TestChainRuleEntropyQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		j := randomJoint(seed)
+		lhs := j.Entropy(0, 1)
+		rhs := j.Entropy(0) + j.CondEntropy([]int{1}, []int{0})
+		return abs(lhs-rhs) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the paper's Proposition 2.3 precondition-free weakening —
+// I(A;B|C) >= 0 always, and data processing on deterministic functions:
+// merging B into (B,C) cannot lose information: I(A;B) <= I(A;B,C).
+func TestMoreVariablesMoreInfoQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		j := randomJoint(seed)
+		iAB := j.MutualInfo([]int{0}, []int{1}, nil)
+		iABC := j.MutualInfo([]int{0}, []int{1, 2}, nil)
+		return iAB <= iABC+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,242 @@
+// Package l0 implements ℓ₀-sampling linear sketches over signed integer
+// vectors, the building block of the AGM graph sketches (package agm).
+//
+// A OneSparse cell exactly recovers a vector with at most one nonzero
+// coordinate and detects (with high probability, via a polynomial
+// fingerprint) that a vector has more than one. A Sampler stacks
+// OneSparse cells over geometrically subsampled index sets, so that for
+// any nonzero vector some level is 1-sparse with constant probability and
+// a uniform-ish nonzero coordinate can be recovered.
+//
+// Everything is linear: sketches of two vectors can be added cell-wise to
+// obtain the sketch of the sum, which is exactly what lets the AGM referee
+// merge vertex sketches into component sketches with all internal edges
+// cancelling.
+package l0
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/field"
+	"repro/internal/hashing"
+	"repro/internal/rng"
+)
+
+// maxMagnitude bounds the |value| a OneSparse cell will report when
+// mapping a field element back to a signed integer. Graph sketches only
+// use ±1 deltas with bounded accumulation, so a small bound suffices and
+// everything above it is treated as "not one-sparse".
+const maxMagnitude = 1 << 20
+
+// OneSparse is a linear sketch that recovers vectors with exactly one
+// nonzero coordinate: it maintains in GF(p) the value sum, the
+// index-weighted sum and a fingerprint sum Σ w_i·z^{i+1}.
+type OneSparse struct {
+	valSum field.Elem // Σ w_i
+	idxSum field.Elem // Σ w_i · i
+	fpSum  field.Elem // Σ w_i · z^{i+1}
+}
+
+// Update adds delta at the given index.
+func (o *OneSparse) Update(index uint64, delta int64, z field.Elem) {
+	w := elemFromSigned(delta)
+	o.valSum = field.Add(o.valSum, w)
+	o.idxSum = field.Add(o.idxSum, field.Mul(w, field.Reduce(index)))
+	// z^{i+1} so that index 0 still contributes to the fingerprint.
+	o.fpSum = field.Add(o.fpSum, field.Mul(w, field.Pow(z, index+1)))
+}
+
+// Add merges another cell into o (vector addition).
+func (o *OneSparse) Add(other OneSparse) {
+	o.valSum = field.Add(o.valSum, other.valSum)
+	o.idxSum = field.Add(o.idxSum, other.idxSum)
+	o.fpSum = field.Add(o.fpSum, other.fpSum)
+}
+
+// IsZero reports whether the cell is consistent with the all-zero vector.
+func (o *OneSparse) IsZero() bool {
+	return o.valSum == 0 && o.idxSum == 0 && o.fpSum == 0
+}
+
+// Recover returns (index, value) if the sketched vector has exactly one
+// nonzero coordinate in [0, universe). The fingerprint makes a false
+// positive on a >1-sparse vector occur with probability at most
+// universe/p over the choice of z.
+func (o *OneSparse) Recover(universe uint64, z field.Elem) (index uint64, value int64, ok bool) {
+	if o.IsZero() || o.valSum == 0 {
+		return 0, 0, false
+	}
+	v, ok := signedFromElem(o.valSum)
+	if !ok {
+		return 0, 0, false
+	}
+	idx := field.Mul(o.idxSum, field.Inv(o.valSum))
+	if uint64(idx) >= universe {
+		return 0, 0, false
+	}
+	if field.Mul(o.valSum, field.Pow(z, uint64(idx)+1)) != o.fpSum {
+		return 0, 0, false
+	}
+	return uint64(idx), v, true
+}
+
+// write serializes the cell (3 × 61 bits).
+func (o *OneSparse) write(w *bitio.Writer) {
+	w.WriteUint(uint64(o.valSum), 61)
+	w.WriteUint(uint64(o.idxSum), 61)
+	w.WriteUint(uint64(o.fpSum), 61)
+}
+
+// readOneSparse deserializes a cell.
+func readOneSparse(r *bitio.Reader) (OneSparse, error) {
+	var o OneSparse
+	for _, dst := range []*field.Elem{&o.valSum, &o.idxSum, &o.fpSum} {
+		v, err := r.ReadUint(61)
+		if err != nil {
+			return o, err
+		}
+		if v >= field.P {
+			return o, errors.New("l0: field element out of range")
+		}
+		*dst = field.Elem(v)
+	}
+	return o, nil
+}
+
+// elemFromSigned embeds a signed integer into GF(p).
+func elemFromSigned(v int64) field.Elem {
+	if v >= 0 {
+		return field.Reduce(uint64(v))
+	}
+	return field.Neg(field.Reduce(uint64(-v)))
+}
+
+// signedFromElem inverts elemFromSigned for |v| <= maxMagnitude.
+func signedFromElem(e field.Elem) (int64, bool) {
+	if uint64(e) <= maxMagnitude {
+		return int64(e), true
+	}
+	if uint64(e) >= field.P-maxMagnitude {
+		return -int64(field.P - uint64(e)), true
+	}
+	return 0, false
+}
+
+// Spec fixes the public randomness of one ℓ₀-sampler instance: the index
+// universe, the number of subsampling levels, the level hash and the
+// fingerprint point. Two parties constructing a Spec from the same public
+// coins obtain interchangeable sketches.
+type Spec struct {
+	universe uint64
+	levels   int
+	hash     *hashing.Family
+	z        field.Elem
+}
+
+// NewSpec derives a sampler specification from public coins. Levels
+// covers the universe: level ℓ subsamples indices with probability 2^-ℓ.
+func NewSpec(universe uint64, coins *rng.PublicCoins) Spec {
+	levels := 2
+	for u := universe; u > 0; u >>= 1 {
+		levels++
+	}
+	src := coins.Derive("l0-spec").Source()
+	z := field.Reduce(src.Uint64())
+	if z == 0 {
+		z = 1
+	}
+	return Spec{
+		universe: universe,
+		levels:   levels,
+		hash:     hashing.New(2, coins.Derive("l0-hash").Source()),
+		z:        z,
+	}
+}
+
+// Universe returns the index universe size.
+func (sp Spec) Universe() uint64 { return sp.universe }
+
+// Levels returns the number of subsampling levels.
+func (sp Spec) Levels() int { return sp.levels }
+
+// Sketch is the linear ℓ₀-sampling sketch of one vector under a Spec.
+type Sketch struct {
+	cells []OneSparse
+}
+
+// NewSketch returns the all-zero sketch.
+func (sp Spec) NewSketch() *Sketch {
+	return &Sketch{cells: make([]OneSparse, sp.levels)}
+}
+
+// Update adds delta to the vector coordinate at index.
+func (sp Spec) Update(sk *Sketch, index uint64, delta int64) {
+	if index >= sp.universe {
+		panic(fmt.Sprintf("l0: index %d outside universe %d", index, sp.universe))
+	}
+	lvl := sp.hash.Level(index, sp.levels-1)
+	// Index participates in levels 0..lvl.
+	for l := 0; l <= lvl; l++ {
+		sk.cells[l].Update(index, delta, sp.z)
+	}
+}
+
+// Add merges another sketch into sk. Both must stem from the same Spec.
+func (sk *Sketch) Add(other *Sketch) error {
+	if len(sk.cells) != len(other.cells) {
+		return fmt.Errorf("l0: merging sketches with %d and %d levels", len(sk.cells), len(other.cells))
+	}
+	for i := range sk.cells {
+		sk.cells[i].Add(other.cells[i])
+	}
+	return nil
+}
+
+// Sample attempts to recover one nonzero coordinate of the sketched
+// vector. It scans levels from the most aggressive subsampling down,
+// returning the first successful one-sparse recovery. For a nonzero
+// vector it succeeds with constant probability over the Spec's coins; for
+// the zero vector it reports ok = false (and zero = true via IsZero).
+func (sp Spec) Sample(sk *Sketch) (index uint64, value int64, ok bool) {
+	for l := len(sk.cells) - 1; l >= 0; l-- {
+		if idx, v, ok := sk.cells[l].Recover(sp.universe, sp.z); ok {
+			return idx, v, true
+		}
+	}
+	return 0, 0, false
+}
+
+// IsZero reports whether every cell is consistent with the zero vector.
+func (sk *Sketch) IsZero() bool {
+	for i := range sk.cells {
+		if !sk.cells[i].IsZero() {
+			return false
+		}
+	}
+	return true
+}
+
+// BitLen returns the serialized size of the sketch in bits.
+func (sk *Sketch) BitLen() int { return len(sk.cells) * 3 * 61 }
+
+// Write serializes the sketch.
+func (sk *Sketch) Write(w *bitio.Writer) {
+	for i := range sk.cells {
+		sk.cells[i].write(w)
+	}
+}
+
+// ReadSketch deserializes a sketch produced under sp.
+func (sp Spec) ReadSketch(r *bitio.Reader) (*Sketch, error) {
+	sk := sp.NewSketch()
+	for i := range sk.cells {
+		cell, err := readOneSparse(r)
+		if err != nil {
+			return nil, fmt.Errorf("l0: level %d: %w", i, err)
+		}
+		sk.cells[i] = cell
+	}
+	return sk, nil
+}

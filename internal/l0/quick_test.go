@@ -1,0 +1,96 @@
+package l0
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitio"
+	"repro/internal/rng"
+)
+
+// Property: linearity. For any two update sequences, sketch(A) merged
+// with sketch(B) equals sketch(A++B), cell for cell.
+func TestLinearityQuick(t *testing.T) {
+	f := func(seed uint64, nA, nB uint8) bool {
+		coins := rng.NewPublicCoins(seed)
+		sp := NewSpec(256, coins)
+		src := rng.NewSource(seed ^ 0xabc)
+		a, b, direct := sp.NewSketch(), sp.NewSketch(), sp.NewSketch()
+		apply := func(sk *Sketch, count int) {
+			for i := 0; i < count; i++ {
+				idx := uint64(src.Intn(256))
+				delta := int64(src.Intn(7)) - 3
+				sp.Update(sk, idx, delta)
+				sp.Update(direct, idx, delta)
+			}
+		}
+		apply(a, int(nA%20))
+		apply(b, int(nB%20))
+		if err := a.Add(b); err != nil {
+			return false
+		}
+		for i := range a.cells {
+			if a.cells[i] != direct.cells[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a sampled coordinate is always a true support coordinate
+// with its true value (no false recoveries), over random sparse vectors.
+func TestSampleSoundnessQuick(t *testing.T) {
+	f := func(seed uint64, sparsity uint8) bool {
+		coins := rng.NewPublicCoins(seed)
+		sp := NewSpec(512, coins)
+		src := rng.NewSource(seed ^ 0x123)
+		sk := sp.NewSketch()
+		vec := make(map[uint64]int64)
+		for i := 0; i < int(sparsity%40); i++ {
+			idx := uint64(src.Intn(512))
+			delta := int64(src.Intn(5)) - 2
+			vec[idx] += delta
+			sp.Update(sk, idx, delta)
+		}
+		idx, v, ok := sp.Sample(sk)
+		if !ok {
+			return true // failure to sample is allowed; wrong samples are not
+		}
+		return vec[idx] == v && v != 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: serialization round trip is exact for any update sequence.
+func TestSerializationQuick(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		coins := rng.NewPublicCoins(seed)
+		sp := NewSpec(128, coins)
+		src := rng.NewSource(seed)
+		sk := sp.NewSketch()
+		for i := 0; i < int(n%30); i++ {
+			sp.Update(sk, uint64(src.Intn(128)), int64(src.Intn(3))-1)
+		}
+		var w bitio.Writer
+		sk.Write(&w)
+		got, err := sp.ReadSketch(bitio.ReaderFor(&w))
+		if err != nil {
+			return false
+		}
+		for i := range sk.cells {
+			if got.cells[i] != sk.cells[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,65 @@
+package matchproto
+
+import (
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Prefix is the deterministic bounded-budget candidate: every vertex
+// sends the first Bits entries of its adjacency-bitmap row. The referee
+// learns edge {u,v} iff u < Bits or v < Bits (one endpoint's row covers
+// the other's column), reconstructs that partial graph, and outputs a
+// greedy maximal matching of it. Edges entirely inside the unseen suffix
+// make the output non-maximal, so success decays as Bits shrinks — a
+// deterministic companion to EdgeSample in the Theorem 1 sweeps.
+type Prefix struct {
+	// Bits is the per-player budget; each player sends min(Bits, n) bits.
+	Bits int
+}
+
+var _ core.Protocol[[]graph.Edge] = (*Prefix)(nil)
+
+// Name implements core.Protocol.
+func (p *Prefix) Name() string { return fmt.Sprintf("prefix-%d", p.Bits) }
+
+// Sketch implements core.Protocol.
+func (p *Prefix) Sketch(view core.VertexView, _ *rng.PublicCoins) (*bitio.Writer, error) {
+	w := &bitio.Writer{}
+	cols := p.Bits
+	if cols > view.N {
+		cols = view.N
+	}
+	next := 0
+	for u := 0; u < cols; u++ {
+		for next < len(view.Neighbors) && view.Neighbors[next] < u {
+			next++
+		}
+		w.WriteBit(next < len(view.Neighbors) && view.Neighbors[next] == u)
+	}
+	return w, nil
+}
+
+// Decode implements core.Protocol.
+func (p *Prefix) Decode(n int, sketches []*bitio.Reader, _ *rng.PublicCoins) ([]graph.Edge, error) {
+	cols := p.Bits
+	if cols > n {
+		cols = n
+	}
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for u := 0; u < cols; u++ {
+			bit, err := sketches[v].ReadBit()
+			if err != nil {
+				return nil, fmt.Errorf("matchproto: prefix sketch %d: %w", v, err)
+			}
+			if bit && u != v {
+				b.AddEdge(v, u)
+			}
+		}
+	}
+	return graph.GreedyMaximalMatching(b.Build(), nil), nil
+}

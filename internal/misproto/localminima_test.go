@@ -1,0 +1,77 @@
+package misproto
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestLocalMinimaAlwaysIndependent(t *testing.T) {
+	src := rng.NewSource(1)
+	coins := rng.NewPublicCoins(2)
+	for trial := 0; trial < 20; trial++ {
+		g := gen.Gnp(60, 0.2, src)
+		res, err := core.Run[[]int](LocalMinima{}, g, coins.DeriveIndex(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !graph.IsIndependentSet(g, res.Output) {
+			t.Fatal("local minima produced a dependent set")
+		}
+		if res.MaxSketchBits != 1 {
+			t.Fatalf("sketch = %d bits, want 1", res.MaxSketchBits)
+		}
+	}
+}
+
+func TestLocalMinimaRarelyMaximal(t *testing.T) {
+	// On sparse-ish random graphs the local-minima set leaves undominated
+	// vertices almost always: independence is 1-bit-cheap, maximality is
+	// what Theorem 2 makes expensive.
+	src := rng.NewSource(3)
+	coins := rng.NewPublicCoins(4)
+	maximal := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		g := gen.Gnp(80, 0.1, src)
+		res, err := core.Run[[]int](LocalMinima{}, g, coins.DeriveIndex(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if graph.IsMaximalIndependentSet(g, res.Output) {
+			maximal++
+		}
+	}
+	if maximal > trials/4 {
+		t.Errorf("local minima maximal in %d/%d trials; expected rarity", maximal, trials)
+	}
+}
+
+func TestLocalMinimaEmptyGraphTakesEverything(t *testing.T) {
+	g := graph.NewBuilder(7).Build()
+	res, err := core.Run[[]int](LocalMinima{}, g, rng.NewPublicCoins(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 7 {
+		t.Errorf("edge-free graph: output size %d, want 7", len(res.Output))
+	}
+}
+
+func TestLocalMinimaCompleteGraphSingleton(t *testing.T) {
+	g := gen.Complete(15)
+	res, err := core.Run[[]int](LocalMinima{}, g, rng.NewPublicCoins(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 1 {
+		t.Errorf("K15: output size %d, want exactly 1 (the global min)", len(res.Output))
+	}
+	// On a complete graph, one vertex IS a maximal IS.
+	if !graph.IsMaximalIndependentSet(g, res.Output) {
+		t.Error("singleton not maximal on K15")
+	}
+}

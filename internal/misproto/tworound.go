@@ -1,0 +1,280 @@
+package misproto
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitio"
+	"repro/internal/cclique"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// TwoRound is the adaptive two-round MIS protocol (Ghaffari et al. [35]
+// flavor). All parties share a public random rank order π.
+//
+// Round 1: every vertex broadcasts ~√n random neighbors. Everyone
+// computes the candidate set S₁ = greedy MIS of the sampled graph in π
+// order. S₁ dominates every vertex in the sampled graph (so every vertex
+// outside S₁ has an S₁-neighbor in G), but S₁ can contain adjacent pairs
+// whose edge the samples missed.
+//
+// Round 2: each vertex v, consulting its full neighborhood:
+//   - if v ∈ S₁ and some true neighbor u ∈ S₁ has smaller rank, v raises
+//     a conflict bit and broadcasts its S₁-neighbor list. Every conflict
+//     edge inside S₁ has its larger-rank endpoint raising the bit, so the
+//     referee learns the *complete* conflict graph on S₁;
+//   - if v ∈ S₁ otherwise, v broadcasts a single 0 bit;
+//   - if v ∉ S₁, v broadcasts its S₁-neighbor list (domination test) and
+//     its non-S₁-neighbor list (extension edges), both capped.
+//
+// The referee computes a true greedy MIS F of the (fully known) conflict
+// graph on S₁, then extends F in rank order with undominated non-S₁
+// vertices using the reported edges. Only cap overflows can cost
+// correctness; those failures are measured, never silently ignored.
+type TwoRound struct {
+	// SamplesPerVertex is the round-1 budget in neighbors; 0 = ⌈√n⌉.
+	SamplesPerVertex int
+	// Cap bounds each round-2 list in entries; 0 = ⌈2·√n·log2(n+1)⌉.
+	Cap int
+
+	// memo caches the shared round-1 derivation for the current
+	// transcript: in a real deployment each party computes it once; the
+	// simulator would otherwise recompute it per player. Not safe for
+	// concurrent use.
+	memo struct {
+		transcript *cclique.Transcript
+		rank       []int
+		s1         []int
+		inS1       []bool
+	}
+}
+
+var _ cclique.Protocol[[]int] = (*TwoRound)(nil)
+
+// NewTwoRound returns the protocol with default budgets.
+func NewTwoRound() *TwoRound { return &TwoRound{} }
+
+// Name implements cclique.Protocol.
+func (p *TwoRound) Name() string { return "two-round-mis" }
+
+// Rounds implements cclique.Protocol.
+func (p *TwoRound) Rounds() int { return 2 }
+
+func (p *TwoRound) samples(n int) int {
+	if p.SamplesPerVertex > 0 {
+		return p.SamplesPerVertex
+	}
+	return int(math.Ceil(math.Sqrt(float64(n))))
+}
+
+func (p *TwoRound) listCap(n int) int {
+	if p.Cap > 0 {
+		return p.Cap
+	}
+	return int(math.Ceil(2 * math.Sqrt(float64(n)) * math.Log2(float64(n)+1)))
+}
+
+// candidateSet computes (rank, S₁, membership) from round-1 broadcasts;
+// identical at every party, memoized per transcript.
+func (p *TwoRound) candidateSet(n int, transcript *cclique.Transcript, coins *rng.PublicCoins) ([]int, []int, []bool, error) {
+	if p.memo.transcript == transcript {
+		return p.memo.rank, p.memo.s1, p.memo.inS1, nil
+	}
+	sketches := make([]*bitio.Reader, n)
+	for v := 0; v < n; v++ {
+		sketches[v] = transcript.Message(0, v)
+	}
+	sampled, err := readSampledGraph(n, sketches)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rank := coins.Derive("mis-rank").Source().Perm(n)
+	s1 := graph.GreedyMIS(sampled, rank)
+	inS1 := make([]bool, n)
+	for _, v := range s1 {
+		inS1[v] = true
+	}
+	p.memo.transcript = transcript
+	p.memo.rank, p.memo.s1, p.memo.inS1 = rank, s1, inS1
+	return rank, s1, inS1, nil
+}
+
+// Broadcast implements cclique.Protocol.
+func (p *TwoRound) Broadcast(round int, view core.VertexView, transcript *cclique.Transcript, coins *rng.PublicCoins) (*bitio.Writer, error) {
+	switch round {
+	case 0:
+		return sampleSketch(view, p.samples(view.N), coins), nil
+	case 1:
+		rank, _, inS1, err := p.candidateSet(view.N, transcript, coins)
+		if err != nil {
+			return nil, err
+		}
+		pos := make([]int, view.N)
+		for i, v := range rank {
+			pos[v] = i
+		}
+		limit := p.listCap(view.N)
+		idWidth := bitio.UintWidth(view.N)
+		src := coins.Derive("mis-cap").DeriveIndex(view.ID).Source()
+		w := &bitio.Writer{}
+
+		writeCapped := func(lst []int) {
+			if len(lst) > limit {
+				src.Shuffle(len(lst), func(i, j int) { lst[i], lst[j] = lst[j], lst[i] })
+				lst = lst[:limit]
+			}
+			w.WriteUvarint(uint64(len(lst)))
+			for _, u := range lst {
+				w.WriteUint(uint64(u), idWidth)
+			}
+		}
+
+		var dominators, residual []int
+		for _, u := range view.Neighbors {
+			if inS1[u] {
+				dominators = append(dominators, u)
+			} else {
+				residual = append(residual, u)
+			}
+		}
+
+		if inS1[view.ID] {
+			conflict := false
+			for _, u := range dominators {
+				if pos[u] < pos[view.ID] {
+					conflict = true
+					break
+				}
+			}
+			w.WriteBit(conflict)
+			if !conflict {
+				return w, nil
+			}
+			// Conflicted member: report the S₁-neighbor list so the
+			// referee learns the conflict edges (the larger-rank endpoint
+			// of every S₁-conflict edge lands here).
+			writeCapped(dominators)
+			return w, nil
+		}
+		// Outside S₁: domination witnesses plus extension edges.
+		writeCapped(dominators)
+		writeCapped(residual)
+		return w, nil
+	default:
+		return nil, fmt.Errorf("misproto: unexpected round %d", round)
+	}
+}
+
+// Decode implements cclique.Protocol.
+func (p *TwoRound) Decode(n int, transcript *cclique.Transcript, coins *rng.PublicCoins) ([]int, error) {
+	rank, s1, inS1, err := p.candidateSet(n, transcript, coins)
+	if err != nil {
+		return nil, err
+	}
+	idWidth := bitio.UintWidth(n)
+	dominators := make([][]int, n)
+	residual := make([][]int, n)
+
+	readList := func(r *bitio.Reader, v int) ([]int, error) {
+		k, err := r.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		var out []int
+		for i := uint64(0); i < k; i++ {
+			u, err := r.ReadUint(idWidth)
+			if err != nil {
+				return nil, err
+			}
+			if int(u) != v && int(u) < n {
+				out = append(out, int(u))
+			}
+		}
+		return out, nil
+	}
+
+	for v := 0; v < n; v++ {
+		r := transcript.Message(1, v)
+		if inS1[v] {
+			conflict, err := r.ReadBit()
+			if err != nil {
+				return nil, fmt.Errorf("misproto: round-2 message %d: %w", v, err)
+			}
+			if !conflict {
+				continue
+			}
+			if dominators[v], err = readList(r, v); err != nil {
+				return nil, fmt.Errorf("misproto: round-2 message %d: %w", v, err)
+			}
+			continue
+		}
+		if dominators[v], err = readList(r, v); err != nil {
+			return nil, fmt.Errorf("misproto: round-2 message %d: %w", v, err)
+		}
+		if residual[v], err = readList(r, v); err != nil {
+			return nil, fmt.Errorf("misproto: round-2 message %d: %w", v, err)
+		}
+	}
+
+	// F: true greedy MIS of the conflict graph on S₁. Every conflict edge
+	// was reported by its larger-rank endpoint, so within S₁ the referee
+	// has complete knowledge.
+	conflictB := graph.NewBuilder(n)
+	for _, v := range s1 {
+		for _, u := range dominators[v] {
+			if inS1[u] {
+				conflictB.AddEdge(v, u)
+			}
+		}
+	}
+	conflictG := conflictB.Build()
+	inSet := make([]bool, n)
+	var out []int
+	for _, v := range rank {
+		if !inS1[v] {
+			continue
+		}
+		free := true
+		conflictG.EachNeighbor(v, func(u int) {
+			if inSet[u] {
+				free = false
+			}
+		})
+		if free {
+			inSet[v] = true
+			out = append(out, v)
+		}
+	}
+
+	// Extension: non-S₁ vertices not dominated by F, in rank order, using
+	// every reported edge (residual lists both ways plus dominator lists).
+	known := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for _, u := range residual[v] {
+			known.AddEdge(v, u)
+		}
+		for _, u := range dominators[v] {
+			known.AddEdge(v, u)
+		}
+	}
+	kg := known.Build()
+
+	for _, v := range rank {
+		if inS1[v] || inSet[v] {
+			continue
+		}
+		free := true
+		kg.EachNeighbor(v, func(u int) {
+			if inSet[u] {
+				free = false
+			}
+		})
+		if free {
+			inSet[v] = true
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}

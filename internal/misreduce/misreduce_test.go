@@ -1,0 +1,198 @@
+package misreduce
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/harddist"
+	"repro/internal/misproto"
+	"repro/internal/rng"
+	"repro/internal/rsgraph"
+)
+
+func sampleInstance(t testing.TB, m, k int, seed uint64) *harddist.Instance {
+	t.Helper()
+	rs, err := rsgraph.BuildBehrend(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := harddist.Sample(harddist.Params{RS: rs, K: k, DropProb: 0.5}, rng.NewSource(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestBuildHStructure(t *testing.T) {
+	inst := sampleInstance(t, 10, 5, 1)
+	n := inst.G.N()
+	h := BuildH(inst)
+	if h.N() != 2*n {
+		t.Fatalf("H has %d vertices, want %d", h.N(), 2*n)
+	}
+	// Both copies contain G's edges.
+	for _, e := range inst.G.Edges() {
+		if !h.HasEdge(e.U, e.V) {
+			t.Fatalf("left copy missing edge %v", e)
+		}
+		if !h.HasEdge(n+e.U, n+e.V) {
+			t.Fatalf("right copy missing edge %v", e)
+		}
+	}
+	// Full biclique between public copies, including self pairs.
+	pub := inst.PublicVertices()
+	for _, u := range pub {
+		for _, v := range pub {
+			if !h.HasEdge(u, n+v) {
+				t.Fatalf("missing red edge (%dℓ, %dr)", u, v)
+			}
+		}
+	}
+	// No red edges touching unique vertices.
+	for i := 0; i < inst.Params.K; i++ {
+		for _, u := range inst.UniqueVertices(i) {
+			h.EachNeighbor(u, func(w int) {
+				if w >= n {
+					t.Fatalf("unique left copy %d has cross edge to %d", u, w)
+				}
+			})
+		}
+	}
+	// Expected edge count: 2|E(G)| + |P|^2 (self pairs included, u-v and
+	// v-u collapse into the same undirected edge... they do not: (uℓ,vr)
+	// and (vℓ,ur) are distinct undirected edges for u != v).
+	want := 2*inst.G.M() + len(pub)*len(pub)
+	if h.M() != want {
+		t.Errorf("H has %d edges, want %d", h.M(), want)
+	}
+}
+
+func TestMISCannotKeepBothPublicSides(t *testing.T) {
+	inst := sampleInstance(t, 8, 4, 2)
+	h := BuildH(inst)
+	// Exercise several genuine maximal IS of H.
+	src := rng.NewSource(3)
+	for trial := 0; trial < 20; trial++ {
+		mis := graph.GreedyMIS(h, src.Perm(h.N()))
+		if !graph.IsMaximalIndependentSet(h, mis) {
+			t.Fatal("greedy MIS invalid")
+		}
+		rec := Recover(inst, mis)
+		if !rec.LeftPublicEmpty && !rec.RightPublicEmpty {
+			t.Fatal("maximal IS intersects public vertices on both sides of the biclique")
+		}
+		if rec.Good == nil {
+			t.Fatal("no good side despite one public side being empty")
+		}
+	}
+}
+
+func TestLemma41OnGoodSide(t *testing.T) {
+	// The core of Theorem 2: for any maximal IS of H, the public-empty
+	// side's unique copies encode the survival pattern exactly.
+	inst := sampleInstance(t, 10, 10, 4)
+	h := BuildH(inst)
+	src := rng.NewSource(5)
+	for trial := 0; trial < 20; trial++ {
+		mis := graph.GreedyMIS(h, src.Perm(h.N()))
+		rec := Recover(inst, mis)
+		var err error
+		switch {
+		case rec.LeftPublicEmpty:
+			err = CheckLemma41(inst, mis, true)
+		case rec.RightPublicEmpty:
+			err = CheckLemma41(inst, mis, false)
+		default:
+			t.Fatal("no public-empty side")
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestGoodSideRecoversExactlySurvivedEdges(t *testing.T) {
+	inst := sampleInstance(t, 10, 10, 6)
+	h := BuildH(inst)
+	src := rng.NewSource(7)
+	survived := make(map[graph.Edge]bool)
+	for i := 0; i < inst.Params.K; i++ {
+		for _, e := range inst.SpecialMatchingSurvived(i) {
+			survived[e] = true
+		}
+	}
+	for trial := 0; trial < 10; trial++ {
+		mis := graph.GreedyMIS(h, src.Perm(h.N()))
+		rec := Recover(inst, mis)
+		if len(rec.Good) != len(survived) {
+			t.Fatalf("good side has %d edges, survived %d", len(rec.Good), len(survived))
+		}
+		for _, e := range rec.Good {
+			if !survived[e] {
+				t.Fatalf("good side contains phantom %v", e)
+			}
+		}
+	}
+}
+
+func TestRunWithTrivialMIS(t *testing.T) {
+	inst := sampleInstance(t, 12, 12, 8)
+	res, err := Run(inst, core.NewTrivialMIS(), rng.NewPublicCoins(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.MISValid {
+		t.Fatal("trivial MIS protocol produced invalid MIS on H")
+	}
+	if !res.GoalMetGood() {
+		t.Errorf("good-side goal unmet: %d true edges, threshold %.1f, %d phantoms",
+			res.GoodTrueEdges, res.Threshold, res.GoodPhantomEdges)
+	}
+	if res.PerGVertexBits != 2*2*inst.G.N() {
+		t.Errorf("per-G-vertex bits = %d, want %d (2·|V(H)|)", res.PerGVertexBits, 4*inst.G.N())
+	}
+}
+
+func TestRunWithLowBudgetMISFails(t *testing.T) {
+	inst := sampleInstance(t, 12, 12, 10)
+	res, err := Run(inst, &misproto.NeighborSample{NeighborsPerVertex: 1}, rng.NewPublicCoins(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MISValid && res.GoalMetGood() {
+		t.Error("1-neighbor-budget MIS met the reduction goal; hard instance is not hard")
+	}
+}
+
+func TestChosenSideContainsAllSurvivedEdges(t *testing.T) {
+	// Both sides always contain every surviving edge (independence is
+	// unconditional), so the paper's larger-side rule never loses true
+	// edges — it can only add phantoms.
+	inst := sampleInstance(t, 10, 10, 12)
+	res, err := Run(inst, core.NewTrivialMIS(), rng.NewPublicCoins(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrueEdges != inst.SurvivedSpecialCount() {
+		t.Errorf("chosen side has %d true edges, survived %d", res.TrueEdges, inst.SurvivedSpecialCount())
+	}
+}
+
+func BenchmarkReductionTrivialMIS(b *testing.B) {
+	rs, err := rsgraph.BuildBehrend(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := harddist.Sample(harddist.Params{RS: rs, K: 10, DropProb: 0.5}, rng.NewSource(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	coins := rng.NewPublicCoins(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(inst, core.NewTrivialMIS(), coins); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package misreduce
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/harddist"
+	"repro/internal/rng"
+	"repro/internal/rsgraph"
+)
+
+// Property: for every sampled instance and every greedy maximal IS of H,
+// (a) at least one public side is empty, (b) Lemma 4.1 holds exactly on
+// that side, and (c) the good side equals the surviving special edges.
+func TestReductionInvariantsQuick(t *testing.T) {
+	f := func(seed uint64, mSeed, kSeed uint8) bool {
+		m := 4 + int(mSeed%8)
+		k := 1 + int(kSeed%4)
+		rs, err := rsgraph.BuildBehrend(m)
+		if err != nil {
+			return false
+		}
+		inst, err := harddist.Sample(harddist.Params{RS: rs, K: k, DropProb: 0.5}, rng.NewSource(seed))
+		if err != nil {
+			return false
+		}
+		h := BuildH(inst)
+		src := rng.NewSource(seed ^ 0x777)
+		mis := graph.GreedyMIS(h, src.Perm(h.N()))
+		rec := Recover(inst, mis)
+		if !rec.LeftPublicEmpty && !rec.RightPublicEmpty {
+			return false
+		}
+		if err := CheckLemma41(inst, mis, rec.GoodLeft); err != nil {
+			return false
+		}
+		survived := make(map[graph.Edge]bool)
+		count := 0
+		for i := 0; i < k; i++ {
+			for _, e := range inst.SpecialMatchingSurvived(i) {
+				survived[e] = true
+				count++
+			}
+		}
+		if len(rec.Good) != count {
+			return false
+		}
+		for _, e := range rec.Good {
+			if !survived[e] {
+				return false
+			}
+		}
+		// Both sides always contain every surviving edge.
+		for _, side := range [][]graph.Edge{rec.Left, rec.Right} {
+			found := 0
+			for _, e := range side {
+				if survived[e] {
+					found++
+				}
+			}
+			if found != count {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: H's structure — degree of a public ℓ-copy is its G-degree
+// plus |P| (biclique including the self pair); unique copies keep their
+// G-degree exactly.
+func TestHDegreesQuick(t *testing.T) {
+	f := func(seed uint64, mSeed uint8) bool {
+		m := 4 + int(mSeed%8)
+		rs, err := rsgraph.BuildBehrend(m)
+		if err != nil {
+			return false
+		}
+		inst, err := harddist.Sample(harddist.Params{RS: rs, K: 2, DropProb: 0.5}, rng.NewSource(seed))
+		if err != nil {
+			return false
+		}
+		h := BuildH(inst)
+		n := inst.G.N()
+		pubCount := len(inst.PublicVertices())
+		for _, v := range inst.PublicVertices() {
+			if h.Degree(v) != inst.G.Degree(v)+pubCount {
+				return false
+			}
+			if h.Degree(n+v) != inst.G.Degree(v)+pubCount {
+				return false
+			}
+		}
+		for i := 0; i < 2; i++ {
+			for _, v := range inst.UniqueVertices(i) {
+				if h.Degree(v) != inst.G.Degree(v) || h.Degree(n+v) != inst.G.Degree(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

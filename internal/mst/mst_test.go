@@ -1,0 +1,178 @@
+package mst
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/agm"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestExactMSTKnown(t *testing.T) {
+	// Triangle with weights 1,2,3: MST = 1+2.
+	g := gen.Cycle(3)
+	w := map[graph.Edge]int{
+		graph.NewEdge(0, 1): 1,
+		graph.NewEdge(1, 2): 2,
+		graph.NewEdge(0, 2): 3,
+	}
+	wg, err := NewWeighted(g, w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wg.ExactMSTWeight(); got != 3 {
+		t.Errorf("MST = %d, want 3", got)
+	}
+}
+
+func TestExactMSTDisconnected(t *testing.T) {
+	// Two components: edge (0,1) weight 2; edge (2,3) weight 5.
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	wg, err := NewWeighted(g, map[graph.Edge]int{
+		{U: 0, V: 1}: 2,
+		{U: 2, V: 3}: 5,
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wg.ExactMSTWeight(); got != 7 {
+		t.Errorf("MSF = %d, want 7", got)
+	}
+}
+
+func TestNewWeightedValidation(t *testing.T) {
+	g := gen.Path(3)
+	if _, err := NewWeighted(g, map[graph.Edge]int{{U: 0, V: 1}: 1}, 3); err == nil {
+		t.Error("missing weight accepted")
+	}
+	if _, err := NewWeighted(g, map[graph.Edge]int{{U: 0, V: 1}: 1, {U: 1, V: 2}: 9}, 3); err == nil {
+		t.Error("overweight accepted")
+	}
+	if _, err := NewWeighted(g, map[graph.Edge]int{{U: 0, V: 1}: 1, {U: 0, V: 2}: 1}, 3); err == nil {
+		t.Error("phantom edge accepted")
+	}
+}
+
+func TestSketchedEstimatorMatchesExact(t *testing.T) {
+	src := rng.NewSource(1)
+	coins := rng.NewPublicCoins(2)
+	hits := 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		g := gen.Gnp(40, 0.2, src)
+		wg := RandomWeights(g, 4, src)
+		res, err := Run(wg, agm.Config{}, coins.DeriveIndex(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Exactly() {
+			hits++
+		}
+	}
+	if hits < trials*8/10 {
+		t.Errorf("estimator exact in %d/%d trials", hits, trials)
+	}
+}
+
+func TestSketchedEstimatorUnitWeights(t *testing.T) {
+	// MaxW = 1 degenerates to spanning forest size.
+	src := rng.NewSource(3)
+	g := gen.Gnp(30, 0.2, src)
+	wg := RandomWeights(g, 1, src)
+	res, err := Run(wg, agm.Config{}, rng.NewPublicCoins(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cc := g.Components()
+	if res.Exact != g.N()-cc {
+		t.Fatalf("unit-weight exact = %d, want n-cc = %d", res.Exact, g.N()-cc)
+	}
+	if !res.Exactly() {
+		t.Errorf("estimate %d != exact %d", res.Estimate, res.Exact)
+	}
+}
+
+func TestEstimatorOnDisconnectedGraphs(t *testing.T) {
+	g := graph.FromEdges(6, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}})
+	wg, err := NewWeighted(g, map[graph.Edge]int{
+		{U: 0, V: 1}: 3,
+		{U: 1, V: 2}: 1,
+		{U: 3, V: 4}: 2,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(wg, agm.Config{}, rng.NewPublicCoins(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact != 6 {
+		t.Fatalf("exact = %d, want 6", res.Exact)
+	}
+	if !res.Exactly() {
+		t.Errorf("estimate %d != 6", res.Estimate)
+	}
+}
+
+func TestKruskalAgainstBruteForceQuick(t *testing.T) {
+	// Cross-check Kruskal against summing a maximum-weight-avoiding
+	// spanning forest built by exhaustive branch and bound on tiny graphs
+	// — here simply against Prim-like recomputation via sorted-edge
+	// uniqueness: for distinct weights the MSF is unique, so check the
+	// identity w(MSF) = n + Σ cc_i − W·ccFull computed combinatorially.
+	f := func(seed uint64) bool {
+		src := rng.NewSource(seed)
+		n := 4 + src.Intn(8)
+		g := gen.Gnp(n, 0.4, src)
+		maxW := 1 + src.Intn(5)
+		wg := RandomWeights(g, maxW, src)
+		// Combinatorial identity evaluation.
+		ccSum := 0
+		for i := 1; i < maxW; i++ {
+			_, cc := wg.thresholded(i).Components()
+			ccSum += cc
+		}
+		_, ccFull := g.Components()
+		identity := n + ccSum - maxW*ccFull
+		return wg.ExactMSTWeight() == identity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSketchBitsScale(t *testing.T) {
+	src := rng.NewSource(7)
+	g := gen.Gnp(50, 0.15, src)
+	w2 := RandomWeights(g, 2, src)
+	w6 := RandomWeights(g, 6, src)
+	r2, err := Run(w2, agm.Config{}, rng.NewPublicCoins(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r6, err := Run(w6, agm.Config{}, rng.NewPublicCoins(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r6.MaxSketchBits <= r2.MaxSketchBits {
+		t.Errorf("bits should grow with W: W=2 %d, W=6 %d", r2.MaxSketchBits, r6.MaxSketchBits)
+	}
+	if r6.MaxSketchBits > 4*r2.MaxSketchBits {
+		t.Errorf("bits grew superlinearly in W: %d vs %d", r2.MaxSketchBits, r6.MaxSketchBits)
+	}
+}
+
+func BenchmarkEstimatorN40W4(b *testing.B) {
+	src := rng.NewSource(1)
+	g := gen.Gnp(40, 0.2, src)
+	wg := RandomWeights(g, 4, src)
+	coins := rng.NewPublicCoins(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(wg, agm.Config{}, coins); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

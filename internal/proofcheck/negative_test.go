@@ -1,0 +1,102 @@
+package proofcheck
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/harddist"
+	"repro/internal/rsgraph"
+)
+
+// cheatingProtocol violates the model: its players send nothing, yet its
+// referee outputs the true surviving special edges — which is only
+// possible by peeking at hidden state. The proof-chain verifier must
+// catch this as a Lemma 3.3 violation (the referee "knows" more than the
+// transcript carries), demonstrating that the checks are live, not
+// vacuous.
+type cheatingProtocol struct {
+	// oracle leaks the current instance to the referee, bypassing the
+	// messages entirely.
+	oracle *harddist.Instance
+}
+
+func (c *cheatingProtocol) Name() string { return "cheating" }
+
+func (c *cheatingProtocol) PublicMessages(inst *harddist.Instance) []string {
+	c.oracle = inst // the cheat: smuggle the instance to the referee
+	return make([]string, len(inst.PublicVertices()))
+}
+
+func (c *cheatingProtocol) UniqueMessages(inst *harddist.Instance, _ int) []string {
+	return make([]string, inst.Params.RS.N())
+}
+
+func (c *cheatingProtocol) Output(view RefereeView) []graph.Edge {
+	var out []graph.Edge
+	for i := 0; i < view.Params.K; i++ {
+		out = append(out, c.oracle.SpecialMatchingSurvived(i)...)
+	}
+	return out
+}
+
+func TestVerifierCatchesCheating(t *testing.T) {
+	// kr must exceed 2 so the cheat overwhelms Lemma 3.3's "+1" slack:
+	// the violation needs E|MU| = kr/2 > 1.
+	rs := rsgraph.DisjointMatchings(2, 2)
+	p := harddist.Params{RS: rs, K: 2, DropProb: 0.5}
+	n := p.N()
+	sigma := make([]int, n)
+	for i := range sigma {
+		sigma[i] = i
+	}
+	rep, err := VerifyChain(Config{Params: p, Sigma: sigma}, &cheatingProtocol{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero communication, zero error, yet E|MU| = kr/2 > 0: the soundness
+	// inequality H(M|Π,J) <= 1 + Pr[err]·kr + (kr − E|MU|) must break,
+	// because H(M|Π,J) = kr for silent messages.
+	if rep.PErr != 0 {
+		t.Fatalf("cheater recorded error rate %v, expected perfect output", rep.PErr)
+	}
+	if rep.EMU <= 1.5 {
+		t.Fatalf("cheater's E|MU| = %v, want kr/2 = %v", rep.EMU, rep.KR/2)
+	}
+	if rep.Lemma33.Holds {
+		t.Error("Lemma 3.3 verified for a protocol whose referee peeks at hidden state — the checker is vacuous")
+	}
+	if rep.AllHold() {
+		t.Error("AllHold passed for the cheating protocol")
+	}
+	// The information-decomposition inequalities (3.4, 3.5) only concern
+	// the messages, which really are silent — they should still hold.
+	if !rep.Lemma34.Holds {
+		t.Error("Lemma 3.4 should hold (messages are genuinely empty)")
+	}
+	for i, l := range rep.Lemma35 {
+		if !l.Holds {
+			t.Errorf("Lemma 3.5 copy %d should hold (messages are empty)", i)
+		}
+	}
+}
+
+// tamperedReport checks that AllHold reflects each component.
+func TestAllHoldComponents(t *testing.T) {
+	ok := LemmaCheck{Holds: true}
+	bad := LemmaCheck{Holds: false}
+	cases := []struct {
+		rep  ChainReport
+		want bool
+	}{
+		{ChainReport{Lemma33: ok, Lemma34: ok, Counting: ok, Lemma35: []LemmaCheck{ok}}, true},
+		{ChainReport{Lemma33: bad, Lemma34: ok, Counting: ok, Lemma35: []LemmaCheck{ok}}, false},
+		{ChainReport{Lemma33: ok, Lemma34: bad, Counting: ok, Lemma35: []LemmaCheck{ok}}, false},
+		{ChainReport{Lemma33: ok, Lemma34: ok, Counting: bad, Lemma35: []LemmaCheck{ok}}, false},
+		{ChainReport{Lemma33: ok, Lemma34: ok, Counting: ok, Lemma35: []LemmaCheck{ok, bad}}, false},
+	}
+	for i, c := range cases {
+		if got := c.rep.AllHold(); got != c.want {
+			t.Errorf("case %d: AllHold = %v, want %v", i, got, c.want)
+		}
+	}
+}

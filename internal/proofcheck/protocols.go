@@ -1,0 +1,304 @@
+package proofcheck
+
+import (
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/harddist"
+	"repro/internal/rsgraph"
+)
+
+// This file holds the micro-protocol portfolio. Several are designed to
+// meet individual lemmas of the chain with equality:
+//
+//   - FullInfo meets Lemma 3.5 with equality (I = H(Π(U_i))/t = r) and
+//     drives ITotal to its maximum kr;
+//   - CopyZero isolates a single copy's contribution;
+//   - FixedGuess meets Lemma 3.5 with equality from the other side
+//     (reveals r bits but only the 1/t fraction that matters, I = r/t);
+//   - PublicAll shows public players alone carry zero information about
+//     the special matchings;
+//   - Silent is the zero baseline.
+
+// slotRef identifies edge x of matching j.
+type slotRef struct{ j, x int }
+
+// incidentSlots lists the slots incident on RS vertex v in (j, x) order.
+func incidentSlots(rs *rsgraph.RSGraph, v int) []slotRef {
+	var out []slotRef
+	for j, m := range rs.Matchings {
+		for x, e := range m {
+			if e.U == v || e.V == v {
+				out = append(out, slotRef{j: j, x: x})
+			}
+		}
+	}
+	return out
+}
+
+// bitsFor renders survival bits for the given slots of one copy.
+func bitsFor(inst *harddist.Instance, copy int, slots []slotRef) string {
+	var sb strings.Builder
+	for _, s := range slots {
+		if inst.Survived(copy, s.j, s.x) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// emptyMessages returns n empty messages.
+func emptyMessages(n int) []string { return make([]string, n) }
+
+// readSlotBit reads, from the referee's view, the survival bit of slot
+// (j, x) in the given copy as reported by unique player (copy, rsVertex),
+// assuming the FullInfo per-player layout restricted to `slots`.
+func readSlotBit(view RefereeView, copy, rsVertex int, slots []slotRef, want slotRef) (bool, bool) {
+	msg := view.Unique[copy][rsVertex]
+	for pos, s := range slots {
+		if s == want {
+			if pos >= len(msg) {
+				return false, false
+			}
+			return msg[pos] == '1', true
+		}
+	}
+	return false, false
+}
+
+// FullInfo: every unique player reports the survival bit of each of its
+// incident slots; public players are silent. The referee reads the
+// special slots' bits from their endpoints and claims the survivors.
+// Zero error, E|M^U| = kr·(1-drop), ITotal = kr.
+type FullInfo struct{}
+
+// Name implements Protocol.
+func (FullInfo) Name() string { return "full-info" }
+
+// PublicMessages implements Protocol.
+func (FullInfo) PublicMessages(inst *harddist.Instance) []string {
+	return emptyMessages(len(inst.PublicVertices()))
+}
+
+// UniqueMessages implements Protocol.
+func (FullInfo) UniqueMessages(inst *harddist.Instance, copy int) []string {
+	rs := inst.Params.RS
+	out := make([]string, rs.N())
+	for v := 0; v < rs.N(); v++ {
+		out[v] = bitsFor(inst, copy, incidentSlots(rs, v))
+	}
+	return out
+}
+
+// Output implements Protocol.
+func (FullInfo) Output(view RefereeView) []graph.Edge {
+	rs := view.Params.RS
+	var claims []graph.Edge
+	for i := 0; i < view.Params.K; i++ {
+		for x, rsEdge := range rs.Matchings[view.JStar] {
+			slots := incidentSlots(rs, rsEdge.U)
+			alive, ok := readSlotBit(view, i, rsEdge.U, slots, slotRef{j: view.JStar, x: x})
+			if ok && alive {
+				claims = append(claims, view.SpecialFull[i][x])
+			}
+		}
+	}
+	return claims
+}
+
+// Silent: nobody communicates, the referee claims nothing. The zero
+// baseline: ITotal = 0, E|M^U| = 0, error 0.
+type Silent struct{}
+
+// Name implements Protocol.
+func (Silent) Name() string { return "silent" }
+
+// PublicMessages implements Protocol.
+func (Silent) PublicMessages(inst *harddist.Instance) []string {
+	return emptyMessages(len(inst.PublicVertices()))
+}
+
+// UniqueMessages implements Protocol.
+func (Silent) UniqueMessages(inst *harddist.Instance, _ int) []string {
+	return emptyMessages(inst.Params.RS.N())
+}
+
+// Output implements Protocol.
+func (Silent) Output(RefereeView) []graph.Edge { return nil }
+
+// PublicAll: public players report every survival bit they see (all
+// copies of all their incident slots); unique players are silent. Since
+// special slots have both endpoints in V⋆, no public player is incident
+// on one, so ITotal must come out exactly 0 — public knowledge alone
+// carries nothing about M_J.
+type PublicAll struct{}
+
+// Name implements Protocol.
+func (PublicAll) Name() string { return "public-all" }
+
+// PublicMessages implements Protocol.
+func (PublicAll) PublicMessages(inst *harddist.Instance) []string {
+	rs := inst.Params.RS
+	rsPub := inst.RSPublicVertices()
+	out := make([]string, len(rsPub))
+	for p, v := range rsPub {
+		var sb strings.Builder
+		slots := incidentSlots(rs, v)
+		for i := 0; i < inst.Params.K; i++ {
+			sb.WriteString(bitsFor(inst, i, slots))
+		}
+		out[p] = sb.String()
+	}
+	return out
+}
+
+// UniqueMessages implements Protocol.
+func (PublicAll) UniqueMessages(inst *harddist.Instance, _ int) []string {
+	return emptyMessages(inst.Params.RS.N())
+}
+
+// Output implements Protocol.
+func (PublicAll) Output(RefereeView) []graph.Edge { return nil }
+
+// CopyZero: only copy 0's unique players report (FullInfo layout); the
+// referee claims copy 0's surviving special edges. Isolates one copy:
+// ITotal = I(M_{0,J};Π(U_0)|J) = r, E|M^U| = r·(1-drop).
+type CopyZero struct{}
+
+// Name implements Protocol.
+func (CopyZero) Name() string { return "copy-zero" }
+
+// PublicMessages implements Protocol.
+func (CopyZero) PublicMessages(inst *harddist.Instance) []string {
+	return emptyMessages(len(inst.PublicVertices()))
+}
+
+// UniqueMessages implements Protocol.
+func (CopyZero) UniqueMessages(inst *harddist.Instance, copy int) []string {
+	if copy != 0 {
+		return emptyMessages(inst.Params.RS.N())
+	}
+	return FullInfo{}.UniqueMessages(inst, 0)
+}
+
+// Output implements Protocol.
+func (CopyZero) Output(view RefereeView) []graph.Edge {
+	rs := view.Params.RS
+	var claims []graph.Edge
+	for x, rsEdge := range rs.Matchings[view.JStar] {
+		slots := incidentSlots(rs, rsEdge.U)
+		alive, ok := readSlotBit(view, 0, rsEdge.U, slots, slotRef{j: view.JStar, x: x})
+		if ok && alive {
+			claims = append(claims, view.SpecialFull[0][x])
+		}
+	}
+	return claims
+}
+
+// FixedGuess: unique players bet on matching J0 and report only its
+// slots' bits. When J = J0 (probability 1/t) the referee learns
+// everything; otherwise nothing. The sharp witness for Lemma 3.5's
+// direct-sum factor: H(Π(U_i)) = r revealed bits, yet
+// I(M_{i,J};Π(U_i)|J) = r/t exactly.
+type FixedGuess struct {
+	// J0 is the guessed matching index.
+	J0 int
+}
+
+// Name implements Protocol.
+func (p FixedGuess) Name() string { return "fixed-guess" }
+
+// PublicMessages implements Protocol.
+func (p FixedGuess) PublicMessages(inst *harddist.Instance) []string {
+	return emptyMessages(len(inst.PublicVertices()))
+}
+
+// UniqueMessages implements Protocol.
+func (p FixedGuess) UniqueMessages(inst *harddist.Instance, copy int) []string {
+	rs := inst.Params.RS
+	out := make([]string, rs.N())
+	for v := 0; v < rs.N(); v++ {
+		var guessed []slotRef
+		for _, s := range incidentSlots(rs, v) {
+			if s.j == p.J0 {
+				guessed = append(guessed, s)
+			}
+		}
+		out[v] = bitsFor(inst, copy, guessed)
+	}
+	return out
+}
+
+// Output implements Protocol.
+func (p FixedGuess) Output(view RefereeView) []graph.Edge {
+	if view.JStar != p.J0 {
+		return nil
+	}
+	rs := view.Params.RS
+	var claims []graph.Edge
+	for i := 0; i < view.Params.K; i++ {
+		for x, rsEdge := range rs.Matchings[p.J0] {
+			var guessed []slotRef
+			for _, s := range incidentSlots(rs, rsEdge.U) {
+				if s.j == p.J0 {
+					guessed = append(guessed, s)
+				}
+			}
+			alive, ok := readSlotBit(view, i, rsEdge.U, guessed, slotRef{j: p.J0, x: x})
+			if ok && alive {
+				claims = append(claims, view.SpecialFull[i][x])
+			}
+		}
+	}
+	return claims
+}
+
+// FirstSlot: each unique player reports the survival bit of only its
+// first incident slot — a 1-bit protocol giving partial, player-local
+// information.
+type FirstSlot struct{}
+
+// Name implements Protocol.
+func (FirstSlot) Name() string { return "first-slot" }
+
+// PublicMessages implements Protocol.
+func (FirstSlot) PublicMessages(inst *harddist.Instance) []string {
+	return emptyMessages(len(inst.PublicVertices()))
+}
+
+// UniqueMessages implements Protocol.
+func (FirstSlot) UniqueMessages(inst *harddist.Instance, copy int) []string {
+	rs := inst.Params.RS
+	out := make([]string, rs.N())
+	for v := 0; v < rs.N(); v++ {
+		slots := incidentSlots(rs, v)
+		if len(slots) > 0 {
+			out[v] = bitsFor(inst, copy, slots[:1])
+		}
+	}
+	return out
+}
+
+// Output implements Protocol.
+func (FirstSlot) Output(view RefereeView) []graph.Edge {
+	rs := view.Params.RS
+	var claims []graph.Edge
+	for i := 0; i < view.Params.K; i++ {
+		for x, rsEdge := range rs.Matchings[view.JStar] {
+			want := slotRef{j: view.JStar, x: x}
+			for _, endpoint := range []int{rsEdge.U, rsEdge.V} {
+				slots := incidentSlots(rs, endpoint)
+				if len(slots) == 0 || slots[0] != want {
+					continue
+				}
+				if alive, ok := readSlotBit(view, i, endpoint, slots[:1], want); ok && alive {
+					claims = append(claims, view.SpecialFull[i][x])
+				}
+				break
+			}
+		}
+	}
+	return claims
+}

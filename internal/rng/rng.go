@@ -1,0 +1,135 @@
+// Package rng supplies deterministic pseudo-randomness for the sketching
+// model.
+//
+// The model gives every player and the referee access to the same public
+// random string. PublicCoins models that string as a root seed from which
+// labelled, independent sub-streams are derived, so a player and the
+// referee can reconstruct exactly the same coins by agreeing on a label
+// (e.g. "agm/level/3" or "vertex/17") without any communication.
+package rng
+
+import "math/bits"
+
+// splitmix64 advances the SplitMix64 state and returns the next output.
+// SplitMix64 passes BigCrush and is the canonical seeding generator for
+// the xoshiro family.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Source is a deterministic 64-bit pseudo-random generator. It
+// intentionally mirrors a subset of math/rand's API so call sites read
+// naturally, while remaining fully reproducible from its seed.
+type Source struct {
+	state uint64
+}
+
+// NewSource returns a Source seeded with the given value.
+func NewSource(seed uint64) *Source {
+	// One warm-up mix so that nearby seeds diverge immediately.
+	s := &Source{state: seed}
+	splitmix64(&s.state)
+	return s
+}
+
+// Uint64 returns the next 64 uniform pseudo-random bits.
+func (s *Source) Uint64() uint64 { return splitmix64(&s.state) }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.boundedUint64(uint64(n)))
+}
+
+// boundedUint64 returns a uniform value in [0, n) using Lemire's
+// multiply-shift rejection method.
+func (s *Source) boundedUint64(n uint64) uint64 {
+	hi, lo := bits.Mul64(s.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(s.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a fair coin flip.
+func (s *Source) Bool() bool { return s.Uint64()&1 == 1 }
+
+// Perm returns a uniform random permutation of [0, n) as a slice.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using the given swap
+// function.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// PublicCoins is a hierarchical source of shared randomness. Two parties
+// holding the same PublicCoins derive identical sub-streams for identical
+// labels, independent across distinct labels (up to the PRF quality of the
+// underlying mixing).
+type PublicCoins struct {
+	seed uint64
+}
+
+// NewPublicCoins returns the public coin tree rooted at seed.
+func NewPublicCoins(seed uint64) *PublicCoins { return &PublicCoins{seed: seed} }
+
+// Derive returns the child coin tree for the given label.
+func (c *PublicCoins) Derive(label string) *PublicCoins {
+	return &PublicCoins{seed: mixLabel(c.seed, label)}
+}
+
+// DeriveIndex returns the child coin tree for an integer label, e.g. a
+// vertex ID or a repetition index.
+func (c *PublicCoins) DeriveIndex(i int) *PublicCoins {
+	st := c.seed ^ 0xa5a5a5a55a5a5a5a
+	splitmix64(&st)
+	st ^= uint64(i)
+	return &PublicCoins{seed: splitmix64(&st)}
+}
+
+// Source returns a fresh deterministic generator for this node of the coin
+// tree. Repeated calls return identically-seeded (hence identical)
+// sources, which is exactly the "shared public string" semantics.
+func (c *PublicCoins) Source() *Source { return NewSource(c.seed) }
+
+// Seed exposes the node's seed, e.g. for logging reproducible runs.
+func (c *PublicCoins) Seed() uint64 { return c.seed }
+
+// mixLabel folds a string label into a seed with an FNV-like walk followed
+// by SplitMix64 finalization.
+func mixLabel(seed uint64, label string) uint64 {
+	h := seed ^ 0xcbf29ce484222325
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 0x100000001b3
+	}
+	return splitmix64(&h)
+}

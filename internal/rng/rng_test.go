@@ -1,0 +1,170 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSourceDeterminism(t *testing.T) {
+	a, b := NewSource(42), NewSource(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed sources diverged at step %d", i)
+		}
+	}
+}
+
+func TestSourceSeedsDiffer(t *testing.T) {
+	a, b := NewSource(1), NewSource(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical outputs of 64", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := NewSource(7)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 200; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewSource(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	const n, trials = 10, 100000
+	s := NewSource(123)
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("value %d appeared %d times, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewSource(9)
+	sum := 0.0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / trials; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean of Float64 = %v, want ~0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := NewSource(11)
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	const n, trials = 5, 50000
+	s := NewSource(13)
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[s.Perm(n)[0]]++
+	}
+	want := float64(trials) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("Perm first element %d count %d, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	s := NewSource(17)
+	v := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	s.Shuffle(len(v), func(i, j int) { v[i], v[j] = v[j], v[i] })
+	seen := make(map[int]bool)
+	for _, x := range v {
+		if seen[x] {
+			t.Fatalf("Shuffle duplicated element %d", x)
+		}
+		seen[x] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("Shuffle lost elements: %v", v)
+	}
+}
+
+func TestPublicCoinsSharedView(t *testing.T) {
+	alice := NewPublicCoins(99).Derive("protocol").DeriveIndex(3)
+	bob := NewPublicCoins(99).Derive("protocol").DeriveIndex(3)
+	sa, sb := alice.Source(), bob.Source()
+	for i := 0; i < 20; i++ {
+		if sa.Uint64() != sb.Uint64() {
+			t.Fatal("players with the same labels see different public coins")
+		}
+	}
+}
+
+func TestPublicCoinsLabelsIndependent(t *testing.T) {
+	root := NewPublicCoins(5)
+	a := root.Derive("a").Source().Uint64()
+	b := root.Derive("b").Source().Uint64()
+	if a == b {
+		t.Error("distinct labels produced identical streams")
+	}
+	i0 := root.DeriveIndex(0).Source().Uint64()
+	i1 := root.DeriveIndex(1).Source().Uint64()
+	if i0 == i1 {
+		t.Error("distinct indices produced identical streams")
+	}
+}
+
+func TestPublicCoinsSourceIsStable(t *testing.T) {
+	c := NewPublicCoins(1).Derive("x")
+	if c.Source().Uint64() != c.Source().Uint64() {
+		t.Error("repeated Source() calls are not identically seeded")
+	}
+}
+
+func TestDeriveIndexNotLinear(t *testing.T) {
+	// Regression guard: DeriveIndex must mix, not just xor, so that
+	// index i and seed s do not collide with index i^d and seed s^d.
+	a := NewPublicCoins(0).DeriveIndex(1).Seed()
+	b := NewPublicCoins(1).DeriveIndex(0).Seed()
+	if a == b {
+		t.Error("DeriveIndex is linear in (seed, index)")
+	}
+}

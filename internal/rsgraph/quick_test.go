@@ -1,0 +1,79 @@
+package rsgraph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ap3"
+	"repro/internal/rng"
+)
+
+// Property: the construction yields a verified RS graph for every
+// 3-AP-free subset drawn at random (random subsets of the greedy set stay
+// AP-free), at every m.
+func TestConstructionAlwaysInducedQuick(t *testing.T) {
+	f := func(seed uint64, mSeed uint8) bool {
+		m := 3 + int(mSeed%25)
+		base := ap3.Greedy(m)
+		src := rng.NewSource(seed)
+		var subset []int
+		for _, v := range base {
+			if src.Bool() {
+				subset = append(subset, v)
+			}
+		}
+		if len(subset) == 0 {
+			subset = base[:1]
+		}
+		rs, err := BuildFromAPFreeSet(m, subset)
+		if err != nil {
+			return false
+		}
+		return Verify(rs) == nil && rs.R() == len(subset) && rs.T() == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: edge count is exactly m·|S| — every (x, s) pair yields a
+// distinct edge (the uniqueness that underpins the edge partition).
+func TestEdgeCountExactQuick(t *testing.T) {
+	f := func(mSeed, takeSeed uint8) bool {
+		m := 3 + int(mSeed%30)
+		base := ap3.Greedy(m)
+		take := 1 + int(takeSeed)%len(base)
+		rs, err := BuildFromAPFreeSet(m, base[:take])
+		if err != nil {
+			return false
+		}
+		return rs.G.M() == m*take
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: in the disjoint family, matching j's vertices occupy exactly
+// the block [2rj, 2r(j+1)).
+func TestDisjointBlocksQuick(t *testing.T) {
+	f := func(rSeed, tSeed uint8) bool {
+		r := 1 + int(rSeed%6)
+		tt := 1 + int(tSeed%6)
+		rs := DisjointMatchings(r, tt)
+		if Verify(rs) != nil {
+			return false
+		}
+		for j := 0; j < tt; j++ {
+			for _, v := range rs.MatchingVertices(j) {
+				if v < 2*r*j || v >= 2*r*(j+1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,186 @@
+// Package rsgraph constructs (r,t)-Ruzsa–Szemerédi graphs: graphs whose
+// edge set partitions into t induced matchings, each of size r.
+//
+// These graphs are the combinatorial engine of the paper's hard
+// distribution D_MM (Section 3.1): because each matching is induced, a
+// maximal matching that reaches the matching's vertices must use the
+// matching's own edges, yet a player cannot tell which of the t matchings
+// is the special one.
+//
+// The main constructor follows the original Ruzsa–Szemerédi recipe driven
+// by a 3-AP-free set S ⊆ [0, m) (package ap3): vertices are two disjoint
+// blocks A (values x+s) and B (values x+2s), and matching M_x, for
+// x ∈ [0, m), consists of the edges {A(x+s), B(x+2s)} for s ∈ S. The
+// 3-AP-freeness of S makes every M_x induced. This yields t = m matchings
+// of size r = |S| on N = 5m-3 vertices — the same (r, t) shape as the
+// paper's Proposition 2.1 up to the constant in t (N/5 here vs N/3 there).
+package rsgraph
+
+import (
+	"fmt"
+
+	"repro/internal/ap3"
+	"repro/internal/graph"
+)
+
+// RSGraph is a graph together with a partition of its edges into induced
+// matchings of equal size.
+type RSGraph struct {
+	// G is the underlying simple graph.
+	G *graph.Graph
+	// Matchings holds the edge partition: t slices of r edges each.
+	Matchings [][]graph.Edge
+}
+
+// N returns the number of vertices.
+func (rs *RSGraph) N() int { return rs.G.N() }
+
+// T returns the number of induced matchings.
+func (rs *RSGraph) T() int { return len(rs.Matchings) }
+
+// R returns the size of each induced matching (0 for an empty family).
+func (rs *RSGraph) R() int {
+	if len(rs.Matchings) == 0 {
+		return 0
+	}
+	return len(rs.Matchings[0])
+}
+
+// MatchingVertices returns the 2r vertices incident on matching j.
+func (rs *RSGraph) MatchingVertices(j int) []int {
+	m := rs.Matchings[j]
+	out := make([]int, 0, 2*len(m))
+	for _, e := range m {
+		out = append(out, e.U, e.V)
+	}
+	return out
+}
+
+// BuildBehrend constructs the Behrend-based RS graph with parameter m:
+// t = m induced matchings of size r = |ap3.Best(m)| on N = 5m-3 vertices.
+func BuildBehrend(m int) (*RSGraph, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("rsgraph: m must be positive, got %d", m)
+	}
+	return BuildFromAPFreeSet(m, ap3.Best(m))
+}
+
+// BuildFromAPFreeSet constructs the RS graph for an arbitrary 3-AP-free
+// set S ⊆ [0, m). The set is validated.
+func BuildFromAPFreeSet(m int, s []int) (*RSGraph, error) {
+	if !ap3.IsAPFree(s) {
+		return nil, fmt.Errorf("rsgraph: set is not 3-AP-free")
+	}
+	for _, v := range s {
+		if v < 0 || v >= m {
+			return nil, fmt.Errorf("rsgraph: set element %d outside [0,%d)", v, m)
+		}
+	}
+	// Vertex layout: A-block holds values in [0, 2m-1) at ids [0, 2m-1);
+	// B-block holds values in [0, 3m-2) at ids [2m-1, 5m-3).
+	aSize := 2*m - 1
+	bSize := 3*m - 2
+	n := aSize + bSize
+	b := graph.NewBuilder(n)
+	matchings := make([][]graph.Edge, m)
+	for x := 0; x < m; x++ {
+		edges := make([]graph.Edge, 0, len(s))
+		for _, sv := range s {
+			u := x + sv           // A value
+			v := aSize + x + 2*sv // B vertex id
+			b.AddEdge(u, v)
+			edges = append(edges, graph.NewEdge(u, v))
+		}
+		matchings[x] = edges
+	}
+	rs := &RSGraph{G: b.Build(), Matchings: matchings}
+	return rs, nil
+}
+
+// DisjointMatchings constructs the trivial (r,t)-RS graph made of t
+// vertex-disjoint matchings of size r on N = 2rt vertices. Every matching
+// is vacuously induced. This family lacks the vertex sharing that makes
+// the Behrend-based family hard, and is used for ablations and as a
+// free-parameter instance generator for scaled experiments.
+func DisjointMatchings(r, t int) *RSGraph {
+	b := graph.NewBuilder(2 * r * t)
+	matchings := make([][]graph.Edge, t)
+	for j := 0; j < t; j++ {
+		edges := make([]graph.Edge, 0, r)
+		base := 2 * r * j
+		for i := 0; i < r; i++ {
+			u, v := base+2*i, base+2*i+1
+			b.AddEdge(u, v)
+			edges = append(edges, graph.NewEdge(u, v))
+		}
+		matchings[j] = edges
+	}
+	return &RSGraph{G: b.Build(), Matchings: matchings}
+}
+
+// Verify checks the full RS property: every matching has the common size,
+// matchings are pairwise edge-disjoint, they cover E(G), each is a valid
+// matching of G, and each is induced (the subgraph induced by a matching's
+// vertices contains exactly the matching's edges).
+func Verify(rs *RSGraph) error {
+	if len(rs.Matchings) == 0 {
+		if rs.G.M() != 0 {
+			return fmt.Errorf("rsgraph: no matchings but %d edges", rs.G.M())
+		}
+		return nil
+	}
+	r := len(rs.Matchings[0])
+	seen := make(map[graph.Edge]int, rs.G.M())
+	for j, m := range rs.Matchings {
+		if len(m) != r {
+			return fmt.Errorf("rsgraph: matching %d has size %d, want %d", j, len(m), r)
+		}
+		if !graph.IsMatching(rs.G, m) {
+			return fmt.Errorf("rsgraph: matching %d is not a matching of G", j)
+		}
+		for _, e := range m {
+			if prev, dup := seen[e]; dup {
+				return fmt.Errorf("rsgraph: edge %v in matchings %d and %d", e, prev, j)
+			}
+			seen[e] = j
+		}
+		if err := verifyInduced(rs.G, m, j); err != nil {
+			return err
+		}
+	}
+	if len(seen) != rs.G.M() {
+		return fmt.Errorf("rsgraph: matchings cover %d edges, graph has %d", len(seen), rs.G.M())
+	}
+	return nil
+}
+
+// verifyInduced checks that the subgraph induced by m's endpoints has
+// exactly m's edges.
+func verifyInduced(g *graph.Graph, m []graph.Edge, j int) error {
+	inMatching := make(map[graph.Edge]bool, len(m))
+	vertices := make([]int, 0, 2*len(m))
+	for _, e := range m {
+		inMatching[e] = true
+		vertices = append(vertices, e.U, e.V)
+	}
+	inSet := make(map[int]bool, len(vertices))
+	for _, v := range vertices {
+		inSet[v] = true
+	}
+	for _, v := range vertices {
+		var badEdge *graph.Edge
+		g.EachNeighbor(v, func(u int) {
+			if badEdge != nil || !inSet[u] {
+				return
+			}
+			e := graph.NewEdge(v, u)
+			if !inMatching[e] {
+				badEdge = &e
+			}
+		})
+		if badEdge != nil {
+			return fmt.Errorf("rsgraph: matching %d not induced: extra edge %v", j, *badEdge)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+package rsgraph
+
+import (
+	"testing"
+
+	"repro/internal/ap3"
+	"repro/internal/graph"
+)
+
+func TestBuildBehrendSmall(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 5, 10, 25, 60} {
+		rs, err := BuildBehrend(m)
+		if err != nil {
+			t.Fatalf("BuildBehrend(%d): %v", m, err)
+		}
+		if got, want := rs.N(), 5*m-3; got != want {
+			t.Errorf("m=%d: N = %d, want %d", m, got, want)
+		}
+		if got, want := rs.T(), m; got != want {
+			t.Errorf("m=%d: T = %d, want %d", m, got, want)
+		}
+		if got, want := rs.R(), len(ap3.Best(m)); got != want {
+			t.Errorf("m=%d: R = %d, want %d", m, got, want)
+		}
+		if err := Verify(rs); err != nil {
+			t.Errorf("m=%d: Verify: %v", m, err)
+		}
+	}
+}
+
+func TestBuildBehrendRejectsBadM(t *testing.T) {
+	if _, err := BuildBehrend(0); err == nil {
+		t.Error("BuildBehrend(0) accepted")
+	}
+}
+
+func TestBuildFromAPFreeSetRejectsBadSets(t *testing.T) {
+	if _, err := BuildFromAPFreeSet(10, []int{1, 3, 5}); err == nil {
+		t.Error("AP set accepted")
+	}
+	if _, err := BuildFromAPFreeSet(5, []int{0, 7}); err == nil {
+		t.Error("out-of-range set accepted")
+	}
+}
+
+func TestBuildFromAPFreeSetEdgeCount(t *testing.T) {
+	// Each (x, s) pair contributes a distinct edge, so M = m * |S|.
+	m := 12
+	s := ap3.Greedy(m)
+	rs, err := BuildFromAPFreeSet(m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rs.G.M(), m*len(s); got != want {
+		t.Errorf("edge count = %d, want %d", got, want)
+	}
+}
+
+func TestInducedPropertyDependsOnAPFreeness(t *testing.T) {
+	// Sanity check of the construction math itself: if we force an AP set
+	// through the construction internals, induced-ness must break for some
+	// m. We emulate by building with a valid set and then adding an AP
+	// element manually through a second builder.
+	m := 10
+	apSet := []int{1, 3, 5} // 3-AP
+	aSize := 2*m - 1
+	b := graph.NewBuilder(aSize + 3*m - 2)
+	matchings := make([][]graph.Edge, m)
+	for x := 0; x < m; x++ {
+		var edges []graph.Edge
+		for _, sv := range apSet {
+			u, v := x+sv, aSize+x+2*sv
+			b.AddEdge(u, v)
+			edges = append(edges, graph.NewEdge(u, v))
+		}
+		matchings[x] = edges
+	}
+	rs := &RSGraph{G: b.Build(), Matchings: matchings}
+	if err := Verify(rs); err == nil {
+		t.Error("construction over an AP set still verified as induced; the verifier or the construction argument is broken")
+	}
+}
+
+func TestDisjointMatchings(t *testing.T) {
+	rs := DisjointMatchings(4, 7)
+	if rs.N() != 2*4*7 || rs.T() != 7 || rs.R() != 4 {
+		t.Fatalf("bad parameters: N=%d T=%d R=%d", rs.N(), rs.T(), rs.R())
+	}
+	if err := Verify(rs); err != nil {
+		t.Fatal(err)
+	}
+	if rs.G.MaxDegree() != 1 {
+		t.Errorf("disjoint matchings max degree = %d, want 1", rs.G.MaxDegree())
+	}
+}
+
+func TestMatchingVertices(t *testing.T) {
+	rs := DisjointMatchings(3, 2)
+	vs := rs.MatchingVertices(1)
+	if len(vs) != 6 {
+		t.Fatalf("MatchingVertices returned %d vertices, want 6", len(vs))
+	}
+	seen := make(map[int]bool)
+	for _, v := range vs {
+		if seen[v] {
+			t.Fatalf("duplicate vertex %d", v)
+		}
+		seen[v] = true
+		if v < 6 || v >= 12 {
+			t.Errorf("vertex %d outside matching-1 block [6,12)", v)
+		}
+	}
+}
+
+func TestVerifyCatchesCorruptions(t *testing.T) {
+	fresh := func() *RSGraph { return DisjointMatchings(2, 3) }
+
+	rs := fresh()
+	rs.Matchings[0] = rs.Matchings[0][:1] // size mismatch
+	if Verify(rs) == nil {
+		t.Error("size mismatch not caught")
+	}
+
+	rs = fresh()
+	rs.Matchings[1] = rs.Matchings[0] // duplicate edges + coverage gap
+	if Verify(rs) == nil {
+		t.Error("duplicated matching not caught")
+	}
+
+	rs = fresh()
+	rs.Matchings[0] = []graph.Edge{graph.NewEdge(0, 5), graph.NewEdge(1, 4)} // not edges of G
+	if Verify(rs) == nil {
+		t.Error("phantom edges not caught")
+	}
+
+	// Non-induced: build a path 0-1-2-3 and claim {01, 23} is an induced
+	// matching — it is not, because edge 1-2 connects its vertices.
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	bad := &RSGraph{
+		G: g,
+		Matchings: [][]graph.Edge{
+			{{U: 0, V: 1}, {U: 2, V: 3}},
+			{{U: 1, V: 2}},
+		},
+	}
+	if err := Verify(bad); err == nil {
+		t.Error("non-induced matching not caught")
+	} else if bad.Matchings[0][0] != (graph.Edge{U: 0, V: 1}) {
+		t.Error("verify mutated input")
+	}
+}
+
+func TestVerifyRaggedSizesCaught(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	rs := &RSGraph{G: g, Matchings: [][]graph.Edge{{{U: 0, V: 1}}, {{U: 2, V: 3}}}}
+	if err := Verify(rs); err != nil {
+		t.Errorf("two (1,2)-matchings should verify: %v", err)
+	}
+}
+
+func TestEmptyRSGraph(t *testing.T) {
+	rs := &RSGraph{G: graph.NewBuilder(3).Build()}
+	if err := Verify(rs); err != nil {
+		t.Errorf("empty RS graph failed: %v", err)
+	}
+	if rs.R() != 0 || rs.T() != 0 {
+		t.Error("empty RS graph has nonzero R or T")
+	}
+}
+
+func TestBehrendInducedExhaustive(t *testing.T) {
+	// Directly re-verify induced-ness with an independent method: for each
+	// matching, the induced subgraph on its vertices must have exactly r
+	// edges.
+	rs, err := BuildBehrend(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < rs.T(); j++ {
+		sub, _ := rs.G.InducedSubgraph(rs.MatchingVertices(j))
+		if sub.M() != rs.R() {
+			t.Errorf("matching %d: induced subgraph has %d edges, want %d", j, sub.M(), rs.R())
+		}
+		if sub.MaxDegree() > 1 {
+			t.Errorf("matching %d: induced subgraph has degree-%d vertex", j, sub.MaxDegree())
+		}
+	}
+}
+
+func BenchmarkBuildBehrend100(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildBehrend(100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyBehrend60(b *testing.B) {
+	rs, err := BuildBehrend(60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Verify(rs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package triangles implements subgraph (triangle) counting in the
+// distributed sketching model, after Ahn–Guha–McGregor [2] — the
+// "subgraph counting" entry in the paper's list of polylog-sketchable
+// problems.
+//
+// The estimator is sample-and-rescale: a public hash keeps each edge
+// with probability p (both endpoints agree on the decision), every
+// vertex reports its surviving incident edges, and the referee counts
+// triangles in the sampled graph and rescales by p^-3. The estimate is
+// unbiased; its concentration needs the triangle count to dominate p^-3
+// (measured, not assumed — experiment E19 reports the error
+// distribution). Exact counting is provided as the reference.
+package triangles
+
+import (
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hashing"
+	"repro/internal/rng"
+)
+
+// Exact returns the number of triangles in g, by neighborhood
+// intersection over each edge's lower-degree endpoint (O(Σ deg²)).
+func Exact(g *graph.Graph) int {
+	count := 0
+	for _, e := range g.Edges() { // e.U < e.V
+		a, b := e.U, e.V
+		if g.Degree(a) > g.Degree(b) {
+			a, b = b, a
+		}
+		g.EachNeighbor(a, func(w int) {
+			// Count each triangle once, via its largest vertex: require
+			// w above both edge endpoints.
+			if w > e.V && g.HasEdge(b, w) {
+				count++
+			}
+		})
+	}
+	return count
+}
+
+// Protocol is the sample-and-rescale estimator. Output is the estimated
+// triangle count.
+type Protocol struct {
+	// SampleProb is the public edge-sampling probability in (0, 1].
+	SampleProb float64
+}
+
+var _ core.Protocol[float64] = (*Protocol)(nil)
+
+// New returns the estimator.
+func New(sampleProb float64) *Protocol { return &Protocol{SampleProb: sampleProb} }
+
+// Name implements core.Protocol.
+func (p *Protocol) Name() string { return "triangle-count-sketch" }
+
+// keeps is the public per-edge sampling decision.
+func keeps(n, u, v int, prob float64, coins *rng.PublicCoins) bool {
+	fam := hashing.NewPairwise(coins.Derive("triangle-sample").Source())
+	e := graph.NewEdge(u, v)
+	return float64(fam.Hash(uint64(e.U)*uint64(n)+uint64(e.V))%1000000)/1000000 < prob
+}
+
+// Sketch implements core.Protocol.
+func (p *Protocol) Sketch(view core.VertexView, coins *rng.PublicCoins) (*bitio.Writer, error) {
+	if p.SampleProb <= 0 || p.SampleProb > 1 {
+		return nil, fmt.Errorf("triangles: sample probability %v outside (0,1]", p.SampleProb)
+	}
+	w := &bitio.Writer{}
+	idWidth := bitio.UintWidth(view.N)
+	var kept []int
+	for _, u := range view.Neighbors {
+		if keeps(view.N, view.ID, u, p.SampleProb, coins) {
+			kept = append(kept, u)
+		}
+	}
+	w.WriteUvarint(uint64(len(kept)))
+	for _, u := range kept {
+		w.WriteUint(uint64(u), idWidth)
+	}
+	return w, nil
+}
+
+// Decode implements core.Protocol.
+func (p *Protocol) Decode(n int, sketches []*bitio.Reader, _ *rng.PublicCoins) (float64, error) {
+	idWidth := bitio.UintWidth(n)
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		k, err := sketches[v].ReadUvarint()
+		if err != nil {
+			return 0, fmt.Errorf("triangles: sketch %d: %w", v, err)
+		}
+		for i := uint64(0); i < k; i++ {
+			u, err := sketches[v].ReadUint(idWidth)
+			if err != nil {
+				return 0, fmt.Errorf("triangles: sketch %d: %w", v, err)
+			}
+			if int(u) != v && int(u) < n {
+				b.AddEdge(v, int(u))
+			}
+		}
+	}
+	sampled := Exact(b.Build())
+	scale := 1 / (p.SampleProb * p.SampleProb * p.SampleProb)
+	return float64(sampled) * scale, nil
+}

@@ -1,0 +1,147 @@
+package triangles
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestExactKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"empty", graph.NewBuilder(4).Build(), 0},
+		{"path", gen.Path(5), 0},
+		{"triangle", gen.Cycle(3), 1},
+		{"C4", gen.Cycle(4), 0},
+		{"K4", gen.Complete(4), 4},
+		{"K5", gen.Complete(5), 10},
+		{"K6", gen.Complete(6), 20},
+		{"bipartite", gen.CompleteBipartite(3, 4), 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Exact(c.g); got != c.want {
+				t.Errorf("Exact = %d, want %d", got, c.want)
+			}
+		})
+	}
+}
+
+func TestExactAgainstBruteForceQuick(t *testing.T) {
+	f := func(seed uint64, nSeed uint8) bool {
+		src := rng.NewSource(seed)
+		n := 3 + int(nSeed%12)
+		g := gen.Gnp(n, 0.4, src)
+		brute := 0
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				for c := b + 1; c < n; c++ {
+					if g.HasEdge(a, b) && g.HasEdge(b, c) && g.HasEdge(a, c) {
+						brute++
+					}
+				}
+			}
+		}
+		return Exact(g) == brute
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSketchFullSamplingExact(t *testing.T) {
+	src := rng.NewSource(1)
+	coins := rng.NewPublicCoins(2)
+	for trial := 0; trial < 10; trial++ {
+		g := gen.Gnp(30, 0.3, src)
+		res, err := core.Run[float64](New(1.0), g, coins.DeriveIndex(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(res.Output+0.5) != Exact(g) {
+			t.Errorf("p=1 estimate %v != exact %d", res.Output, Exact(g))
+		}
+	}
+}
+
+func TestSketchConcentratesOnTriangleRichGraphs(t *testing.T) {
+	src := rng.NewSource(3)
+	g := gen.Gnp(100, 0.4, src) // ~ C(100,3)·0.064 ≈ 10k triangles
+	exact := float64(Exact(g))
+	coins := rng.NewPublicCoins(4)
+	within := 0
+	const trials = 15
+	for trial := 0; trial < trials; trial++ {
+		res, err := core.Run[float64](New(0.5), g, coins.DeriveIndex(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Output-exact) <= 0.3*exact {
+			within++
+		}
+	}
+	if within < trials*8/10 {
+		t.Errorf("estimate within 30%% in %d/%d trials (exact %v)", within, trials, exact)
+	}
+}
+
+func TestSketchRejectsBadProbability(t *testing.T) {
+	g := gen.Cycle(3)
+	for _, p := range []float64{0, -1, 1.5} {
+		if _, err := core.Run[float64](New(p), g, rng.NewPublicCoins(5)); err == nil {
+			t.Errorf("probability %v accepted", p)
+		}
+	}
+}
+
+func TestSketchSavesBits(t *testing.T) {
+	g := gen.Gnp(200, 0.5, rng.NewSource(6))
+	res, err := core.Run[float64](New(0.2), g, rng.NewPublicCoins(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullBits := g.MaxDegree() * 8
+	if res.MaxSketchBits >= fullBits/2 {
+		t.Errorf("sampled sketch %d bits vs full %d", res.MaxSketchBits, fullBits)
+	}
+}
+
+func TestEstimatorUnbiasedEmpirically(t *testing.T) {
+	// Mean over many independent sampling seeds should approach the
+	// truth.
+	src := rng.NewSource(8)
+	g := gen.Gnp(60, 0.3, src)
+	exact := float64(Exact(g))
+	if exact == 0 {
+		t.Skip("no triangles; reseed")
+	}
+	sum := 0.0
+	const trials = 60
+	for trial := 0; trial < trials; trial++ {
+		res, err := core.Run[float64](New(0.4), g, rng.NewPublicCoins(uint64(trial)+1000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += res.Output
+	}
+	mean := sum / trials
+	if math.Abs(mean-exact) > 0.15*exact {
+		t.Errorf("empirical mean %v vs exact %v — bias beyond sampling noise", mean, exact)
+	}
+}
+
+func BenchmarkExactN200(b *testing.B) {
+	g := gen.Gnp(200, 0.2, rng.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Exact(g)
+	}
+}
