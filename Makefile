@@ -1,11 +1,19 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test bench experiments experiments-full examples lint
+.PHONY: all check test test-race bench experiments experiments-full examples lint
 
-all: test
+all: check
+
+# check is the default gate: build + vet + tests, then the race detector
+# over the concurrency-bearing packages (engine scheduler and the cclique
+# protocols it drives in parallel).
+check: test test-race
 
 test:
 	go build ./... && go vet ./... && go test ./...
+
+test-race:
+	go test -race ./internal/engine/... ./internal/cclique/...
 
 bench:
 	go test -bench=. -benchmem ./...

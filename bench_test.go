@@ -9,10 +9,17 @@ package repro_test
 // Run: go test -bench=. -benchmem
 
 import (
+	"context"
 	"io"
 	"testing"
 
+	"repro/internal/agm"
+	"repro/internal/cclique"
+	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
 )
 
 func benchExperiment(b *testing.B, run experiments.Runner) {
@@ -105,3 +112,31 @@ func BenchmarkE18DegeneracyDensest(b *testing.B) {
 func BenchmarkE19TriangleCounting(b *testing.B) {
 	benchExperiment(b, experiments.E19TriangleCounting)
 }
+
+// Engine benchmarks: the broadcast phase of the AGM spanning-forest
+// sketch (per-vertex work is the protocol's real hot path; Decode is
+// referee-side and inherently sequential) at n ∈ {1k, 10k}, sequential
+// (1 worker) vs parallel (GOMAXPROCS workers). The engine's determinism
+// contract makes the two transcripts bit-identical, so this measures pure
+// scheduling win. Numbers are recorded in EXPERIMENTS.md § Engine.
+func benchEngineBroadcast(b *testing.B, n, workers int) {
+	b.Helper()
+	g := gen.Gnp(n, 8/float64(n), rng.NewSource(7))
+	p := &cclique.OneRound[[]graph.Edge]{P: agm.NewSpanningForest(agm.Config{})}
+	eng := &engine.Engine{Workers: workers}
+	coins := rng.NewPublicCoins(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Execute(context.Background(), p, g, coins); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineSequentialN1k(b *testing.B) { benchEngineBroadcast(b, 1000, 1) }
+
+func BenchmarkEngineParallelN1k(b *testing.B) { benchEngineBroadcast(b, 1000, 0) }
+
+func BenchmarkEngineSequentialN10k(b *testing.B) { benchEngineBroadcast(b, 10000, 1) }
+
+func BenchmarkEngineParallelN10k(b *testing.B) { benchEngineBroadcast(b, 10000, 0) }

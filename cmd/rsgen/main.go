@@ -1,18 +1,30 @@
 // Command rsgen constructs a Ruzsa–Szemerédi graph, verifies the
 // induced-matching partition, and prints its parameters (optionally the
-// full edge partition).
+// full edge partition). With -sketch it additionally runs the two-round
+// maximal-matching sketching protocol on the constructed graph through
+// the concurrent execution engine and reports run-level metrics.
 //
 // Usage:
 //
 //	rsgen [-m 60] [-family behrend|disjoint] [-r R -t T] [-print]
+//	      [-sketch] [-trials N] [-workers N] [-seed N]
+//
+// -workers sets the engine worker count (0 = GOMAXPROCS); the engine is
+// bit-deterministic, so -workers 1 reproduces the same sketch results as
+// any parallel run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/ap3"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/matchproto"
+	"repro/internal/rng"
 	"repro/internal/rsgraph"
 )
 
@@ -22,6 +34,10 @@ func main() {
 	r := flag.Int("r", 4, "disjoint family: matching size")
 	t := flag.Int("t", 8, "disjoint family: matching count")
 	printEdges := flag.Bool("print", false, "print the edge partition")
+	sketch := flag.Bool("sketch", false, "run the two-round MM sketch on the RS graph via the engine")
+	trials := flag.Int("trials", 4, "sketch trials (each with fresh coins)")
+	workers := flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS)")
+	seed := flag.Uint64("seed", 42, "root seed for sketch trials")
 	flag.Parse()
 
 	var rs *rsgraph.RSGraph
@@ -59,4 +75,47 @@ func main() {
 			fmt.Println()
 		}
 	}
+
+	if *sketch {
+		if err := runSketch(rs, *trials, *workers, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "rsgen: sketch: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runSketch executes `trials` independent two-round MM runs on the RS
+// graph as one engine batch and prints per-batch and first-run metrics.
+func runSketch(rs *rsgraph.RSGraph, trials, workers int, seed uint64) error {
+	if trials <= 0 {
+		return fmt.Errorf("-trials must be positive, got %d", trials)
+	}
+	coins := rng.NewPublicCoins(seed)
+	jobs := make([]engine.Job[[]graph.Edge], trials)
+	for i := range jobs {
+		jobs[i] = engine.Job[[]graph.Edge]{
+			Label:    fmt.Sprintf("mm/trial%d", i),
+			Protocol: matchproto.NewTwoRound(),
+			Graph:    rs.G,
+			Coins:    coins.Derive("rsgen-mm").DeriveIndex(i),
+		}
+	}
+	eng := &engine.Engine{Workers: workers}
+	results, err := engine.RunBatch(context.Background(), eng, jobs)
+	if err != nil {
+		return err
+	}
+	maximal := 0
+	for _, jr := range results {
+		if jr.Err != nil {
+			return fmt.Errorf("%s: %w", jr.Label, jr.Err)
+		}
+		if graph.IsMaximalMatching(rs.G, jr.Result.Output) {
+			maximal++
+		}
+	}
+	sum := engine.Summarize(results)
+	fmt.Printf("two-round MM sketch: %d/%d maximal, max message = %d bits, total = %d bits over %d broadcasts\n",
+		maximal, sum.Jobs, sum.MaxMessageBits, sum.TotalBits, sum.Broadcasts)
+	return engine.WriteStats(os.Stdout, &results[0].Result.Stats)
 }

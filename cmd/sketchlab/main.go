@@ -3,7 +3,12 @@
 //
 // Usage:
 //
-//	sketchlab [-scale small|full] [-seed N] [-run E5,E6]
+//	sketchlab [-scale small|full] [-seed N] [-run E5,E6] [-workers N]
+//
+// -workers sets the execution-engine worker count for engine-backed
+// sweeps (0 = GOMAXPROCS). The engine is bit-deterministic, so every
+// value — including -workers 1, the sequential baseline — produces
+// byte-identical output; the flag only changes wall time.
 package main
 
 import (
@@ -21,7 +26,10 @@ func main() {
 	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	format := flag.String("format", "text", "output format: text or md")
+	workers := flag.Int("workers", 0, "engine workers for batched sweeps (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	experiments.SetWorkers(*workers)
 
 	if *list {
 		for _, entry := range experiments.Registry() {

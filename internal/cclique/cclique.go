@@ -14,27 +14,19 @@
 package cclique
 
 import (
-	"fmt"
+	"context"
 
 	"repro/internal/bitio"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/rng"
 )
 
-// Transcript gives read access to all broadcasts of completed rounds.
-type Transcript struct {
-	writers [][]*bitio.Writer // [round][vertex]
-}
-
-// Rounds returns the number of completed rounds.
-func (t *Transcript) Rounds() int { return len(t.writers) }
-
-// Message returns a fresh reader over player v's broadcast in the given
-// completed round.
-func (t *Transcript) Message(round, v int) *bitio.Reader {
-	return bitio.ReaderFor(t.writers[round][v])
-}
+// Transcript gives read access to all broadcasts of completed rounds. It
+// is the engine's sealed transcript: rounds are immutable once visible
+// (see engine.Transcript for the full guarantee).
+type Transcript = engine.Transcript
 
 // Protocol is a multi-round broadcast protocol with output type O.
 type Protocol[O any] interface {
@@ -61,39 +53,25 @@ type Result[O any] struct {
 	TotalBits int
 }
 
-// Run executes the protocol on g.
+// Run executes the protocol on g. It is a thin wrapper over a one-worker
+// execution engine, so it is bit-identical to every parallel engine run;
+// callers who want concurrency or metrics use package engine directly.
 func Run[O any](p Protocol[O], g *graph.Graph, coins *rng.PublicCoins) (Result[O], error) {
-	var res Result[O]
-	views := core.Views(g)
-	transcript := &Transcript{}
-	res.RoundMaxBits = make([]int, p.Rounds())
-	for round := 0; round < p.Rounds(); round++ {
-		msgs := make([]*bitio.Writer, len(views))
-		for v, view := range views {
-			w, err := p.Broadcast(round, view, transcript, coins)
-			if err != nil {
-				return res, fmt.Errorf("cclique: round %d player %d: %w", round, v, err)
-			}
-			if w == nil {
-				w = &bitio.Writer{}
-			}
-			msgs[v] = w
-			if w.Len() > res.RoundMaxBits[round] {
-				res.RoundMaxBits[round] = w.Len()
-			}
-			res.TotalBits += w.Len()
-		}
-		if res.RoundMaxBits[round] > res.MaxMessageBits {
-			res.MaxMessageBits = res.RoundMaxBits[round]
-		}
-		transcript.writers = append(transcript.writers, msgs)
+	eng := &engine.Engine{Workers: 1}
+	er, err := engine.Run[O](context.Background(), eng, p, g, coins)
+	res := Result[O]{
+		Output:         er.Output,
+		MaxMessageBits: er.Stats.MaxMessageBits,
+		RoundMaxBits:   er.Stats.RoundMaxBits,
+		TotalBits:      int(er.Stats.TotalBits),
 	}
-	out, err := p.Decode(g.N(), transcript, coins)
-	if err != nil {
-		return res, fmt.Errorf("cclique: decode: %w", err)
+	if res.RoundMaxBits == nil {
+		res.RoundMaxBits = make([]int, 0, p.Rounds())
 	}
-	res.Output = out
-	return res, nil
+	for len(res.RoundMaxBits) < p.Rounds() {
+		res.RoundMaxBits = append(res.RoundMaxBits, 0)
+	}
+	return res, err
 }
 
 // OneRound adapts a one-round sketching protocol (package core) to the

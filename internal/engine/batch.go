@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Job is one (protocol, graph, coins) execution in a batch. Each job must
+// carry its own protocol instance: protocol values may memoize per-run
+// state, so sharing one across concurrent jobs is not allowed.
+type Job[O any] struct {
+	// Label names the job in results (e.g. "mm/n400/trial3").
+	Label    string
+	Protocol Protocol[O]
+	Graph    *graph.Graph
+	Coins    *rng.PublicCoins
+}
+
+// JobResult pairs a job's label with its outcome. Err is the job's own
+// failure; other jobs in the batch still run.
+type JobResult[O any] struct {
+	Label  string
+	Result Result[O]
+	Err    error
+}
+
+// BatchStats aggregates a batch run.
+type BatchStats struct {
+	Jobs           int
+	Failed         int
+	Broadcasts     int64
+	TotalBits      int64
+	MaxMessageBits int
+	// Wall is the end-to-end batch wall time; Summarize leaves it zero,
+	// the caller owns it.
+	Wall time.Duration
+}
+
+// RunBatch executes jobs across a shared pool of e.Workers job-level
+// workers; inside the pool each job runs sequentially, which is the shape
+// experiment sweeps need (many independent small runs) and keeps every
+// job bit-identical to a standalone sequential execution. Results are
+// returned in job order regardless of completion order. Per-job errors
+// land in the corresponding JobResult; RunBatch itself returns an error
+// only when ctx is cancelled, and then the already-finished results are
+// still returned.
+func RunBatch[O any](ctx context.Context, e *Engine, jobs []Job[O]) ([]JobResult[O], error) {
+	results := make([]JobResult[O], len(jobs))
+	for i, job := range jobs {
+		results[i].Label = job.Label
+	}
+	workers := min(e.workerCount(), len(jobs))
+	inner := &Engine{Workers: 1, ShardSize: e.ShardSize}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, err := Run(ctx, inner, jobs[i].Protocol, jobs[i].Graph, jobs[i].Coins)
+				results[i].Result, results[i].Err = res, err
+			}
+		}()
+	}
+feed:
+	for i := range jobs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return results, ctx.Err()
+}
+
+// Summarize folds per-job stats into one BatchStats (Wall left zero; the
+// caller owns end-to-end timing).
+func Summarize[O any](results []JobResult[O]) BatchStats {
+	var s BatchStats
+	s.Jobs = len(results)
+	for i := range results {
+		if results[i].Err != nil {
+			s.Failed++
+			continue
+		}
+		st := &results[i].Result.Stats
+		s.Broadcasts += st.Broadcasts
+		s.TotalBits += st.TotalBits
+		if st.MaxMessageBits > s.MaxMessageBits {
+			s.MaxMessageBits = st.MaxMessageBits
+		}
+	}
+	return s
+}

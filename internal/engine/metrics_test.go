@@ -1,0 +1,120 @@
+package engine_test
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/matchproto"
+	"repro/internal/rng"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h engine.Histogram
+	h.Observe(0) // empty bucket [0,1)
+	h.Observe(1) // [1,2)
+	h.Observe(2) // [2,4)
+	h.Observe(3) // [2,4)
+	h.Observe(17)
+	got := h.Buckets()
+	want := []engine.HistBucket{
+		{Lo: 0, Hi: 1, Count: 1},
+		{Lo: 1, Hi: 2, Count: 1},
+		{Lo: 2, Hi: 4, Count: 2},
+		{Lo: 16, Hi: 32, Count: 1},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPeakGaugeConcurrent(t *testing.T) {
+	var g engine.PeakGauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				g.Enter()
+				g.Exit()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := g.Peak(); p < 1 || p > 8 {
+		t.Errorf("Peak = %d, want in [1,8]", p)
+	}
+}
+
+func TestTimerSnapshot(t *testing.T) {
+	var tm engine.Timer
+	tm.Record(2 * time.Millisecond)
+	tm.Record(6 * time.Millisecond)
+	s := tm.Snapshot()
+	if s.Count != 2 || s.Total != 8*time.Millisecond || s.Max != 6*time.Millisecond {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if s.Avg() != 4*time.Millisecond {
+		t.Errorf("Avg = %s, want 4ms", s.Avg())
+	}
+}
+
+func TestWriteStatsRendersRun(t *testing.T) {
+	g := gen.Gnp(40, 0.3, rng.NewSource(31))
+	eng := &engine.Engine{Workers: 2, ShardSize: 5}
+	res, err := engine.Run(context.Background(), eng, matchproto.NewTwoRound(), g, rng.NewPublicCoins(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.N != 40 || s.Rounds != 2 || s.CompletedRounds != 2 {
+		t.Errorf("stats shape: %+v", s)
+	}
+	if s.Workers != 2 || s.ShardSize != 5 || s.Shards != 8 {
+		t.Errorf("scheduling fields: workers=%d shard=%d shards=%d", s.Workers, s.ShardSize, s.Shards)
+	}
+	if s.Broadcasts != 80 {
+		t.Errorf("Broadcasts = %d, want 80", s.Broadcasts)
+	}
+	if s.PeakInFlight < 1 || s.PeakInFlight > 2 {
+		t.Errorf("PeakInFlight = %d, want in [1,2]", s.PeakInFlight)
+	}
+	var total int64
+	for _, b := range s.Hist {
+		total += b.Count
+	}
+	if total != s.Broadcasts {
+		t.Errorf("histogram counts %d messages, want %d", total, s.Broadcasts)
+	}
+	if len(s.RoundMaxBits) != 2 || len(s.RoundWall) != 2 {
+		t.Errorf("per-round slices: %v / %v", s.RoundMaxBits, s.RoundWall)
+	}
+
+	var sb strings.Builder
+	if err := engine.WriteStats(&sb, &s); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"engine run: two-round-filtering-mm",
+		"n=40 rounds=2/2 workers=2 shard-size=5 shards=8",
+		"broadcasts=80",
+		"round 0:", "round 1:",
+		"message bits histogram:",
+		"peak-in-flight=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteStats output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package engine
+
+import "repro/internal/bitio"
+
+// message is one sealed broadcast: a private copy of the sender's bits.
+type message struct {
+	buf  []byte
+	nbit int
+}
+
+// Transcript gives read access to all broadcasts of completed rounds.
+//
+// Immutability guarantee: a round becomes visible only when it is sealed,
+// and sealing copies every message's bits into buffers owned by the
+// transcript. After SealRound returns, nothing — not the engine, not a
+// protocol that retained the *bitio.Writer it handed back, not a later
+// round appending to a recycled writer — can change a single bit of that
+// round. Message therefore always returns a reader over a stable snapshot,
+// which is what makes concurrent Broadcast calls in the next round safe.
+type Transcript struct {
+	rounds [][]message
+}
+
+// NewTranscript returns an empty transcript with no sealed rounds.
+func NewTranscript() *Transcript { return &Transcript{} }
+
+// Rounds returns the number of sealed (completed) rounds.
+func (t *Transcript) Rounds() int { return len(t.rounds) }
+
+// Message returns a fresh reader over player v's broadcast in the given
+// sealed round. Each call returns an independent reader; readers never
+// share position state.
+func (t *Transcript) Message(round, v int) *bitio.Reader {
+	m := t.rounds[round][v]
+	return bitio.NewReader(m.buf, m.nbit)
+}
+
+// BitLen returns the length in bits of player v's broadcast in the given
+// sealed round.
+func (t *Transcript) BitLen(round, v int) int { return t.rounds[round][v].nbit }
+
+// SealRound appends one completed round of broadcasts, copying each
+// writer's bits so the sealed round is immune to later writer mutation.
+// A nil writer seals as an empty message. The engine calls this exactly
+// once per round after the round's barrier; it is exported so reference
+// executors (tests, the golden sequential baseline) can build transcripts
+// under the same immutability contract.
+func (t *Transcript) SealRound(msgs []*bitio.Writer) {
+	sealed := make([]message, len(msgs))
+	for v, w := range msgs {
+		if w == nil || w.Len() == 0 {
+			continue
+		}
+		buf := make([]byte, len(w.Bytes()))
+		copy(buf, w.Bytes())
+		sealed[v] = message{buf: buf, nbit: w.Len()}
+	}
+	t.rounds = append(t.rounds, sealed)
+}

@@ -13,7 +13,21 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/engine"
 )
+
+// engineWorkers is the worker count for engine-backed sweeps; 0 selects
+// GOMAXPROCS. The engine's determinism contract means every value renders
+// identical tables — the knob only changes wall time.
+var engineWorkers int
+
+// SetWorkers configures the execution-engine worker count used by
+// engine-backed experiment sweeps (cmd/sketchlab -workers).
+func SetWorkers(w int) { engineWorkers = w }
+
+// newEngine returns the shared engine configuration for sweeps.
+func newEngine() *engine.Engine { return &engine.Engine{Workers: engineWorkers} }
 
 // Scale selects experiment sizes: Small keeps everything unit-test fast,
 // Full is for the CLI and the recorded EXPERIMENTS.md numbers.

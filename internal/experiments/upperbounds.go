@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/cclique"
 	"repro/internal/coloring"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/matchproto"
@@ -206,37 +208,66 @@ func E11TwoRound(scale Scale, seed uint64) ([]*Table, error) {
 			"one-round protocols need Ω(√n/e^Θ(√log n)) (Thms 1–2); one extra round reaches the same regime constructively",
 		},
 	}
+	eng := newEngine()
 	for _, n := range ns {
 		ref := math.Sqrt(float64(n)) * math.Pow(math.Log2(float64(n)+1), 2)
 		g := gen.Gnp(n, 0.3, src)
 
+		// All trials of one (n, problem) sweep run as a single engine
+		// batch: results come back in job order, and each job carries its
+		// own protocol instance and coin sub-stream, so the table is
+		// identical for every worker count.
+		mmJobs := make([]engine.Job[[]graph.Edge], trials)
+		for trial := range mmJobs {
+			mmJobs[trial] = engine.Job[[]graph.Edge]{
+				Label:    fmt.Sprintf("mm/n%d/t%d", n, trial),
+				Protocol: matchproto.NewTwoRound(),
+				Graph:    g,
+				Coins:    coins.Derive("mm").DeriveIndex(n*100 + trial),
+			}
+		}
+		mmResults, err := engine.RunBatch(context.Background(), eng, mmJobs)
+		if err != nil {
+			return nil, err
+		}
 		mmOK := 0
 		var mm1, mm2 int
-		for trial := 0; trial < trials; trial++ {
-			res, err := cclique.Run[[]graph.Edge](matchproto.NewTwoRound(), g, coins.Derive("mm").DeriveIndex(n*100+trial))
-			if err != nil {
-				return nil, err
+		for _, jr := range mmResults {
+			if jr.Err != nil {
+				return nil, jr.Err
 			}
-			if graph.IsMaximalMatching(g, res.Output) {
+			if graph.IsMaximalMatching(g, jr.Result.Output) {
 				mmOK++
 			}
-			mm1 = maxInt(mm1, res.RoundMaxBits[0])
-			mm2 = maxInt(mm2, res.RoundMaxBits[1])
+			mm1 = maxInt(mm1, jr.Result.Stats.RoundMaxBits[0])
+			mm2 = maxInt(mm2, jr.Result.Stats.RoundMaxBits[1])
 		}
 		t.AddRow(n, "matching", fmt.Sprintf("%d/%d", mmOK, trials), mm1, mm2, fmt.Sprintf("%.0f", ref), n)
 
+		misJobs := make([]engine.Job[[]int], trials)
+		for trial := range misJobs {
+			misJobs[trial] = engine.Job[[]int]{
+				Label:    fmt.Sprintf("mis/n%d/t%d", n, trial),
+				Protocol: misproto.NewTwoRound(),
+				Graph:    g,
+				Coins:    coins.Derive("mis").DeriveIndex(n*100 + trial),
+			}
+		}
+		misResults, err := engine.RunBatch(context.Background(), eng, misJobs)
+		if err != nil {
+			return nil, err
+		}
 		misOK := 0
 		var mis1, mis2 int
-		for trial := 0; trial < trials; trial++ {
-			res, err := cclique.Run[[]int](misproto.NewTwoRound(), g, coins.Derive("mis").DeriveIndex(n*100+trial))
-			if err != nil {
-				return nil, err
+		for _, jr := range misResults {
+			if jr.Err != nil {
+				return nil, jr.Err
 			}
-			if graph.IsMaximalIndependentSet(g, res.Output) {
+			if graph.IsMaximalIndependentSet(g, jr.Result.Output) {
 				misOK++
 			}
-			mis1 = maxInt(mis1, res.RoundMaxBits[0])
-			mis2 = maxInt(mis2, res.RoundMaxBits[1])
+			mis1 = maxInt(mis1, jr.Result.Stats.RoundMaxBits[0])
+			mis2 = maxInt(mis2, jr.Result.Stats.RoundMaxBits[1])
 		}
 		t.AddRow(n, "MIS", fmt.Sprintf("%d/%d", misOK, trials), mis1, mis2, fmt.Sprintf("%.0f", ref), n)
 	}
@@ -287,22 +318,37 @@ func E12BCCEquivalence(scale Scale, seed uint64) ([]*Table, error) {
 		{"agm-spanning-forest", agm.NewSpanningForest(agm.Config{})},
 		{"edge-sample-4", &matchproto.EdgeSample{EdgesPerVertex: 4}},
 	} {
+		// Graphs are drawn from the shared source first (same order as a
+		// sequential sweep), then all BCC simulations run as one engine
+		// batch against the direct one-round executions.
+		graphs := make([]*graph.Graph, trials)
+		jobs := make([]engine.Job[[]graph.Edge], trials)
+		for trial := 0; trial < trials; trial++ {
+			graphs[trial] = gen.Gnp(40, 0.2, src)
+			jobs[trial] = engine.Job[[]graph.Edge]{
+				Label:    fmt.Sprintf("%s/t%d", pc.name, trial),
+				Protocol: &cclique.OneRound[[]graph.Edge]{P: pc.p},
+				Graph:    graphs[trial],
+				Coins:    coins.Derive(pc.name).DeriveIndex(trial),
+			}
+		}
+		viaBCC, err := engine.RunBatch(context.Background(), newEngine(), jobs)
+		if err != nil {
+			return nil, err
+		}
 		same, sameCost := 0, 0
 		for trial := 0; trial < trials; trial++ {
-			g := gen.Gnp(40, 0.2, src)
-			c := coins.Derive(pc.name).DeriveIndex(trial)
-			direct, err := core.Run(pc.p, g, c)
+			direct, err := core.Run(pc.p, graphs[trial], coins.Derive(pc.name).DeriveIndex(trial))
 			if err != nil {
 				return nil, err
 			}
-			viaBCC, err := cclique.Run[[]graph.Edge](&cclique.OneRound[[]graph.Edge]{P: pc.p}, g, c)
-			if err != nil {
-				return nil, err
+			if viaBCC[trial].Err != nil {
+				return nil, viaBCC[trial].Err
 			}
-			if sameEdges(direct.Output, viaBCC.Output) {
+			if sameEdges(direct.Output, viaBCC[trial].Result.Output) {
 				same++
 			}
-			if direct.MaxSketchBits == viaBCC.MaxMessageBits {
+			if direct.MaxSketchBits == viaBCC[trial].Result.Stats.MaxMessageBits {
 				sameCost++
 			}
 		}

@@ -3,6 +3,7 @@ package matchproto
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/bitio"
 	"repro/internal/cclique"
@@ -32,8 +33,11 @@ type TwoRound struct {
 
 	// memo caches the shared round-1 matching for the current transcript:
 	// every party computes the identical value, so the simulator derives
-	// it once. Not safe for concurrent use.
+	// it once. The mutex makes the memo safe under the concurrent
+	// execution engine; the cached value is a pure function of the
+	// transcript and coins, so locking cannot change any bit.
 	memo struct {
+		sync.Mutex
 		transcript *cclique.Transcript
 		m1         []graph.Edge
 		matched    []bool
@@ -68,6 +72,8 @@ func (p *TwoRound) capEdges(n int) int {
 // round1Matching reconstructs the canonical greedy matching of the
 // round-1 broadcasts; every party computes the identical result.
 func (p *TwoRound) round1Matching(n int, transcript *cclique.Transcript, coins *rng.PublicCoins) ([]graph.Edge, []bool, error) {
+	p.memo.Lock()
+	defer p.memo.Unlock()
 	if p.memo.transcript == transcript {
 		return p.memo.m1, p.memo.matched, nil
 	}

@@ -3,6 +3,7 @@ package misproto
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/bitio"
 	"repro/internal/cclique"
@@ -41,9 +42,12 @@ type TwoRound struct {
 
 	// memo caches the shared round-1 derivation for the current
 	// transcript: in a real deployment each party computes it once; the
-	// simulator would otherwise recompute it per player. Not safe for
-	// concurrent use.
+	// simulator would otherwise recompute it per player. The mutex makes
+	// the memo safe under the concurrent execution engine; the cached
+	// value is a pure function of the transcript and coins, so locking
+	// cannot change any bit.
 	memo struct {
+		sync.Mutex
 		transcript *cclique.Transcript
 		rank       []int
 		s1         []int
@@ -79,6 +83,8 @@ func (p *TwoRound) listCap(n int) int {
 // candidateSet computes (rank, S₁, membership) from round-1 broadcasts;
 // identical at every party, memoized per transcript.
 func (p *TwoRound) candidateSet(n int, transcript *cclique.Transcript, coins *rng.PublicCoins) ([]int, []int, []bool, error) {
+	p.memo.Lock()
+	defer p.memo.Unlock()
 	if p.memo.transcript == transcript {
 		return p.memo.rank, p.memo.s1, p.memo.inS1, nil
 	}
