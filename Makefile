@@ -1,19 +1,26 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check test test-race bench experiments experiments-full examples lint
+.PHONY: all check test test-race fuzz-smoke bench experiments experiments-full examples lint
 
 all: check
 
 # check is the default gate: build + vet + tests, then the race detector
-# over the concurrency-bearing packages (engine scheduler and the cclique
-# protocols it drives in parallel).
+# over the concurrency-bearing packages (engine scheduler, the cclique
+# protocols it drives in parallel, and the fault injector that perturbs
+# them from inside the worker pool).
 check: test test-race
 
 test:
 	go build ./... && go vet ./... && go test ./...
 
 test-race:
-	go test -race ./internal/engine/... ./internal/cclique/...
+	go test -race ./internal/engine/... ./internal/cclique/... ./internal/faults/...
+
+# fuzz-smoke gives each fuzz target a short budget — the same smoke CI
+# runs (.github/workflows/ci.yml).
+fuzz-smoke:
+	go test -run='^$$' -fuzz=FuzzReaderNeverPanics -fuzztime=30s ./internal/bitio
+	go test -run='^$$' -fuzz=FuzzTranscriptCorruption -fuzztime=30s ./internal/faults
 
 bench:
 	go test -bench=. -benchmem ./...

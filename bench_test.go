@@ -113,6 +113,10 @@ func BenchmarkE19TriangleCounting(b *testing.B) {
 	benchExperiment(b, experiments.E19TriangleCounting)
 }
 
+func BenchmarkE20ResilienceSweep(b *testing.B) {
+	benchExperiment(b, experiments.E20ResilienceSweep)
+}
+
 // Engine benchmarks: the broadcast phase of the AGM spanning-forest
 // sketch (per-vertex work is the protocol's real hot path; Decode is
 // referee-side and inherently sequential) at n ∈ {1k, 10k}, sequential

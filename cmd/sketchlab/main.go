@@ -3,12 +3,17 @@
 //
 // Usage:
 //
-//	sketchlab [-scale small|full] [-seed N] [-run E5,E6] [-workers N]
+//	sketchlab [-scale small|full] [-seed N] [-run E5,E6] [-workers N] [-faults PLAN]
 //
 // -workers sets the execution-engine worker count for engine-backed
 // sweeps (0 = GOMAXPROCS). The engine is bit-deterministic, so every
 // value — including -workers 1, the sequential baseline — produces
 // byte-identical output; the flag only changes wall time.
+//
+// -faults adds a custom fault plan to the E20 resilience sweep, e.g.
+// "drop=0.1,corrupt=0.05,flip=4,straggle=0.01,delay=2ms". Faults are
+// label-derived from the seed, so faulted runs are equally deterministic
+// at every -workers value.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 )
 
 func main() {
@@ -27,9 +33,16 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	format := flag.String("format", "text", "output format: text or md")
 	workers := flag.Int("workers", 0, "engine workers for batched sweeps (0 = GOMAXPROCS)")
+	faultsFlag := flag.String("faults", "", "custom fault plan for the E20 sweep (drop=P,corrupt=P,flip=K,straggle=P,delay=D)")
 	flag.Parse()
 
 	experiments.SetWorkers(*workers)
+	plan, err := faults.ParsePlan(*faultsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sketchlab: %v\n", err)
+		os.Exit(2)
+	}
+	experiments.SetFaultPlan(plan)
 
 	if *list {
 		for _, entry := range experiments.Registry() {

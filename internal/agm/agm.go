@@ -33,6 +33,15 @@ type Config struct {
 	// Reps is the number of independent samplers per round, boosting the
 	// per-component success probability. 0 selects 3.
 	Reps int
+	// BackupReps, when positive, appends a resilient tail to every
+	// sketch: a 32-bit checksum of the primary sampler stack, a second
+	// fully independent stack of Rounds×BackupReps samplers derived from
+	// fresh coins, and that stack's checksum. DecodeResilient uses the
+	// checksums to detect in-range bit corruption and falls back to the
+	// backup stack when primaries are damaged (resilient.go). The default
+	// 0 keeps the classic AGM encoding, and the strict Decode ignores the
+	// tail entirely, so enabling it never changes clean-run outputs.
+	BackupReps int
 }
 
 // withDefaults resolves zero fields for an n-vertex graph.
@@ -92,11 +101,25 @@ func NewSpanningForest(cfg Config) *ForestProtocol {
 func (p *ForestProtocol) Name() string { return "agm-spanning-forest" }
 
 // Sketch implements core.Protocol: the vertex serializes one ℓ₀-sketch of
-// its incidence vector per (round, rep).
+// its incidence vector per (round, rep), plus — under BackupReps — the
+// checksummed backup tail described on Config.
 func (p *ForestProtocol) Sketch(view core.VertexView, coins *rng.PublicCoins) (*bitio.Writer, error) {
 	cfg := p.cfg.withDefaults(view.N)
 	w := &bitio.Writer{}
-	for _, sp := range specs(view.N, cfg, coins) {
+	pcs := writeIncidenceStack(w, specs(view.N, cfg, coins), view)
+	if cfg.BackupReps > 0 {
+		w.WriteUint(uint64(pcs), 32)
+		bcs := writeIncidenceStack(w, backupSpecs(view.N, cfg, coins), view)
+		w.WriteUint(uint64(bcs), 32)
+	}
+	return w, nil
+}
+
+// writeIncidenceStack sketches the view's incidence vector under every
+// spec, appends the serializations, and returns the folded checksum.
+func writeIncidenceStack(w *bitio.Writer, sps []l0.Spec, view core.VertexView) uint32 {
+	var cs uint32
+	for _, sp := range sps {
 		sk := sp.NewSketch()
 		for _, u := range view.Neighbors {
 			delta := int64(1)
@@ -106,8 +129,9 @@ func (p *ForestProtocol) Sketch(view core.VertexView, coins *rng.PublicCoins) (*
 			sp.Update(sk, edgeIndex(view.N, view.ID, u), delta)
 		}
 		sk.Write(w)
+		cs = foldChecksum(cs, sk.Checksum())
 	}
-	return w, nil
+	return cs
 }
 
 // Decode implements core.Protocol: Borůvka over merged sketches.

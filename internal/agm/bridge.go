@@ -116,29 +116,49 @@ func (p *BridgeProtocol) Decode(n int, sketches []*bitio.Reader, _ *rng.PublicCo
 		}
 	}
 	sampled := sampledBuilder.Build()
+	return recoverBridge(n, sampled, sums, nil)
+}
 
-	// tryPartition sums s_w over the vertices in one candidate side. When
-	// exactly one true edge crosses the candidate cut, the internal terms
-	// cancel and ±id(bridge) remains.
-	tryPartition := func(side []int) (graph.Edge, bool) {
-		var total int64
-		for _, v := range side {
-			total += sums[v]
-		}
-		if total < 0 {
-			total = -total
-		}
-		if total == 0 {
-			return graph.Edge{}, false
-		}
-		u := int(total / int64(n))
-		v := int(total % int64(n))
-		// id = min·n + max (edgeIndex), so the quotient is the smaller
-		// endpoint.
-		if u < v && v < n {
-			return graph.Edge{U: u, V: v}, true
-		}
+// tryCutSum sums s_w over the vertices of one candidate side. When exactly
+// one true edge crosses the candidate cut, the internal terms cancel and
+// ±id(bridge) remains; id = min·n + max (edgeIndex), so the quotient is
+// the smaller endpoint.
+func tryCutSum(n int, sums []int64, side []int) (graph.Edge, bool) {
+	var total int64
+	for _, v := range side {
+		total += sums[v]
+	}
+	if total < 0 {
+		total = -total
+	}
+	if total == 0 {
 		return graph.Edge{}, false
+	}
+	u := int(total / int64(n))
+	v := int(total % int64(n))
+	if u < v && v < n {
+		return graph.Edge{U: u, V: v}, true
+	}
+	return graph.Edge{}, false
+}
+
+// recoverBridge runs the cut-sum recovery over the sampled graph.
+// damaged, when non-nil, marks vertices whose sketches were lost or
+// garbled: candidate sides containing damaged vertices have meaningless
+// sums, so clean sides are tried first and damaged-side decodes are
+// skipped entirely — the total over all vertices is 0, hence every cut
+// can be summed from whichever side survived intact.
+func recoverBridge(n int, sampled *graph.Graph, sums []int64, damaged []bool) (graph.Edge, error) {
+	sideClean := func(side []int) bool {
+		if damaged == nil {
+			return true
+		}
+		for _, v := range side {
+			if damaged[v] {
+				return false
+			}
+		}
+		return true
 	}
 
 	comp, count := sampled.Components()
@@ -152,7 +172,10 @@ func (p *BridgeProtocol) Decode(n int, sketches []*bitio.Reader, _ *rng.PublicCo
 					side = append(side, v)
 				}
 			}
-			if e, ok := tryPartition(side); ok {
+			if !sideClean(side) {
+				continue
+			}
+			if e, ok := tryCutSum(n, sums, side); ok {
 				return e, nil
 			}
 		}
@@ -165,7 +188,24 @@ func (p *BridgeProtocol) Decode(n int, sketches []*bitio.Reader, _ *rng.PublicCo
 	// sum test confirm the true bridge.
 	for _, cand := range cutEdges(sampled) {
 		side := sideWithout(sampled, cand)
-		if e, ok := tryPartition(side); ok {
+		if !sideClean(side) {
+			// The cut can be summed from either shore; fall back to the
+			// complement when this one holds damaged vertices.
+			in := make([]bool, n)
+			for _, v := range side {
+				in[v] = true
+			}
+			side = side[:0]
+			for v := 0; v < n; v++ {
+				if !in[v] {
+					side = append(side, v)
+				}
+			}
+			if !sideClean(side) {
+				continue
+			}
+		}
+		if e, ok := tryCutSum(n, sums, side); ok {
 			return e, nil
 		}
 	}

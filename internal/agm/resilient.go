@@ -1,0 +1,331 @@
+package agm
+
+// This file is the referee-side graceful-degradation layer for the AGM
+// protocols (DESIGN.md § fault model). Each DecodeResilient detects
+// missing (zero-bit) and garbled per-vertex sketches from the message
+// contents alone — tolerant fixed-width parsing keeps sections aligned,
+// field-range checks catch most corruption, and the BackupReps checksums
+// catch in-range bit flips — then decodes a best-effort output from the
+// surviving material, reporting a core.Resilience verdict. The contract:
+// ResilienceOK is returned only when every sketch parsed perfectly.
+
+import (
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/l0"
+	"repro/internal/rng"
+)
+
+var (
+	_ core.ResilientProtocol[[]graph.Edge] = (*ForestProtocol)(nil)
+	_ core.ResilientProtocol[[]graph.Edge] = (*SkeletonProtocol)(nil)
+	_ core.ResilientProtocol[graph.Edge]   = (*BridgeProtocol)(nil)
+)
+
+// backupSpecs derives the fallback sampler stack from a coin subtree
+// disjoint from the primary one, so backup samplers are fully independent
+// re-derived ℓ₀ instances.
+func backupSpecs(n int, cfg Config, coins *rng.PublicCoins) []l0.Spec {
+	universe := uint64(n) * uint64(n)
+	root := coins.Derive("agm-backup")
+	out := make([]l0.Spec, cfg.Rounds*cfg.BackupReps)
+	for i := range out {
+		out[i] = l0.NewSpec(universe, root.DeriveIndex(i))
+	}
+	return out
+}
+
+// foldChecksum chains per-sketch checksums into a stack checksum.
+func foldChecksum(h, cs uint32) uint32 { return h*0x01000193 ^ cs }
+
+// stackChecksum folds the checksums of a sketch stack.
+func stackChecksum(stack []*l0.Sketch) uint32 {
+	var h uint32
+	for _, sk := range stack {
+		h = foldChecksum(h, sk.Checksum())
+	}
+	return h
+}
+
+// readStackTolerant deserializes one sampler stack, always consuming
+// exactly the stack's fixed bit size so that whatever follows (checksums,
+// backup stacks) stays aligned. valid reports whether every element was
+// canonical; err is non-nil only when the message is too short.
+func readStackTolerant(r *bitio.Reader, sps []l0.Spec) (stack []*l0.Sketch, valid bool, err error) {
+	stack = make([]*l0.Sketch, len(sps))
+	valid = true
+	for i, sp := range sps {
+		sk, ok, err := sp.ReadSketchTolerant(r)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			valid = false
+		}
+		stack[i] = sk
+	}
+	return stack, valid, nil
+}
+
+// zeroStack returns the all-zero sampler stack: the sketch a vertex with
+// no usable message is replaced by. Linearly it behaves like a vertex
+// whose incidence vector is zero — its edges survive un-cancelled in its
+// neighbors' sketches, so they remain recoverable, but the forest may no
+// longer reach the vertex itself.
+func zeroStack(sps []l0.Spec) []*l0.Sketch {
+	stack := make([]*l0.Sketch, len(sps))
+	for i, sp := range sps {
+		stack[i] = sp.NewSketch()
+	}
+	return stack
+}
+
+// readResilientVertex parses one vertex's forest message: the primary
+// stack, and under BackupReps the two checksums and the backup stack.
+// A short message (drops, truncation) yields neither stack; corruption
+// preserves length, so a damaged primary still leaves the backup section
+// readable at its fixed offset.
+func readResilientVertex(r *bitio.Reader, cfg Config, sps, bsps []l0.Spec) (primary, backup []*l0.Sketch, pGood, bGood bool) {
+	if r == nil || r.Remaining() == 0 {
+		return nil, nil, false, false
+	}
+	stack, ok, err := readStackTolerant(r, sps)
+	if err != nil {
+		return nil, nil, false, false
+	}
+	primary, pGood = stack, ok
+	if cfg.BackupReps == 0 {
+		return primary, nil, pGood, false
+	}
+	cs, err := r.ReadUint(32)
+	if err != nil {
+		return primary, nil, false, false
+	}
+	if uint32(cs) != stackChecksum(stack) {
+		pGood = false
+	}
+	bstack, bok, err := readStackTolerant(r, bsps)
+	if err != nil {
+		return primary, nil, pGood, false
+	}
+	bcs, err := r.ReadUint(32)
+	if err != nil || uint32(bcs) != stackChecksum(bstack) {
+		bok = false
+	}
+	return primary, bstack, pGood, bok
+}
+
+// DecodeResilient implements core.ResilientProtocol for the spanning
+// forest. Strategy: when every primary stack is intact, decode exactly as
+// Decode does and report ok. Otherwise pick whichever stack family
+// (primary, or the re-derived backup samplers when BackupReps > 0) lost
+// fewer vertices, replace the losses by zero sketches, and run Borůvka
+// over the survivors — a degraded forest that may miss the damaged
+// vertices. When more than half the vertices are unusable the verdict is
+// failed (the best-effort forest is still returned).
+func (p *ForestProtocol) DecodeResilient(n int, sketches []*bitio.Reader, coins *rng.PublicCoins) ([]graph.Edge, core.Resilience, error) {
+	cfg := p.cfg.withDefaults(n)
+	sps := specs(n, cfg, coins)
+	var bsps []l0.Spec
+	if cfg.BackupReps > 0 {
+		bsps = backupSpecs(n, cfg, coins)
+	}
+
+	primary := make([][]*l0.Sketch, n)
+	backup := make([][]*l0.Sketch, n)
+	pBad, bBad := 0, 0
+	for v := 0; v < n; v++ {
+		pv, bv, pGood, bGood := readResilientVertex(sketches[v], cfg, sps, bsps)
+		if pGood {
+			primary[v] = pv
+		} else {
+			pBad++
+		}
+		if bGood {
+			backup[v] = bv
+		} else {
+			bBad++
+		}
+	}
+
+	if pBad == 0 {
+		forest, err := boruvka(n, cfg, sps, primary)
+		if err != nil {
+			return nil, core.ResilienceFailed, err
+		}
+		return forest, core.ResilienceOK, nil
+	}
+
+	stacks, useSps, useCfg, holes := primary, sps, cfg, pBad
+	if cfg.BackupReps > 0 && bBad < pBad {
+		useCfg.Reps = cfg.BackupReps
+		stacks, useSps, holes = backup, bsps, bBad
+	}
+	for v := 0; v < n; v++ {
+		if stacks[v] == nil {
+			stacks[v] = zeroStack(useSps)
+		}
+	}
+	verdict := core.ResilienceDegraded
+	if 2*holes > n {
+		verdict = core.ResilienceFailed
+	}
+	forest, err := boruvka(n, useCfg, useSps, stacks)
+	if err != nil {
+		return nil, core.ResilienceFailed, err
+	}
+	return forest, verdict, nil
+}
+
+// DecodeResilient implements core.ResilientProtocol for the k-forest
+// skeleton. The skeleton encoding carries no checksums or backup stack;
+// resilience is limited to tolerant parsing — a vertex whose message is
+// missing, truncated, or holds non-canonical field elements is replaced
+// by zero sketches in every group — so in-range bit flips can go
+// undetected here (faults.Run's channel record still demotes such runs).
+func (p *SkeletonProtocol) DecodeResilient(n int, sketches []*bitio.Reader, coins *rng.PublicCoins) ([]graph.Edge, core.Resilience, error) {
+	if p.K < 1 {
+		return nil, core.ResilienceFailed, fmt.Errorf("agm: skeleton needs K >= 1, got %d", p.K)
+	}
+	cfgs, groups := p.groupSpecs(n, coins)
+	perGroup := make([][][]*l0.Sketch, p.K)
+	for g := range perGroup {
+		perGroup[g] = make([][]*l0.Sketch, n)
+	}
+	holes := 0
+	for v := 0; v < n; v++ {
+		r := sketches[v]
+		good := r != nil && r.Remaining() > 0
+		var stacks [][]*l0.Sketch
+		if good {
+			stacks = make([][]*l0.Sketch, p.K)
+			for g, sps := range groups {
+				stack, ok, err := readStackTolerant(r, sps)
+				if err != nil || !ok {
+					good = false
+					break
+				}
+				stacks[g] = stack
+			}
+			if good && r.Remaining() != 0 {
+				good = false // trailing garbage: treat the vertex as damaged
+			}
+		}
+		if !good {
+			holes++
+			for g, sps := range groups {
+				perGroup[g][v] = zeroStack(sps)
+			}
+			continue
+		}
+		for g := range groups {
+			perGroup[g][v] = stacks[g]
+		}
+	}
+
+	var certificate []graph.Edge
+	var removed []graph.Edge
+	for g := 0; g < p.K; g++ {
+		sps := groups[g]
+		for _, e := range removed {
+			idx := edgeIndex(n, e.U, e.V)
+			for i, sp := range sps {
+				sp.Update(perGroup[g][e.U][i], idx, -1)
+				sp.Update(perGroup[g][e.V][i], idx, +1)
+			}
+		}
+		forest, err := boruvka(n, cfgs[g], sps, perGroup[g])
+		if err != nil {
+			return certificate, core.ResilienceFailed, err
+		}
+		certificate = append(certificate, forest...)
+		removed = append(removed, forest...)
+	}
+	switch {
+	case holes == 0:
+		return certificate, core.ResilienceOK, nil
+	case 2*holes > n:
+		return certificate, core.ResilienceFailed, nil
+	default:
+		return certificate, core.ResilienceDegraded, nil
+	}
+}
+
+// DecodeResilient implements core.ResilientProtocol for the bridge
+// finder. Vertices whose sketches are missing or unparsable are excluded
+// from the sampled graph and marked damaged; recoverBridge then only
+// trusts cut sums over fully clean sides — the signed sums total zero
+// over all vertices, so any cut can be summed from whichever shore
+// survived intact (the re-derived fallback the encoding supports for
+// free). If every decodable side holds damage, the decode fails.
+func (p *BridgeProtocol) DecodeResilient(n int, sketches []*bitio.Reader, _ *rng.PublicCoins) (graph.Edge, core.Resilience, error) {
+	idWidth := bitio.UintWidth(n)
+	sampledBuilder := graph.NewBuilder(n)
+	sums := make([]int64, n)
+	damaged := make([]bool, n)
+	anomalies := 0
+	for v := 0; v < n; v++ {
+		r := sketches[v]
+		if r == nil || r.Remaining() == 0 {
+			damaged[v] = true
+			continue
+		}
+		k, err := r.ReadUvarint()
+		if err != nil {
+			damaged[v] = true
+			continue
+		}
+		parsed := true
+		for i := uint64(0); i < k; i++ {
+			u, err := r.ReadUint(idWidth)
+			if err != nil {
+				damaged[v] = true
+				parsed = false
+				break
+			}
+			if int(u) < n && int(u) != v {
+				sampledBuilder.AddEdge(v, int(u))
+			} else {
+				anomalies++ // invalid sampled neighbor: note it, keep going
+			}
+		}
+		if !parsed {
+			continue
+		}
+		neg, err := r.ReadBit()
+		if err != nil {
+			damaged[v] = true
+			continue
+		}
+		mag, err := r.ReadUvarint()
+		if err != nil {
+			damaged[v] = true
+			continue
+		}
+		if r.Remaining() != 0 {
+			anomalies++ // longer than its own header declared
+		}
+		sums[v] = int64(mag)
+		if neg {
+			sums[v] = -sums[v]
+		}
+	}
+
+	holes := 0
+	for _, d := range damaged {
+		if d {
+			holes++
+		}
+	}
+	e, err := recoverBridge(n, sampledBuilder.Build(), sums, damaged)
+	if err != nil {
+		return graph.Edge{}, core.ResilienceFailed, err
+	}
+	if holes == 0 && anomalies == 0 {
+		return e, core.ResilienceOK, nil
+	}
+	return e, core.ResilienceDegraded, nil
+}

@@ -92,6 +92,16 @@ func (w *Writer) WriteUvarint(v uint64) {
 	w.WriteUint(v+1, n-1) // high bit implicit
 }
 
+// FlipBit inverts the bit at position pos, which must be in [0, Len()).
+// Fault-injection layers use it to corrupt an already-written message
+// in place without changing its length.
+func (w *Writer) FlipBit(pos int) {
+	if pos < 0 || pos >= w.nbit {
+		panic(fmt.Sprintf("bitio: FlipBit position %d out of range [0,%d)", pos, w.nbit))
+	}
+	w.buf[pos/8] ^= 1 << uint(pos%8)
+}
+
 // WriteBytes appends the given bytes verbatim (8 bits per byte).
 func (w *Writer) WriteBytes(p []byte) {
 	for _, b := range p {

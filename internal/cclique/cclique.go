@@ -102,3 +102,24 @@ func (a *OneRound[O]) Decode(n int, transcript *Transcript, coins *rng.PublicCoi
 	}
 	return a.P.Decode(n, readers, coins)
 }
+
+// DecodeResilient lifts the wrapped protocol's resilient decode (when it
+// has one) to the transcript level, so faults.Run can degrade gracefully
+// over damaged one-round transcripts. When the wrapped protocol is not
+// resilience-aware, it falls back to the strict Decode: a clean decode
+// reports ok (faults.Run's channel-record folding still demotes it if
+// faults were injected) and a decode error reports failed.
+func (a *OneRound[O]) DecodeResilient(n int, transcript *Transcript, coins *rng.PublicCoins) (O, core.Resilience, error) {
+	readers := make([]*bitio.Reader, n)
+	for v := 0; v < n; v++ {
+		readers[v] = transcript.Message(0, v)
+	}
+	if rp, ok := a.P.(core.ResilientProtocol[O]); ok {
+		return rp.DecodeResilient(n, readers, coins)
+	}
+	out, err := a.P.Decode(n, readers, coins)
+	if err != nil {
+		return out, core.ResilienceFailed, err
+	}
+	return out, core.ResilienceOK, nil
+}

@@ -47,6 +47,63 @@ type Protocol[O any] interface {
 	Decode(n int, sketches []*bitio.Reader, coins *rng.PublicCoins) (O, error)
 }
 
+// Resilience classifies a referee's confidence in a decode that may have
+// run over dropped or corrupted sketches (DESIGN.md § fault model).
+//
+// The contract protocols must uphold: ResilienceOK is only reported when
+// the referee saw no evidence of damage — no missing messages, no parse
+// anomalies, no failed checksums, no truncation-capped lists. A degraded
+// or failed decode may still return a best-effort output, but it must not
+// silently claim full correctness.
+type Resilience int
+
+const (
+	// ResilienceOK: the decode observed no damage; the output carries the
+	// protocol's usual correctness guarantee. This is the zero value, so
+	// unfaulted runs report ok without any extra plumbing.
+	ResilienceOK Resilience = iota
+	// ResilienceDegraded: some sketches were missing or garbled; the
+	// referee produced a best-effort output from the surviving material
+	// (possibly via fallback sampler instances) with weakened guarantees.
+	ResilienceDegraded
+	// ResilienceFailed: too much material was lost for any meaningful
+	// output, or the decode errored outright.
+	ResilienceFailed
+)
+
+// String renders the outcome for experiment tables and stats reports.
+func (r Resilience) String() string {
+	switch r {
+	case ResilienceOK:
+		return "ok"
+	case ResilienceDegraded:
+		return "degraded"
+	case ResilienceFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("resilience(%d)", int(r))
+	}
+}
+
+// Worse returns the more severe of two outcomes.
+func (r Resilience) Worse(o Resilience) Resilience {
+	if o > r {
+		return o
+	}
+	return r
+}
+
+// ResilientProtocol is a one-round Protocol whose referee can additionally
+// decode damaged sketch vectors: missing messages (zero bits) and garbled
+// bits are detected and worked around where the encoding allows, and the
+// Resilience outcome reports how much trust the output deserves.
+type ResilientProtocol[O any] interface {
+	Protocol[O]
+	// DecodeResilient is Decode with graceful degradation. It must not
+	// return ResilienceOK unless every sketch parsed cleanly.
+	DecodeResilient(n int, sketches []*bitio.Reader, coins *rng.PublicCoins) (O, Resilience, error)
+}
+
 // Result reports one protocol execution.
 type Result[O any] struct {
 	Output O

@@ -10,6 +10,8 @@ import (
 	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/core"
 )
 
 // Counter is a monotonically increasing atomic counter.
@@ -184,6 +186,30 @@ type RunStats struct {
 	// PeakInFlight is the maximum number of Broadcast calls observed
 	// executing concurrently (1 for a sequential run).
 	PeakInFlight int
+
+	// Faults describes injected channel faults and the referee's
+	// resilience verdict. The zero value means a clean, unfaulted run.
+	Faults FaultStats
+}
+
+// FaultStats accounts for channel faults injected by internal/faults and
+// the resilience verdict of the decode that ran over them. All fields are
+// re-derived from the public fault coins over the sealed transcript, so
+// they are deterministic — identical for every Workers setting.
+type FaultStats struct {
+	// Injected reports whether a fault plan was active at all.
+	Injected bool
+	// Dropped counts broadcasts replaced by empty messages.
+	Dropped int
+	// Corrupted counts broadcasts that had bits flipped (drops take
+	// precedence: a message is never both).
+	Corrupted int
+	// FlippedBits is the total number of bit-flip injections applied.
+	FlippedBits int
+	// Straggled counts broadcasts that were artificially delayed.
+	Straggled int
+	// Resilience is the folded referee verdict for the run.
+	Resilience core.Resilience
 }
 
 // AvgMessageBits returns the mean message length over all broadcasts.
@@ -249,7 +275,16 @@ func WriteStats(w io.Writer, s *RunStats) error {
 		s.ShardWall.Count, s.ShardWall.Avg(), s.ShardWall.Max); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "wall: broadcast=%s decode=%s total=%s peak-in-flight=%d\n",
-		s.BroadcastWall, s.DecodeWall, s.TotalWall, s.PeakInFlight)
-	return err
+	if _, err := fmt.Fprintf(w, "wall: broadcast=%s decode=%s total=%s peak-in-flight=%d\n",
+		s.BroadcastWall, s.DecodeWall, s.TotalWall, s.PeakInFlight); err != nil {
+		return err
+	}
+	if s.Faults.Injected {
+		if _, err := fmt.Fprintf(w, "faults: dropped=%d corrupted=%d flipped-bits=%d straggled=%d resilience=%s\n",
+			s.Faults.Dropped, s.Faults.Corrupted, s.Faults.FlippedBits,
+			s.Faults.Straggled, s.Faults.Resilience); err != nil {
+			return err
+		}
+	}
+	return nil
 }

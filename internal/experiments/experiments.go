@@ -193,6 +193,7 @@ func Registry() []struct {
 		{"E17", E17CutSparsifier},
 		{"E18", E18DegeneracyDensest},
 		{"E19", E19TriangleCounting},
+		{"E20", E20ResilienceSweep},
 	}
 }
 

@@ -1,0 +1,72 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/agm"
+	"repro/internal/bitio"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// FuzzTranscriptCorruption feeds arbitrary bit flips — not just the
+// plan-shaped faults of the Injector — into a sealed AGM spanning-forest
+// transcript and checks the resilient referee's contract: it either
+// returns a correct forest, or reports degraded/failed, or errors. It
+// must never panic and never return an ok verdict with a wrong forest.
+//
+// The fuzz input is consumed in 3-byte chunks (vertex, position-hi,
+// position-lo), so the corpus explores both single-bit damage and heavy
+// multi-vertex damage.
+func FuzzTranscriptCorruption(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{3, 0, 17, 3, 0, 17}) // double flip on one position cancels
+	f.Add([]byte{1, 0, 5, 7, 1, 200, 11, 0, 42})
+
+	const n = 12
+	g := gen.Gnp(n, 0.4, rng.NewSource(99))
+	views := core.Views(g)
+	cfg := agm.Config{BackupReps: 2}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		coins := rng.NewPublicCoins(7)
+		p := agm.NewSpanningForest(cfg)
+		writers := make([]*bitio.Writer, n)
+		for v := 0; v < n; v++ {
+			w, err := p.Sketch(views[v], coins)
+			if err != nil {
+				t.Fatalf("sketch vertex %d: %v", v, err)
+			}
+			writers[v] = w
+		}
+		for i := 0; i+2 < len(data); i += 3 {
+			v := int(data[i]) % n
+			if writers[v].Len() == 0 {
+				continue
+			}
+			pos := (int(data[i+1])<<8 | int(data[i+2])) % writers[v].Len()
+			writers[v].FlipBit(pos)
+		}
+		tr := engine.NewTranscript()
+		tr.SealRound(writers)
+
+		readers := make([]*bitio.Reader, n)
+		for v := 0; v < n; v++ {
+			readers[v] = tr.Message(0, v)
+		}
+		out, verdict, err := p.DecodeResilient(n, readers, coins)
+		if err != nil {
+			if verdict == core.ResilienceOK {
+				t.Fatalf("error %v with ok verdict", err)
+			}
+			return
+		}
+		if verdict == core.ResilienceOK && !graph.IsSpanningForest(g, out) {
+			t.Fatalf("ok verdict but output is not a spanning forest of g: %v", out)
+		}
+	})
+}

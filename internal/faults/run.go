@@ -1,0 +1,86 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// ResilientProtocol is a multi-round engine.Protocol whose referee can
+// decode a damaged transcript with graceful degradation. It is the
+// transcript-level analogue of core.ResilientProtocol; cclique.OneRound
+// lifts the latter into this interface automatically.
+type ResilientProtocol[O any] interface {
+	engine.Protocol[O]
+	// DecodeResilient is Decode over a possibly-damaged transcript. It
+	// must not report core.ResilienceOK unless every message of every
+	// round parsed cleanly.
+	DecodeResilient(n int, transcript *engine.Transcript, coins *rng.PublicCoins) (O, core.Resilience, error)
+}
+
+// Run executes p on g under the plan's faults: the engine's sharded
+// broadcast phase runs with an Injector wrapped around p, then the referee
+// decodes — through DecodeResilient when p implements ResilientProtocol[O],
+// plain Decode otherwise. The returned stats carry the re-derived fault
+// record and the folded Resilience verdict.
+//
+// Verdict folding applies two independent layers:
+//
+//  1. protocol layer: the resilience decoder's own damage detection
+//     (checksums, parse anomalies, truncation caps) — genuine referee-side
+//     detection from message contents alone;
+//  2. channel layer: the fault record re-derived from the public fault
+//     coins (an authenticated channel's view). Any dropped or corrupted
+//     message demotes an ok verdict to degraded, so a run whose damage
+//     slipped past the protocol layer is never reported ok.
+//
+// faultCoins must be independent of the protocol's coins (derive them
+// under a distinct label) so that injecting faults never perturbs the
+// protocol's own randomness.
+func Run[O any](ctx context.Context, e *engine.Engine, p engine.Protocol[O], g *graph.Graph, coins *rng.PublicCoins, plan Plan, faultCoins *rng.PublicCoins) (engine.Result[O], error) {
+	start := time.Now()
+	inj := NewInjector(ctx, p, plan, faultCoins)
+	transcript, stats, err := e.Execute(ctx, inj, g, coins)
+
+	rec := plan.Evaluate(faultCoins, transcript, g.N())
+	stats.Faults = engine.FaultStats{
+		Injected:    plan.Active(),
+		Dropped:     rec.Dropped,
+		Corrupted:   rec.Corrupted,
+		FlippedBits: rec.FlippedBits,
+		Straggled:   rec.Straggled,
+	}
+
+	res := engine.Result[O]{Stats: *stats}
+	if err != nil {
+		res.Stats.Faults.Resilience = core.ResilienceFailed
+		res.Stats.TotalWall = time.Since(start)
+		return res, err
+	}
+
+	decodeStart := time.Now()
+	var out O
+	verdict := core.ResilienceOK
+	if rp, ok := any(p).(ResilientProtocol[O]); ok {
+		out, verdict, err = rp.DecodeResilient(g.N(), transcript, coins)
+	} else {
+		out, err = p.Decode(g.N(), transcript, coins)
+	}
+	res.Stats.DecodeWall = time.Since(decodeStart)
+	res.Stats.TotalWall = time.Since(start)
+	if err != nil {
+		res.Stats.Faults.Resilience = core.ResilienceFailed
+		return res, fmt.Errorf("faults: decode: %w", err)
+	}
+	if !rec.Clean() {
+		verdict = verdict.Worse(core.ResilienceDegraded)
+	}
+	res.Output = out
+	res.Stats.Faults.Resilience = verdict
+	return res, nil
+}

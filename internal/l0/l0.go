@@ -240,3 +240,61 @@ func (sp Spec) ReadSketch(r *bitio.Reader) (*Sketch, error) {
 	}
 	return sk, nil
 }
+
+// ReadSketchTolerant deserializes a sketch while tolerating corrupted
+// elements: it always consumes exactly BitLen() bits (keeping the reader
+// aligned for whatever follows, unlike ReadSketch which stops at the
+// first bad element), zeroing any cell whose serialized elements are not
+// canonical field values and reporting valid = false for such damage.
+// The error is non-nil only when the message is too short to hold the
+// full encoding.
+func (sp Spec) ReadSketchTolerant(r *bitio.Reader) (sk *Sketch, valid bool, err error) {
+	sk = sp.NewSketch()
+	valid = true
+	for i := range sk.cells {
+		var cell OneSparse
+		cellOK := true
+		for _, dst := range []*field.Elem{&cell.valSum, &cell.idxSum, &cell.fpSum} {
+			v, err := r.ReadUint(61)
+			if err != nil {
+				return nil, false, err
+			}
+			if v >= field.P {
+				cellOK = false
+				continue
+			}
+			*dst = field.Elem(v)
+		}
+		if !cellOK {
+			cell = OneSparse{}
+			valid = false
+		}
+		sk.cells[i] = cell
+	}
+	return sk, valid, nil
+}
+
+// Checksum digests the sketch's cells into 32 bits (an FNV-1a-style fold
+// over the canonical field elements). Resilient encodings append it after
+// a sketch stack so the referee can detect in-range bit flips that a
+// plain range check cannot.
+func (sk *Sketch) Checksum() uint32 {
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x00000100000001b3
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	for i := range sk.cells {
+		mix(uint64(sk.cells[i].valSum))
+		mix(uint64(sk.cells[i].idxSum))
+		mix(uint64(sk.cells[i].fpSum))
+	}
+	return uint32(h) ^ uint32(h>>32)
+}

@@ -67,6 +67,54 @@ func readSampledEdges(n int, sketches []*bitio.Reader) ([]graph.Edge, error) {
 	return edges, nil
 }
 
+// readSampledEdgesTolerant is readSampledEdges with per-vertex damage
+// tolerance for faulted transcripts: a sketch that is empty, truncated,
+// or reports invalid neighbors contributes what it can and is counted in
+// badVertices instead of failing the whole decode. On an undamaged
+// transcript it returns exactly readSampledEdges' result with
+// badVertices == 0 — players always write at least the count bit and
+// never an invalid neighbor — so clean runs are unaffected.
+func readSampledEdgesTolerant(n int, sketches []*bitio.Reader) (edges []graph.Edge, badVertices int) {
+	idWidth := bitio.UintWidth(n)
+	seen := make(map[graph.Edge]bool)
+	for v := 0; v < n; v++ {
+		r := sketches[v]
+		bad := false
+		if r == nil || r.Remaining() == 0 {
+			badVertices++
+			continue
+		}
+		k, err := r.ReadUvarint()
+		if err != nil {
+			badVertices++
+			continue
+		}
+		for i := uint64(0); i < k; i++ {
+			u, err := r.ReadUint(idWidth)
+			if err != nil {
+				bad = true
+				break
+			}
+			if int(u) == v || int(u) >= n {
+				bad = true
+				continue
+			}
+			e := graph.NewEdge(v, int(u))
+			if !seen[e] {
+				seen[e] = true
+				edges = append(edges, e)
+			}
+		}
+		if r.Remaining() != 0 {
+			bad = true // longer than its own count declared
+		}
+		if bad {
+			badVertices++
+		}
+	}
+	return edges, badVertices
+}
+
 // EdgeSample is the bounded-budget candidate protocol: every vertex
 // reports EdgesPerVertex random incident edges and the referee outputs a
 // greedy maximal matching of the reported subgraph. Its output is always

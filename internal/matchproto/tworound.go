@@ -41,6 +41,7 @@ type TwoRound struct {
 		transcript *cclique.Transcript
 		m1         []graph.Edge
 		matched    []bool
+		r1bad      int // round-1 vertices with damaged sketches
 	}
 }
 
@@ -70,21 +71,27 @@ func (p *TwoRound) capEdges(n int) int {
 }
 
 // round1Matching reconstructs the canonical greedy matching of the
-// round-1 broadcasts; every party computes the identical result.
+// round-1 broadcasts; every party computes the identical result. Parsing
+// is tolerant so that a faulted round-1 transcript (dropped or corrupted
+// sketches) never aborts the run: damaged sketches contribute what they
+// can and are counted in the memoized r1bad, which DecodeResilient folds
+// into its verdict. On clean transcripts tolerance changes nothing.
 func (p *TwoRound) round1Matching(n int, transcript *cclique.Transcript, coins *rng.PublicCoins) ([]graph.Edge, []bool, error) {
+	m1, matched, _ := p.round1MatchingDamage(n, transcript, coins)
+	return m1, matched, nil
+}
+
+func (p *TwoRound) round1MatchingDamage(n int, transcript *cclique.Transcript, coins *rng.PublicCoins) ([]graph.Edge, []bool, int) {
 	p.memo.Lock()
 	defer p.memo.Unlock()
 	if p.memo.transcript == transcript {
-		return p.memo.m1, p.memo.matched, nil
+		return p.memo.m1, p.memo.matched, p.memo.r1bad
 	}
 	sketches := make([]*bitio.Reader, n)
 	for v := 0; v < n; v++ {
 		sketches[v] = transcript.Message(0, v)
 	}
-	edges, err := readSampledEdges(n, sketches)
-	if err != nil {
-		return nil, nil, err
-	}
+	edges, r1bad := readSampledEdgesTolerant(n, sketches)
 	order := coins.Derive("2r-order").Source().Perm(len(edges))
 	shuffled := make([]graph.Edge, len(edges))
 	for i, j := range order {
@@ -97,8 +104,8 @@ func (p *TwoRound) round1Matching(n int, transcript *cclique.Transcript, coins *
 		matched[e.V] = true
 	}
 	p.memo.transcript = transcript
-	p.memo.m1, p.memo.matched = m1, matched
-	return m1, matched, nil
+	p.memo.m1, p.memo.matched, p.memo.r1bad = m1, matched, r1bad
+	return m1, matched, r1bad
 }
 
 // Broadcast implements cclique.Protocol.
@@ -173,4 +180,83 @@ func (p *TwoRound) Decode(n int, transcript *cclique.Transcript, coins *rng.Publ
 	}
 	m2 := graph.GreedyMaximalMatchingEdgeOrder(n, residualEdges)
 	return append(m1, m2...), nil
+}
+
+// DecodeResilient is Decode with graceful degradation over damaged
+// transcripts, satisfying faults.ResilientProtocol. The referee augments
+// M₁ with whatever round-2 material parses, and classifies the run:
+//
+//   - ok: every message of both rounds parsed cleanly and no residual
+//     list was at the cap — the output carries the protocol's guarantee
+//     (a maximal matching whenever the cap was not binding);
+//   - degraded: some sketches were missing/garbled (skipped) or a
+//     residual list hit the cap (possible truncation, so maximality may
+//     be lost); the output is still a valid greedy matching of the
+//     surviving reports;
+//   - failed: more than half the vertices were damaged in either round.
+//
+// In-range bit flips that forge plausible neighbor IDs are undetectable
+// from message contents alone; faults.Run's channel-record folding
+// covers that case, so a faulted run is never reported ok end to end.
+func (p *TwoRound) DecodeResilient(n int, transcript *cclique.Transcript, coins *rng.PublicCoins) ([]graph.Edge, core.Resilience, error) {
+	m1, matched, r1bad := p.round1MatchingDamage(n, transcript, coins)
+	idWidth := bitio.UintWidth(n)
+	capEdges := p.capEdges(n)
+	r2bad, capHits := 0, 0
+	var residualEdges []graph.Edge
+	seen := make(map[graph.Edge]bool)
+	for v := 0; v < n; v++ {
+		r := transcript.Message(1, v)
+		bad := false
+		if r == nil || r.Remaining() == 0 {
+			r2bad++
+			continue
+		}
+		k, err := r.ReadUvarint()
+		if err != nil {
+			r2bad++
+			continue
+		}
+		if matched[v] && k != 0 {
+			bad = true // matched vertices broadcast an empty report
+		}
+		if int64(k) >= int64(capEdges) {
+			capHits++ // at (or corrupted past) the cap: possible truncation
+		}
+		for i := uint64(0); i < k; i++ {
+			u, err := r.ReadUint(idWidth)
+			if err != nil {
+				bad = true
+				break
+			}
+			if int(u) == v || int(u) >= n {
+				bad = true
+				continue
+			}
+			if matched[v] || matched[int(u)] {
+				continue
+			}
+			e := graph.NewEdge(v, int(u))
+			if !seen[e] {
+				seen[e] = true
+				residualEdges = append(residualEdges, e)
+			}
+		}
+		if r.Remaining() != 0 {
+			bad = true // longer than its own count declared
+		}
+		if bad {
+			r2bad++
+		}
+	}
+	m2 := graph.GreedyMaximalMatchingEdgeOrder(n, residualEdges)
+	out := append(m1, m2...)
+	switch {
+	case 2*r1bad > n || 2*r2bad > n:
+		return out, core.ResilienceFailed, nil
+	case r1bad > 0 || r2bad > 0 || capHits > 0:
+		return out, core.ResilienceDegraded, nil
+	default:
+		return out, core.ResilienceOK, nil
+	}
 }

@@ -58,6 +58,49 @@ func readSampledGraph(n int, sketches []*bitio.Reader) (*graph.Graph, error) {
 	return b.Build(), nil
 }
 
+// readSampledGraphTolerant is readSampledGraph with per-vertex damage
+// tolerance for faulted transcripts: empty, truncated, or invalid-entry
+// sketches contribute what they can and are counted in badVertices. On an
+// undamaged transcript it matches readSampledGraph with badVertices == 0,
+// so clean runs are unaffected.
+func readSampledGraphTolerant(n int, sketches []*bitio.Reader) (*graph.Graph, int) {
+	idWidth := bitio.UintWidth(n)
+	b := graph.NewBuilder(n)
+	badVertices := 0
+	for v := 0; v < n; v++ {
+		r := sketches[v]
+		bad := false
+		if r == nil || r.Remaining() == 0 {
+			badVertices++
+			continue
+		}
+		k, err := r.ReadUvarint()
+		if err != nil {
+			badVertices++
+			continue
+		}
+		for i := uint64(0); i < k; i++ {
+			u, err := r.ReadUint(idWidth)
+			if err != nil {
+				bad = true
+				break
+			}
+			if int(u) != v && int(u) < n {
+				b.AddEdge(v, int(u))
+			} else {
+				bad = true
+			}
+		}
+		if r.Remaining() != 0 {
+			bad = true // longer than its own count declared
+		}
+		if bad {
+			badVertices++
+		}
+	}
+	return b.Build(), badVertices
+}
+
 // NeighborSample is the bounded-budget one-round candidate: every vertex
 // reports NeighborsPerVertex random neighbors and the referee outputs a
 // greedy MIS of the reported subgraph. Unreported edges can make the

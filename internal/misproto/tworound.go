@@ -52,6 +52,7 @@ type TwoRound struct {
 		rank       []int
 		s1         []int
 		inS1       []bool
+		r1bad      int // round-1 vertices with damaged sketches
 	}
 }
 
@@ -81,21 +82,27 @@ func (p *TwoRound) listCap(n int) int {
 }
 
 // candidateSet computes (rank, S₁, membership) from round-1 broadcasts;
-// identical at every party, memoized per transcript.
+// identical at every party, memoized per transcript. Parsing is tolerant
+// so a faulted round-1 transcript never aborts the run: damaged sketches
+// contribute what they can and are counted in the memoized r1bad, which
+// DecodeResilient folds into its verdict. Clean transcripts are parsed
+// identically to the strict reader.
 func (p *TwoRound) candidateSet(n int, transcript *cclique.Transcript, coins *rng.PublicCoins) ([]int, []int, []bool, error) {
+	rank, s1, inS1, _ := p.candidateSetDamage(n, transcript, coins)
+	return rank, s1, inS1, nil
+}
+
+func (p *TwoRound) candidateSetDamage(n int, transcript *cclique.Transcript, coins *rng.PublicCoins) ([]int, []int, []bool, int) {
 	p.memo.Lock()
 	defer p.memo.Unlock()
 	if p.memo.transcript == transcript {
-		return p.memo.rank, p.memo.s1, p.memo.inS1, nil
+		return p.memo.rank, p.memo.s1, p.memo.inS1, p.memo.r1bad
 	}
 	sketches := make([]*bitio.Reader, n)
 	for v := 0; v < n; v++ {
 		sketches[v] = transcript.Message(0, v)
 	}
-	sampled, err := readSampledGraph(n, sketches)
-	if err != nil {
-		return nil, nil, nil, err
-	}
+	sampled, r1bad := readSampledGraphTolerant(n, sketches)
 	rank := coins.Derive("mis-rank").Source().Perm(n)
 	s1 := graph.GreedyMIS(sampled, rank)
 	inS1 := make([]bool, n)
@@ -103,8 +110,8 @@ func (p *TwoRound) candidateSet(n int, transcript *cclique.Transcript, coins *rn
 		inS1[v] = true
 	}
 	p.memo.transcript = transcript
-	p.memo.rank, p.memo.s1, p.memo.inS1 = rank, s1, inS1
-	return rank, s1, inS1, nil
+	p.memo.rank, p.memo.s1, p.memo.inS1, p.memo.r1bad = rank, s1, inS1, r1bad
+	return rank, s1, inS1, r1bad
 }
 
 // Broadcast implements cclique.Protocol.
@@ -224,9 +231,15 @@ func (p *TwoRound) Decode(n int, transcript *cclique.Transcript, coins *rng.Publ
 		}
 	}
 
-	// F: true greedy MIS of the conflict graph on S₁. Every conflict edge
-	// was reported by its larger-rank endpoint, so within S₁ the referee
-	// has complete knowledge.
+	return assembleMIS(n, rank, s1, inS1, dominators, residual), nil
+}
+
+// assembleMIS is the referee's combination step shared by Decode and
+// DecodeResilient: a true greedy MIS F of the conflict graph on S₁ (every
+// conflict edge was reported by its larger-rank endpoint, so within S₁
+// the referee has complete knowledge), extended in rank order with
+// undominated non-S₁ vertices using every reported edge.
+func assembleMIS(n int, rank, s1 []int, inS1 []bool, dominators, residual [][]int) []int {
 	conflictB := graph.NewBuilder(n)
 	for _, v := range s1 {
 		for _, u := range dominators[v] {
@@ -254,8 +267,6 @@ func (p *TwoRound) Decode(n int, transcript *cclique.Transcript, coins *rng.Publ
 		}
 	}
 
-	// Extension: non-S₁ vertices not dominated by F, in rank order, using
-	// every reported edge (residual lists both ways plus dominator lists).
 	known := graph.NewBuilder(n)
 	for v := 0; v < n; v++ {
 		for _, u := range residual[v] {
@@ -282,5 +293,96 @@ func (p *TwoRound) Decode(n int, transcript *cclique.Transcript, coins *rng.Publ
 			out = append(out, v)
 		}
 	}
-	return out, nil
+	return out
+}
+
+// DecodeResilient is Decode with graceful degradation over damaged
+// transcripts, satisfying faults.ResilientProtocol. Damaged round-1
+// sketches shrink the sampled graph (possibly inflating S₁); damaged
+// round-2 messages are skipped, costing their conflict reports and
+// domination witnesses. Verdicts mirror matchproto.TwoRound:
+//
+//   - ok: every message of both rounds parsed cleanly and no list was at
+//     the cap — the output carries the protocol's usual guarantee;
+//   - degraded: some sketches were missing/garbled or a list hit the cap
+//     (possible truncation), so independence or maximality may be lost;
+//   - failed: more than half the vertices were damaged in either round.
+//
+// In-range bit flips forging plausible IDs are undetectable from message
+// contents alone; faults.Run's channel-record folding covers that case.
+func (p *TwoRound) DecodeResilient(n int, transcript *cclique.Transcript, coins *rng.PublicCoins) ([]int, core.Resilience, error) {
+	rank, s1, inS1, r1bad := p.candidateSetDamage(n, transcript, coins)
+	idWidth := bitio.UintWidth(n)
+	limit := p.listCap(n)
+	dominators := make([][]int, n)
+	residual := make([][]int, n)
+	r2bad, capHits := 0, 0
+
+	readListTolerant := func(r *bitio.Reader, v int) ([]int, bool) {
+		k, err := r.ReadUvarint()
+		if err != nil {
+			return nil, false
+		}
+		if int64(k) >= int64(limit) {
+			capHits++ // at (or corrupted past) the cap: possible truncation
+		}
+		ok := true
+		var out []int
+		for i := uint64(0); i < k; i++ {
+			u, err := r.ReadUint(idWidth)
+			if err != nil {
+				return out, false
+			}
+			if int(u) != v && int(u) < n {
+				out = append(out, int(u))
+			} else {
+				ok = false
+			}
+		}
+		return out, ok
+	}
+
+	for v := 0; v < n; v++ {
+		r := transcript.Message(1, v)
+		bad := false
+		if r == nil || r.Remaining() == 0 {
+			r2bad++
+			continue
+		}
+		if inS1[v] {
+			conflict, err := r.ReadBit()
+			if err != nil {
+				r2bad++
+				continue
+			}
+			if conflict {
+				var ok bool
+				dominators[v], ok = readListTolerant(r, v)
+				bad = bad || !ok
+			}
+		} else {
+			var ok bool
+			dominators[v], ok = readListTolerant(r, v)
+			if ok {
+				residual[v], ok = readListTolerant(r, v)
+			}
+			bad = bad || !ok
+		}
+		if r.Remaining() != 0 {
+			bad = true // longer than its own lists declared
+		}
+		if bad {
+			r2bad++
+		}
+	}
+
+	out := assembleMIS(n, rank, s1, inS1, dominators, residual)
+	switch {
+	case 2*r1bad > n || 2*r2bad > n:
+		return out, core.ResilienceFailed, nil
+	case r1bad > 0 || r2bad > 0 || capHits > 0:
+		return out, core.ResilienceDegraded, nil
+	default:
+		return out, core.ResilienceOK, nil
+	}
 }

@@ -1,0 +1,195 @@
+package proofcheck
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/harddist"
+	"repro/internal/rsgraph"
+)
+
+// These fixtures mirror internal/faults' channel-fault modes inside the
+// information-theoretic checker: a channel that drops or garbles the
+// unique messages destroys the information the soundness chain accounts
+// for, so a referee that still answers perfectly must be cheating — and
+// Lemma 3.3 has to flag it. The XOR-mask channel is the contrast: a
+// bijective corruption is information-preserving, and a referee adapted
+// to the mask passes the whole chain.
+
+// faultyChannel wraps an inner protocol and applies a per-message
+// transform to every unique message in transit. When oracle is set, the
+// referee ignores the (damaged) transcript and reads the hidden instance
+// instead — the "impossibly lucky" referee the checker must reject.
+type faultyChannel struct {
+	name    string
+	inner   Protocol
+	garble  func(msg string) string
+	oracle  bool
+	decode  func(view RefereeView) []graph.Edge
+	instRef *harddist.Instance
+}
+
+func (c *faultyChannel) Name() string { return c.name }
+
+func (c *faultyChannel) PublicMessages(inst *harddist.Instance) []string {
+	if c.oracle {
+		c.instRef = inst // the cheat, as in cheatingProtocol
+	}
+	return c.inner.PublicMessages(inst)
+}
+
+func (c *faultyChannel) UniqueMessages(inst *harddist.Instance, copy int) []string {
+	msgs := c.inner.UniqueMessages(inst, copy)
+	out := make([]string, len(msgs))
+	for i, m := range msgs {
+		out[i] = c.garble(m)
+	}
+	return out
+}
+
+func (c *faultyChannel) Output(view RefereeView) []graph.Edge {
+	if c.oracle {
+		var out []graph.Edge
+		for i := 0; i < view.Params.K; i++ {
+			out = append(out, c.instRef.SpecialMatchingSurvived(i)...)
+		}
+		return out
+	}
+	return c.decode(view)
+}
+
+// flipBits inverts every survival bit of a message — the string-model
+// analogue of bitio.Writer.FlipBit at every position (an all-ones mask).
+func flipBits(msg string) string {
+	var sb strings.Builder
+	for i := 0; i < len(msg); i++ {
+		if msg[i] == '1' {
+			sb.WriteByte('0')
+		} else {
+			sb.WriteByte('1')
+		}
+	}
+	return sb.String()
+}
+
+func faultedConfig(t *testing.T) Config {
+	t.Helper()
+	rs := rsgraph.DisjointMatchings(2, 2)
+	p := harddist.Params{RS: rs, K: 2, DropProb: 0.5}
+	sigma := make([]int, p.N())
+	for i := range sigma {
+		sigma[i] = i
+	}
+	return Config{Params: p, Sigma: sigma}
+}
+
+// TestVerifierCatchesDroppedChannel: the channel drops every unique
+// message (internal/faults' drop mode at probability 1), yet the referee
+// still outputs the exact survivors. The transcript carries zero bits
+// about M, so H(M|Π,J) = kr and Lemma 3.3's soundness inequality must
+// break.
+func TestVerifierCatchesDroppedChannel(t *testing.T) {
+	cfg := faultedConfig(t)
+	p := &faultyChannel{
+		name:   "full-info+drop-all",
+		inner:  FullInfo{},
+		garble: func(string) string { return "" },
+		oracle: true,
+	}
+	rep, err := VerifyChain(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PErr != 0 {
+		t.Fatalf("oracle referee recorded error rate %v", rep.PErr)
+	}
+	if rep.Lemma33.Holds {
+		t.Error("Lemma 3.3 verified although the channel dropped every unique message")
+	}
+	if rep.AllHold() {
+		t.Error("AllHold passed for the dropped-channel protocol")
+	}
+	// The dropped messages are genuinely empty, so the per-message
+	// decomposition lemmas still hold — only soundness breaks.
+	if !rep.Lemma34.Holds {
+		t.Error("Lemma 3.4 should hold for empty messages")
+	}
+}
+
+// TestVerifierCatchesGarbledChannel: the channel replaces every unique
+// message by a constant of the same length (heavy corruption that
+// destroys all content while keeping the framing plausible). A constant
+// transcript carries zero information, so a perfect referee again breaks
+// Lemma 3.3 — the checker is not fooled by messages that merely LOOK
+// well-formed.
+func TestVerifierCatchesGarbledChannel(t *testing.T) {
+	cfg := faultedConfig(t)
+	p := &faultyChannel{
+		name:   "full-info+garble-const",
+		inner:  FullInfo{},
+		garble: func(msg string) string { return strings.Repeat("1", len(msg)) },
+		oracle: true,
+	}
+	rep, err := VerifyChain(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PErr != 0 {
+		t.Fatalf("oracle referee recorded error rate %v", rep.PErr)
+	}
+	if rep.ITotal != 0 {
+		t.Errorf("constant transcript reported ITotal = %v, want 0", rep.ITotal)
+	}
+	if rep.Lemma33.Holds {
+		t.Error("Lemma 3.3 verified although the transcript is constant")
+	}
+	if rep.AllHold() {
+		t.Error("AllHold passed for the garbled-channel protocol")
+	}
+}
+
+// TestXORMaskChannelPreservesChain: the contrast fixture. The channel
+// XORs every unique message with an all-ones mask — a bijective,
+// information-preserving corruption — and the referee is adapted to
+// un-mask before decoding. No hidden state, perfect output, and the full
+// chain must verify: what the lemmas bound is information, not syntax.
+func TestXORMaskChannelPreservesChain(t *testing.T) {
+	cfg := faultedConfig(t)
+	p := &faultyChannel{
+		name:   "full-info+xor-mask",
+		inner:  FullInfo{},
+		garble: flipBits,
+		decode: func(view RefereeView) []graph.Edge {
+			unmasked := view
+			unmasked.Unique = make([][]string, len(view.Unique))
+			for i, msgs := range view.Unique {
+				unmasked.Unique[i] = make([]string, len(msgs))
+				for v, m := range msgs {
+					unmasked.Unique[i][v] = flipBits(m)
+				}
+			}
+			return FullInfo{}.Output(unmasked)
+		},
+	}
+	rep, err := VerifyChain(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PErr != 0 {
+		t.Fatalf("masked referee recorded error rate %v, want perfect output", rep.PErr)
+	}
+	if !rep.AllHold() {
+		t.Errorf("chain should verify for a bijective mask: %+v", rep)
+	}
+
+	// Sanity: the masked transcript carries exactly as much information as
+	// the unmasked FullInfo baseline.
+	base, err := VerifyChain(cfg, FullInfo{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ITotal != base.ITotal {
+		t.Errorf("mask changed ITotal: %v vs baseline %v", rep.ITotal, base.ITotal)
+	}
+}
