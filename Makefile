@@ -1,6 +1,12 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check test test-race fuzz-smoke bench experiments experiments-full examples lint
+.PHONY: all check test test-race fuzz-smoke bench bench-smoke bench-baseline experiments experiments-full examples lint
+
+# The hot-path micro-benchmarks: field exponentiation/inversion, ℓ₀
+# sketch updates, and the per-vertex AGM sketching cost. bench-smoke and
+# the informational CI job share this selection with bench/baseline.txt.
+BENCH_HOT := FieldPow|FieldInv|L0Update|L0Sample|AGMSketchVertex
+BENCH_HOT_PKGS := ./internal/field/ ./internal/l0/ ./internal/agm/
 
 all: check
 
@@ -24,6 +30,19 @@ fuzz-smoke:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# bench-smoke compiles and runs each hot-path micro-benchmark exactly
+# once — a seconds-long sanity pass that catches "the benchmark no longer
+# builds/runs" without pretending one iteration is a measurement.
+bench-smoke:
+	go test -run='^$$' -bench='$(BENCH_HOT)' -benchtime=1x -benchmem $(BENCH_HOT_PKGS)
+
+# bench-baseline refreshes bench/baseline.txt, the checked-in reference
+# the CI benchstat diff compares against. Re-run on a quiet machine after
+# intentional performance work and commit the result.
+bench-baseline:
+	mkdir -p bench
+	go test -run='^$$' -bench='$(BENCH_HOT)' -benchtime=100ms -count=5 -benchmem $(BENCH_HOT_PKGS) | tee bench/baseline.txt
 
 experiments:
 	go run ./cmd/sketchlab

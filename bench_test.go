@@ -24,6 +24,7 @@ import (
 
 func benchExperiment(b *testing.B, run experiments.Runner) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tables, err := run(experiments.Small, 42)
 		if err != nil {
@@ -129,6 +130,7 @@ func benchEngineBroadcast(b *testing.B, n, workers int) {
 	p := &cclique.OneRound[[]graph.Edge]{P: agm.NewSpanningForest(agm.Config{})}
 	eng := &engine.Engine{Workers: workers}
 	coins := rng.NewPublicCoins(9)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := eng.Execute(context.Background(), p, g, coins); err != nil {

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	sketchlab [-scale small|full] [-seed N] [-run E5,E6] [-workers N] [-faults PLAN]
+//	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // -workers sets the execution-engine worker count for engine-backed
 // sweeps (0 = GOMAXPROCS). The engine is bit-deterministic, so every
@@ -14,12 +15,18 @@
 // "drop=0.1,corrupt=0.05,flip=4,straggle=0.01,delay=2ms". Faults are
 // label-derived from the seed, so faulted runs are equally deterministic
 // at every -workers value.
+//
+// -cpuprofile and -memprofile write pprof profiles of the selected
+// experiments (the heap profile is taken after the final run), for
+// inspecting where sketch-construction time and allocations go.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
@@ -27,6 +34,14 @@ import (
 )
 
 func main() {
+	// run does the real work so that profile-flushing defers execute
+	// before the process decides its exit code.
+	if !run() {
+		os.Exit(1)
+	}
+}
+
+func run() (ok bool) {
 	scaleFlag := flag.String("scale", "small", "experiment scale: small or full")
 	seed := flag.Uint64("seed", 42, "root seed for all randomness")
 	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
@@ -34,7 +49,37 @@ func main() {
 	format := flag.String("format", "text", "output format: text or md")
 	workers := flag.Int("workers", 0, "engine workers for batched sweeps (0 = GOMAXPROCS)")
 	faultsFlag := flag.String("faults", "", "custom fault plan for the E20 sweep (drop=P,corrupt=P,flip=K,straggle=P,delay=D)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (taken after the runs) to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sketchlab: cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "sketchlab: cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sketchlab: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "sketchlab: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	experiments.SetWorkers(*workers)
 	plan, err := faults.ParsePlan(*faultsFlag)
@@ -48,7 +93,7 @@ func main() {
 		for _, entry := range experiments.Registry() {
 			fmt.Println(entry.ID)
 		}
-		return
+		return true
 	}
 
 	scale := experiments.Small
@@ -93,7 +138,5 @@ func main() {
 			}
 		}
 	}
-	if failed {
-		os.Exit(1)
-	}
+	return !failed
 }

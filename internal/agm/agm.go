@@ -74,15 +74,11 @@ func edgeFromIndex(n int, idx uint64) (graph.Edge, error) {
 }
 
 // specs derives the (round × rep) sampler specifications from public
-// coins; players and referee call this identically.
+// coins; players and referee call this identically. The derivation is
+// memoized per (n, cfg, coin seed) — see speccache.go — so the n vertices
+// of one run share a single derivation instead of each repeating it.
 func specs(n int, cfg Config, coins *rng.PublicCoins) []l0.Spec {
-	universe := uint64(n) * uint64(n)
-	root := coins.Derive("agm")
-	out := make([]l0.Spec, cfg.Rounds*cfg.Reps)
-	for i := range out {
-		out[i] = l0.NewSpec(universe, root.DeriveIndex(i))
-	}
-	return out
+	return derivedSpecs(uint64(n)*uint64(n), cfg.Rounds*cfg.Reps, coins.Derive("agm"))
 }
 
 // ForestProtocol is the one-round AGM spanning forest protocol.
@@ -105,22 +101,30 @@ func (p *ForestProtocol) Name() string { return "agm-spanning-forest" }
 // checksummed backup tail described on Config.
 func (p *ForestProtocol) Sketch(view core.VertexView, coins *rng.PublicCoins) (*bitio.Writer, error) {
 	cfg := p.cfg.withDefaults(view.N)
-	w := &bitio.Writer{}
-	pcs := writeIncidenceStack(w, specs(view.N, cfg, coins), view)
+	w := bitio.NewPooledWriter()
 	if cfg.BackupReps > 0 {
+		pcs := writeIncidenceStack(w, specs(view.N, cfg, coins), view, true)
 		w.WriteUint(uint64(pcs), 32)
-		bcs := writeIncidenceStack(w, backupSpecs(view.N, cfg, coins), view)
+		bcs := writeIncidenceStack(w, backupSpecs(view.N, cfg, coins), view, true)
 		w.WriteUint(uint64(bcs), 32)
+	} else {
+		// The classic encoding carries no checksum, so none is computed:
+		// hashing every cell of every sketch is a measurable fraction of
+		// the per-vertex cost at large n.
+		writeIncidenceStack(w, specs(view.N, cfg, coins), view, false)
 	}
 	return w, nil
 }
 
 // writeIncidenceStack sketches the view's incidence vector under every
-// spec, appends the serializations, and returns the folded checksum.
-func writeIncidenceStack(w *bitio.Writer, sps []l0.Spec, view core.VertexView) uint32 {
+// spec, appends the serializations, and — when withChecksum is set —
+// returns the folded checksum of the stack. The per-spec scratch sketch
+// comes from the l0 pool: its contents are fully serialized into w before
+// release, so pooling is invisible in the bits.
+func writeIncidenceStack(w *bitio.Writer, sps []l0.Spec, view core.VertexView, withChecksum bool) uint32 {
 	var cs uint32
 	for _, sp := range sps {
-		sk := sp.NewSketch()
+		sk := sp.AcquireSketch()
 		for _, u := range view.Neighbors {
 			delta := int64(1)
 			if view.ID > u {
@@ -129,7 +133,10 @@ func writeIncidenceStack(w *bitio.Writer, sps []l0.Spec, view core.VertexView) u
 			sp.Update(sk, edgeIndex(view.N, view.ID, u), delta)
 		}
 		sk.Write(w)
-		cs = foldChecksum(cs, sk.Checksum())
+		if withChecksum {
+			cs = foldChecksum(cs, sk.Checksum())
+		}
+		l0.ReleaseSketch(sk)
 	}
 	return cs
 }

@@ -27,15 +27,10 @@ var (
 
 // backupSpecs derives the fallback sampler stack from a coin subtree
 // disjoint from the primary one, so backup samplers are fully independent
-// re-derived ℓ₀ instances.
+// re-derived ℓ₀ instances. Memoized like specs (speccache.go): the
+// disjoint "agm-backup" subtree seed keys a separate cache entry.
 func backupSpecs(n int, cfg Config, coins *rng.PublicCoins) []l0.Spec {
-	universe := uint64(n) * uint64(n)
-	root := coins.Derive("agm-backup")
-	out := make([]l0.Spec, cfg.Rounds*cfg.BackupReps)
-	for i := range out {
-		out[i] = l0.NewSpec(universe, root.DeriveIndex(i))
-	}
-	return out
+	return derivedSpecs(uint64(n)*uint64(n), cfg.Rounds*cfg.BackupReps, coins.Derive("agm-backup"))
 }
 
 // foldChecksum chains per-sketch checksums into a stack checksum.

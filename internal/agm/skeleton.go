@@ -57,11 +57,11 @@ func (p *SkeletonProtocol) Sketch(view core.VertexView, coins *rng.PublicCoins) 
 	if p.K < 1 {
 		return nil, fmt.Errorf("agm: skeleton needs K >= 1, got %d", p.K)
 	}
-	w := &bitio.Writer{}
+	w := bitio.NewPooledWriter()
 	_, groups := p.groupSpecs(view.N, coins)
 	for _, sps := range groups {
 		for _, sp := range sps {
-			sk := sp.NewSketch()
+			sk := sp.AcquireSketch()
 			for _, u := range view.Neighbors {
 				delta := int64(1)
 				if view.ID > u {
@@ -70,6 +70,7 @@ func (p *SkeletonProtocol) Sketch(view core.VertexView, coins *rng.PublicCoins) 
 				sp.Update(sk, edgeIndex(view.N, view.ID, u), delta)
 			}
 			sk.Write(w)
+			l0.ReleaseSketch(sk)
 		}
 	}
 	return w, nil

@@ -23,6 +23,9 @@ var ErrShortMessage = errors.New("bitio: read past end of message")
 type Writer struct {
 	buf  []byte
 	nbit int
+	// pooled marks writers drawn from the scratch pool (pool.go), so
+	// Release recycles exactly those and is a no-op for plain values.
+	pooled bool
 }
 
 // Len returns the number of bits written so far.

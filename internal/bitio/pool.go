@@ -1,0 +1,47 @@
+package bitio
+
+import "sync"
+
+// Writer pooling for the sketch hot path. A protocol run allocates one
+// Writer — and grows one byte buffer — per (round, vertex) broadcast;
+// the engine seals rounds by copying every message's bits into the
+// transcript, after which the Writer is garbage. Pooled writers close
+// that loop: broadcast paths acquire with NewPooledWriter, the engine
+// calls Release once the round is sealed, and the buffer is reused by a
+// later vertex instead of being re-grown from nil.
+//
+// Contract: a pooled writer must not be retained by its producer after
+// it has been handed to the engine (the engine owns its release). Code
+// that needs to keep a writer — or doesn't know who will release it —
+// uses plain &Writer{} values, for which Release is a no-op; pooling is
+// purely opt-in and never changes any transcript bit.
+
+var writerPool = sync.Pool{New: func() any { return new(Writer) }}
+
+// NewPooledWriter returns an empty writer drawn from the scratch pool.
+// It behaves exactly like &Writer{} except that Release recycles it.
+func NewPooledWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.pooled = true
+	return w
+}
+
+// Release returns a pooled writer's buffer to the scratch pool; for
+// writers not obtained from NewPooledWriter it does nothing. The writer
+// must not be used after Release.
+func Release(w *Writer) {
+	if w == nil || !w.pooled {
+		return
+	}
+	w.Reset()
+	w.pooled = false
+	writerPool.Put(w)
+}
+
+// Reset empties the writer, keeping its buffer capacity for reuse. The
+// retained bytes need no scrubbing: Writer only ever grows by appending
+// explicit zero bytes, so stale capacity contents can never reach Bytes().
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.nbit = 0
+}

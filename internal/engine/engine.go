@@ -221,6 +221,12 @@ func (e *Engine) Execute(ctx context.Context, p Broadcaster, g *graph.Graph, coi
 			roundTotal += int64(l)
 		}
 		transcript.SealRound(msgs)
+		// Sealing copied every message's bits, so pooled scratch writers
+		// can be recycled for the next round's broadcasts. Release is a
+		// no-op for plain writers, which protocols may legally retain.
+		for _, w := range msgs {
+			bitio.Release(w)
+		}
 		stats.CompletedRounds++
 		stats.RoundMaxBits = append(stats.RoundMaxBits, roundMax)
 		stats.RoundTotalBits = append(stats.RoundTotalBits, roundTotal)

@@ -97,10 +97,14 @@ func (PublicFingerprint) Sketch(view core.VertexView, coins *rng.PublicCoins) (*
 	}
 	z := fingerprintPoint(coins)
 	var fp field.Elem
-	for i, b := range restrictedRow(view) {
+	// Horner-style running power: zpow tracks z^{i+1} across the scan,
+	// one Mul per row bit instead of a full Pow per set bit.
+	zpow := z
+	for _, b := range restrictedRow(view) {
 		if b {
-			fp = field.Add(fp, field.Pow(z, uint64(i+1)))
+			fp = field.Add(fp, zpow)
 		}
+		zpow = field.Mul(zpow, z)
 	}
 	w.WriteUint(uint64(fp), 61)
 	return w, nil

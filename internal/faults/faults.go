@@ -220,6 +220,9 @@ func (i *Injector) Broadcast(round int, view core.VertexView, t *engine.Transcri
 		return w, err
 	}
 	if coin(i.coins, "drop", round, view.ID, i.plan.DropProb) {
+		// The inner message is discarded unread; recycle its scratch
+		// buffer now since the engine will only ever see the empty stand-in.
+		bitio.Release(w)
 		return &bitio.Writer{}, nil
 	}
 	if w != nil && w.Len() > 0 && coin(i.coins, "corrupt", round, view.ID, i.plan.CorruptProb) {

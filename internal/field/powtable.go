@@ -1,0 +1,107 @@
+package field
+
+import "sync"
+
+// This file holds the amortized-exponentiation machinery behind the
+// sketch hot path. A OneSparse fingerprint update needs z^{e} for a
+// per-update exponent e; the naive square-and-multiply chain in Pow costs
+// ~61 squarings plus up to 61 multiplies per call. A PowTable fixes the
+// base once and answers any 64-bit exponent with at most powWindows-1
+// multiplies by precomputing all window digits — the classic fixed-base
+// windowed method. The table is immutable after construction, so it can
+// be shared freely across goroutines (the execution engine's workers all
+// read the same per-Spec table).
+
+const (
+	// powWindowBits is the window width in bits. 8 gives 256-entry
+	// windows: 8 windows cover a full 64-bit exponent, each lookup
+	// replacing 8 square-and-multiply steps by one table multiply.
+	powWindowBits = 8
+	powWindowSize = 1 << powWindowBits
+	// powWindows covers any uint64 exponent (64 / powWindowBits).
+	powWindows = 64 / powWindowBits
+)
+
+// PowTable answers a^e for a fixed base a and arbitrary e in at most
+// powWindows-1 multiplies. Memory cost: powWindows × powWindowSize
+// elements (16 KiB at the current parameters) per base.
+type PowTable struct {
+	// win[w][b] = base^(b << (powWindowBits*w)).
+	win [powWindows][powWindowSize]Elem
+}
+
+// NewPowTable builds the windowed table for the given base. Construction
+// costs powWindows × powWindowSize multiplies (~2k), amortized by the
+// millions of Pow calls a sketch run issues against one base.
+func NewPowTable(base Elem) *PowTable {
+	t := &PowTable{}
+	step := base // base^(2^(powWindowBits*w)) for the current window
+	for w := 0; w < powWindows; w++ {
+		t.win[w][0] = 1
+		for b := 1; b < powWindowSize; b++ {
+			t.win[w][b] = Mul(t.win[w][b-1], step)
+		}
+		// Advance to the next window's generator: step^powWindowSize.
+		step = Mul(t.win[w][powWindowSize-1], step)
+	}
+	return t
+}
+
+// Pow returns base^e. The result is bit-identical to Pow(base, e): both
+// compute the same product of the same field elements, and GF(p)
+// multiplication is exact.
+func (t *PowTable) Pow(e uint64) Elem {
+	result := Elem(1)
+	started := false
+	for w := 0; e != 0; w++ {
+		b := e & (powWindowSize - 1)
+		e >>= powWindowBits
+		if b == 0 {
+			continue
+		}
+		if !started {
+			result = t.win[w][b]
+			started = true
+			continue
+		}
+		result = Mul(result, t.win[w][b])
+	}
+	return result
+}
+
+// invCacheMax bounds the magnitude of cached inverses. Decode paths
+// invert OneSparse value sums, which for graph sketches are tiny signed
+// edge multiplicities (almost always ±1), so a small table captures
+// nearly every referee-side inversion.
+const invCacheMax = 256
+
+var (
+	invCacheOnce sync.Once
+	invCache     [invCacheMax + 1]Elem
+)
+
+// CachedInv returns Inv(a), serving small-magnitude arguments (|v| ≤
+// invCacheMax for v or -v ≡ a mod P) from a lazily-built table instead of
+// the full Pow(a, P-2) Fermat chain. Results are identical to Inv for
+// every input; only the cost differs.
+func CachedInv(a Elem) Elem {
+	if a == 0 {
+		return 0
+	}
+	if uint64(a) <= invCacheMax {
+		invCacheOnce.Do(buildInvCache)
+		return invCache[a]
+	}
+	if uint64(a) >= P-invCacheMax {
+		// a ≡ -(P-a): Inv(-x) = -Inv(x).
+		invCacheOnce.Do(buildInvCache)
+		return Neg(invCache[P-uint64(a)])
+	}
+	return Inv(a)
+}
+
+func buildInvCache() {
+	for v := uint64(1); v <= invCacheMax; v++ {
+		invCache[v] = Inv(Elem(v))
+	}
+}

@@ -8,6 +8,8 @@
 package hashing
 
 import (
+	"math/bits"
+
 	"repro/internal/field"
 	"repro/internal/rng"
 )
@@ -54,11 +56,16 @@ func (f *Family) HashRange(x uint64, n int) int {
 // Pr[Level >= ℓ] ≈ 2^-ℓ. Used for geometric subsampling in ℓ₀-samplers.
 func (f *Family) Level(x uint64, maxLevel int) int {
 	h := f.Hash(x)
-	for l := maxLevel; l >= 1; l-- {
-		// threshold for level l: h < P / 2^l
-		if h < field.P>>uint(l) {
-			return l
-		}
+	// The level-ℓ threshold is P>>ℓ = 2^(61-ℓ)-1, and h < 2^m-1 exactly
+	// when bits.Len64(h+1) <= m, so the largest qualifying ℓ is
+	// 61 - Len(h+1) — a closed form for the former maxLevel-step
+	// threshold scan (hashing_test.go checks the equivalence).
+	l := 61 - bits.Len64(h+1)
+	if l > maxLevel {
+		l = maxLevel
 	}
-	return 0
+	if l < 1 {
+		return 0
+	}
+	return l
 }

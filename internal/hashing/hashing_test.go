@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/field"
 	"repro/internal/rng"
 )
 
@@ -120,6 +121,44 @@ func TestLevelMonotoneThresholds(t *testing.T) {
 		l2 := f.Level(x, 20)
 		if l1 != l2 {
 			t.Fatal("Level is not deterministic")
+		}
+	}
+}
+
+// levelByScan is the original threshold-scan Level: the largest l in
+// [1, maxLevel] with h < P>>l. The closed form in Level must agree with
+// it on every input.
+func levelByScan(f *Family, x uint64, maxLevel int) int {
+	h := f.Hash(x)
+	for l := maxLevel; l >= 1; l-- {
+		if h < field.P>>uint(l) {
+			return l
+		}
+	}
+	return 0
+}
+
+func TestLevelMatchesThresholdScan(t *testing.T) {
+	f := New(2, rng.NewSource(97))
+	for _, maxLevel := range []int{1, 2, 10, 27, 54, 60, 61, 64} {
+		for x := uint64(0); x < 4096; x++ {
+			got, want := f.Level(x, maxLevel), levelByScan(f, x, maxLevel)
+			if got != want {
+				t.Fatalf("Level(%d, %d) = %d, scan reference = %d (hash %d)",
+					x, maxLevel, got, want, f.Hash(x))
+			}
+		}
+	}
+	// Force the boundary hash values directly through a constant family:
+	// h(x) = x for the identity polynomial (coeffs {0, 1}).
+	id := &Family{coeffs: []field.Elem{0, 1}}
+	for _, h := range []uint64{0, 1, 2, 3, (1 << 60) - 2, (1 << 60) - 1, 1 << 60,
+		uint64(field.P) >> 1, uint64(field.P) - 2, uint64(field.P) - 1} {
+		for _, maxLevel := range []int{1, 30, 60, 61} {
+			got, want := id.Level(h, maxLevel), levelByScan(id, h, maxLevel)
+			if got != want {
+				t.Fatalf("Level(h=%d, %d) = %d, scan reference = %d", h, maxLevel, got, want)
+			}
 		}
 	}
 }

@@ -17,6 +17,7 @@ package l0
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/bitio"
 	"repro/internal/field"
@@ -39,13 +40,18 @@ type OneSparse struct {
 	fpSum  field.Elem // Σ w_i · z^{i+1}
 }
 
-// Update adds delta at the given index.
-func (o *OneSparse) Update(index uint64, delta int64, z field.Elem) {
+// Update adds delta at the given index. fpTerm is the already-
+// exponentiated fingerprint point z^{index+1} (z^{i+1} rather than z^i so
+// that index 0 still contributes to the fingerprint): a sketch stacks one
+// cell per subsampling level and an index at level ℓ updates ℓ+1 cells,
+// so the caller hoists the single exponentiation out of the per-level
+// loop — see Spec.Update — instead of paying a full square-and-multiply
+// chain per cell.
+func (o *OneSparse) Update(index uint64, delta int64, fpTerm field.Elem) {
 	w := elemFromSigned(delta)
 	o.valSum = field.Add(o.valSum, w)
 	o.idxSum = field.Add(o.idxSum, field.Mul(w, field.Reduce(index)))
-	// z^{i+1} so that index 0 still contributes to the fingerprint.
-	o.fpSum = field.Add(o.fpSum, field.Mul(w, field.Pow(z, index+1)))
+	o.fpSum = field.Add(o.fpSum, field.Mul(w, fpTerm))
 }
 
 // Add merges another cell into o (vector addition).
@@ -65,6 +71,16 @@ func (o *OneSparse) IsZero() bool {
 // positive on a >1-sparse vector occur with probability at most
 // universe/p over the choice of z.
 func (o *OneSparse) Recover(universe uint64, z field.Elem) (index uint64, value int64, ok bool) {
+	return o.recover(universe, func(e uint64) field.Elem { return field.Pow(z, e) })
+}
+
+// recover is Recover with the fingerprint exponentiation abstracted, so
+// Spec.Sample can serve it from the spec's fixed-base window table while
+// the z-taking API keeps the naive chain. Value sums are inverted through
+// field.CachedInv: they are small signed multiplicities here (the
+// signedFromElem guard has already passed), exactly the case the
+// inverse cache serves without a full Fermat chain.
+func (o *OneSparse) recover(universe uint64, powZ func(uint64) field.Elem) (index uint64, value int64, ok bool) {
 	if o.IsZero() || o.valSum == 0 {
 		return 0, 0, false
 	}
@@ -72,11 +88,11 @@ func (o *OneSparse) Recover(universe uint64, z field.Elem) (index uint64, value 
 	if !ok {
 		return 0, 0, false
 	}
-	idx := field.Mul(o.idxSum, field.Inv(o.valSum))
+	idx := field.Mul(o.idxSum, field.CachedInv(o.valSum))
 	if uint64(idx) >= universe {
 		return 0, 0, false
 	}
-	if field.Mul(o.valSum, field.Pow(z, uint64(idx)+1)) != o.fpSum {
+	if field.Mul(o.valSum, powZ(uint64(idx)+1)) != o.fpSum {
 		return 0, 0, false
 	}
 	return uint64(idx), v, true
@@ -133,6 +149,13 @@ type Spec struct {
 	levels   int
 	hash     *hashing.Family
 	z        field.Elem
+	// zpow is the fixed-base window table for z, shared by every copy of
+	// this Spec (specs are passed by value; the table is immutable after
+	// NewSpec, so sharing across the engine's workers is safe). It turns
+	// the per-update fingerprint exponentiation into a handful of
+	// multiplies. nil only for zero-value Specs, which fall back to the
+	// naive chain.
+	zpow *field.PowTable
 }
 
 // NewSpec derives a sampler specification from public coins. Levels
@@ -152,7 +175,16 @@ func NewSpec(universe uint64, coins *rng.PublicCoins) Spec {
 		levels:   levels,
 		hash:     hashing.New(2, coins.Derive("l0-hash").Source()),
 		z:        z,
+		zpow:     field.NewPowTable(z),
 	}
+}
+
+// powZ returns z^e through the window table when available.
+func (sp Spec) powZ(e uint64) field.Elem {
+	if sp.zpow != nil {
+		return sp.zpow.Pow(e)
+	}
+	return field.Pow(sp.z, e)
 }
 
 // Universe returns the index universe size.
@@ -171,15 +203,58 @@ func (sp Spec) NewSketch() *Sketch {
 	return &Sketch{cells: make([]OneSparse, sp.levels)}
 }
 
-// Update adds delta to the vector coordinate at index.
+// sketchPool recycles Sketch scratch buffers for the serialize-and-
+// discard hot path (a vertex sketches its incidence vector under ~100
+// specs per run, writes each sketch out, and has no further use for the
+// cells). Pooling is invisible in the transcript: AcquireSketch always
+// hands back an all-zero sketch, and pooled sketches are plain value
+// buffers with no identity.
+var sketchPool = sync.Pool{New: func() any { return new(Sketch) }}
+
+// AcquireSketch returns an all-zero sketch for sp from the scratch pool.
+// Callers that release it with ReleaseSketch after serializing avoid one
+// cell-slice allocation per (vertex, spec) pair; callers that forget only
+// lose the reuse, never correctness.
+func (sp Spec) AcquireSketch() *Sketch {
+	sk := sketchPool.Get().(*Sketch)
+	if cap(sk.cells) < sp.levels {
+		sk.cells = make([]OneSparse, sp.levels)
+		return sk
+	}
+	sk.cells = sk.cells[:sp.levels]
+	sk.Reset()
+	return sk
+}
+
+// ReleaseSketch returns a sketch obtained from AcquireSketch to the
+// scratch pool. The sketch must not be used afterwards.
+func ReleaseSketch(sk *Sketch) {
+	if sk != nil {
+		sketchPool.Put(sk)
+	}
+}
+
+// Reset zeroes every cell, keeping the allocation.
+func (sk *Sketch) Reset() {
+	for i := range sk.cells {
+		sk.cells[i] = OneSparse{}
+	}
+}
+
+// Update adds delta to the vector coordinate at index. The fingerprint
+// power z^{index+1} is computed exactly once per call — through the
+// fixed-base window table — and reused by every level the index
+// participates in; the pre-optimization path paid one full
+// square-and-multiply chain per level.
 func (sp Spec) Update(sk *Sketch, index uint64, delta int64) {
 	if index >= sp.universe {
 		panic(fmt.Sprintf("l0: index %d outside universe %d", index, sp.universe))
 	}
 	lvl := sp.hash.Level(index, sp.levels-1)
+	fpTerm := sp.powZ(index + 1)
 	// Index participates in levels 0..lvl.
 	for l := 0; l <= lvl; l++ {
-		sk.cells[l].Update(index, delta, sp.z)
+		sk.cells[l].Update(index, delta, fpTerm)
 	}
 }
 
@@ -201,7 +276,7 @@ func (sk *Sketch) Add(other *Sketch) error {
 // the zero vector it reports ok = false (and zero = true via IsZero).
 func (sp Spec) Sample(sk *Sketch) (index uint64, value int64, ok bool) {
 	for l := len(sk.cells) - 1; l >= 0; l-- {
-		if idx, v, ok := sk.cells[l].Recover(sp.universe, sp.z); ok {
+		if idx, v, ok := sk.cells[l].recover(sp.universe, sp.powZ); ok {
 			return idx, v, true
 		}
 	}

@@ -16,6 +16,13 @@ func testZ(seed uint64) field.Elem {
 	return z
 }
 
+// upd updates a cell with the naive fingerprint term z^{index+1} —
+// OneSparse.Update takes the already-exponentiated term so that
+// Spec.Update can hoist the exponentiation out of its per-level loop.
+func upd(o *OneSparse, index uint64, delta int64, z field.Elem) {
+	o.Update(index, delta, field.Pow(z, index+1))
+}
+
 func TestOneSparseExactRecovery(t *testing.T) {
 	z := testZ(1)
 	for _, c := range []struct {
@@ -25,7 +32,7 @@ func TestOneSparseExactRecovery(t *testing.T) {
 		{0, 1}, {5, -1}, {1000, 7}, {0, -3}, {1 << 30, 1},
 	} {
 		var o OneSparse
-		o.Update(c.index, c.delta, z)
+		upd(&o, c.index, c.delta, z)
 		idx, v, ok := o.Recover(1<<31, z)
 		if !ok {
 			t.Errorf("recovery failed for (%d,%d)", c.index, c.delta)
@@ -47,8 +54,8 @@ func TestOneSparseZeroVector(t *testing.T) {
 		t.Error("recovered from zero vector")
 	}
 	// Cancellation back to zero.
-	o.Update(7, 3, z)
-	o.Update(7, -3, z)
+	upd(&o, 7, 3, z)
+	upd(&o, 7, -3, z)
 	if !o.IsZero() {
 		t.Error("cancelled cell not zero")
 	}
@@ -65,8 +72,8 @@ func TestOneSparseRejectsTwoSparse(t *testing.T) {
 		if a == b {
 			continue
 		}
-		o.Update(a, 1, z)
-		o.Update(b, 1, z)
+		upd(&o, a, 1, z)
+		upd(&o, b, 1, z)
 		if _, _, ok := o.Recover(1000, z); !ok {
 			rejected++
 		}
@@ -81,8 +88,8 @@ func TestOneSparseMixedSignsCancelSum(t *testing.T) {
 	// 2-sparse. Recovery must fail rather than divide by zero.
 	z := testZ(5)
 	var o OneSparse
-	o.Update(3, 1, z)
-	o.Update(9, -1, z)
+	upd(&o, 3, 1, z)
+	upd(&o, 9, -1, z)
 	if _, _, ok := o.Recover(100, z); ok {
 		t.Error("recovered from a ±1 pair with zero value sum")
 	}
@@ -94,10 +101,10 @@ func TestOneSparseMixedSignsCancelSum(t *testing.T) {
 func TestOneSparseLinearity(t *testing.T) {
 	z := testZ(6)
 	var a, b OneSparse
-	a.Update(10, 2, z)
-	b.Update(10, 3, z)
-	b.Update(20, 1, z)
-	b.Update(20, -1, z) // cancels
+	upd(&a, 10, 2, z)
+	upd(&b, 10, 3, z)
+	upd(&b, 20, 1, z)
+	upd(&b, 20, -1, z) // cancels
 	a.Add(b)
 	idx, v, ok := a.Recover(100, z)
 	if !ok || idx != 10 || v != 5 {
@@ -108,7 +115,7 @@ func TestOneSparseLinearity(t *testing.T) {
 func TestOneSparseSerializationRoundTrip(t *testing.T) {
 	z := testZ(7)
 	var o OneSparse
-	o.Update(42, -5, z)
+	upd(&o, 42, -5, z)
 	var w bitio.Writer
 	o.write(&w)
 	if w.Len() != 3*61 {

@@ -20,7 +20,7 @@ import (
 // conceptual player but derived deterministically from the public coins
 // and the vertex ID so runs are reproducible.
 func sampleSketch(view core.VertexView, budget int, coins *rng.PublicCoins) *bitio.Writer {
-	w := &bitio.Writer{}
+	w := bitio.NewPooledWriter()
 	idWidth := bitio.UintWidth(view.N)
 	k := budget
 	if k > view.Degree() {

@@ -118,7 +118,7 @@ func (p *TwoRound) Broadcast(round int, view core.VertexView, transcript *ccliqu
 		if err != nil {
 			return nil, err
 		}
-		w := &bitio.Writer{}
+		w := bitio.NewPooledWriter()
 		if matched[view.ID] {
 			w.WriteUvarint(0)
 			return w, nil

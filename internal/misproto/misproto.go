@@ -18,7 +18,7 @@ import (
 // preceded by their count (shared with the matching protocols' shape, but
 // kept local to avoid a dependency knot).
 func sampleSketch(view core.VertexView, budget int, coins *rng.PublicCoins) *bitio.Writer {
-	w := &bitio.Writer{}
+	w := bitio.NewPooledWriter()
 	idWidth := bitio.UintWidth(view.N)
 	k := budget
 	if k > view.Degree() {

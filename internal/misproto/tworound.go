@@ -50,6 +50,7 @@ type TwoRound struct {
 		sync.Mutex
 		transcript *cclique.Transcript
 		rank       []int
+		pos        []int // pos[v] = rank position of v (inverse of rank)
 		s1         []int
 		inS1       []bool
 		r1bad      int // round-1 vertices with damaged sketches
@@ -87,16 +88,16 @@ func (p *TwoRound) listCap(n int) int {
 // contribute what they can and are counted in the memoized r1bad, which
 // DecodeResilient folds into its verdict. Clean transcripts are parsed
 // identically to the strict reader.
-func (p *TwoRound) candidateSet(n int, transcript *cclique.Transcript, coins *rng.PublicCoins) ([]int, []int, []bool, error) {
-	rank, s1, inS1, _ := p.candidateSetDamage(n, transcript, coins)
-	return rank, s1, inS1, nil
+func (p *TwoRound) candidateSet(n int, transcript *cclique.Transcript, coins *rng.PublicCoins) ([]int, []int, []int, []bool, error) {
+	rank, pos, s1, inS1, _ := p.candidateSetDamage(n, transcript, coins)
+	return rank, pos, s1, inS1, nil
 }
 
-func (p *TwoRound) candidateSetDamage(n int, transcript *cclique.Transcript, coins *rng.PublicCoins) ([]int, []int, []bool, int) {
+func (p *TwoRound) candidateSetDamage(n int, transcript *cclique.Transcript, coins *rng.PublicCoins) ([]int, []int, []int, []bool, int) {
 	p.memo.Lock()
 	defer p.memo.Unlock()
 	if p.memo.transcript == transcript {
-		return p.memo.rank, p.memo.s1, p.memo.inS1, p.memo.r1bad
+		return p.memo.rank, p.memo.pos, p.memo.s1, p.memo.inS1, p.memo.r1bad
 	}
 	sketches := make([]*bitio.Reader, n)
 	for v := 0; v < n; v++ {
@@ -109,9 +110,15 @@ func (p *TwoRound) candidateSetDamage(n int, transcript *cclique.Transcript, coi
 	for _, v := range s1 {
 		inS1[v] = true
 	}
+	// The inverse permutation is shared by every round-2 broadcast;
+	// memoizing it here turns n per-vertex O(n) builds into one.
+	pos := make([]int, n)
+	for i, v := range rank {
+		pos[v] = i
+	}
 	p.memo.transcript = transcript
-	p.memo.rank, p.memo.s1, p.memo.inS1, p.memo.r1bad = rank, s1, inS1, r1bad
-	return rank, s1, inS1, r1bad
+	p.memo.rank, p.memo.pos, p.memo.s1, p.memo.inS1, p.memo.r1bad = rank, pos, s1, inS1, r1bad
+	return rank, pos, s1, inS1, r1bad
 }
 
 // Broadcast implements cclique.Protocol.
@@ -120,18 +127,14 @@ func (p *TwoRound) Broadcast(round int, view core.VertexView, transcript *ccliqu
 	case 0:
 		return sampleSketch(view, p.samples(view.N), coins), nil
 	case 1:
-		rank, _, inS1, err := p.candidateSet(view.N, transcript, coins)
+		_, pos, _, inS1, err := p.candidateSet(view.N, transcript, coins)
 		if err != nil {
 			return nil, err
-		}
-		pos := make([]int, view.N)
-		for i, v := range rank {
-			pos[v] = i
 		}
 		limit := p.listCap(view.N)
 		idWidth := bitio.UintWidth(view.N)
 		src := coins.Derive("mis-cap").DeriveIndex(view.ID).Source()
-		w := &bitio.Writer{}
+		w := bitio.NewPooledWriter()
 
 		writeCapped := func(lst []int) {
 			if len(lst) > limit {
@@ -182,7 +185,7 @@ func (p *TwoRound) Broadcast(round int, view core.VertexView, transcript *ccliqu
 
 // Decode implements cclique.Protocol.
 func (p *TwoRound) Decode(n int, transcript *cclique.Transcript, coins *rng.PublicCoins) ([]int, error) {
-	rank, s1, inS1, err := p.candidateSet(n, transcript, coins)
+	rank, _, s1, inS1, err := p.candidateSet(n, transcript, coins)
 	if err != nil {
 		return nil, err
 	}
@@ -311,7 +314,7 @@ func assembleMIS(n int, rank, s1 []int, inS1 []bool, dominators, residual [][]in
 // In-range bit flips forging plausible IDs are undetectable from message
 // contents alone; faults.Run's channel-record folding covers that case.
 func (p *TwoRound) DecodeResilient(n int, transcript *cclique.Transcript, coins *rng.PublicCoins) ([]int, core.Resilience, error) {
-	rank, s1, inS1, r1bad := p.candidateSetDamage(n, transcript, coins)
+	rank, _, s1, inS1, r1bad := p.candidateSetDamage(n, transcript, coins)
 	idWidth := bitio.UintWidth(n)
 	limit := p.listCap(n)
 	dominators := make([][]int, n)
