@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check test test-race fuzz-smoke bench bench-smoke bench-baseline experiments experiments-full examples lint
+.PHONY: all check test test-race fuzz-smoke remote-smoke bench bench-smoke bench-baseline experiments experiments-full examples lint
 
 # The hot-path micro-benchmarks: field exponentiation/inversion, ℓ₀
 # sketch updates, and the per-vertex AGM sketching cost. bench-smoke and
@@ -20,13 +20,24 @@ test:
 	go build ./... && go vet ./... && go test ./...
 
 test-race:
-	go test -race ./internal/engine/... ./internal/cclique/... ./internal/faults/...
+	go test -race ./internal/engine/... ./internal/cclique/... ./internal/faults/... \
+		./internal/wire/... ./internal/server/... ./internal/client/...
 
 # fuzz-smoke gives each fuzz target a short budget — the same smoke CI
 # runs (.github/workflows/ci.yml).
 fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzReaderNeverPanics -fuzztime=30s ./internal/bitio
 	go test -run='^$$' -fuzz=FuzzTranscriptCorruption -fuzztime=30s ./internal/faults
+	go test -run='^$$' -fuzz=FuzzWireDecodeRunSpec -fuzztime=30s ./internal/wire
+	go test -run='^$$' -fuzz=FuzzWireDecodeTranscript -fuzztime=30s ./internal/wire
+
+# remote-smoke is the end-to-end service parity check CI runs: boot a
+# refereed daemon on a loopback port, run the fixture sweep locally at
+# -workers 1 and through the daemon at -workers 8, and diff the two
+# outputs — transcript digests included — byte for byte. Any divergence
+# between the in-process and networked referee fails the diff.
+remote-smoke:
+	./scripts/remote-smoke.sh
 
 bench:
 	go test -bench=. -benchmem ./...

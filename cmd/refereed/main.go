@@ -1,0 +1,54 @@
+// Command refereed serves the sketching referee as a network daemon.
+// Clients (cmd/sketchlab -remote, cmd/rsgen -remote, internal/client)
+// POST wire.RunSpec frames to /v1/run and get the full run report —
+// stats, outcome, sealed transcript — back. The daemon executes through
+// the same engine path as a local run, so the transcript it returns is
+// byte-identical to what the client would have computed itself; it adds
+// only operational concerns (concurrency limit, timeouts, graceful
+// shutdown, request logs).
+//
+// Usage:
+//
+//	refereed [-addr 127.0.0.1:8377] [-max-concurrent N] [-timeout D] [-grace D]
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener
+// closes immediately, in-flight runs get -grace to finish.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8377", "listen address")
+	maxConcurrent := flag.Int("max-concurrent", 0, "simultaneous run executions (0 = GOMAXPROCS); excess requests queue")
+	timeout := flag.Duration("timeout", time.Minute, "per-request execution budget")
+	grace := flag.Duration("grace", 5*time.Second, "shutdown grace for in-flight requests")
+	flag.Parse()
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "refereed: %v\n", err)
+		os.Exit(1)
+	}
+	log.Info("listening", slog.String("addr", ln.Addr().String()))
+	s := server.New(server.Config{MaxConcurrent: *maxConcurrent, Timeout: *timeout, Logger: log})
+	if err := s.Serve(ctx, ln, *grace); err != nil {
+		fmt.Fprintf(os.Stderr, "refereed: %v\n", err)
+		os.Exit(1)
+	}
+}

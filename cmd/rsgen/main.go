@@ -7,11 +7,17 @@
 // Usage:
 //
 //	rsgen [-m 60] [-family behrend|disjoint] [-r R -t T] [-print]
-//	      [-sketch] [-trials N] [-workers N] [-seed N]
+//	      [-sketch] [-trials N] [-workers N] [-seed N] [-remote HOST:PORT]
 //
-// -workers sets the engine worker count (0 = GOMAXPROCS); the engine is
-// bit-deterministic, so -workers 1 reproduces the same sketch results as
-// any parallel run.
+// -workers sets the engine worker count (0 = GOMAXPROCS) and must be
+// >= 0; the engine is bit-deterministic, so sketch output is
+// byte-identical for any value — -workers 1 reproduces the same results
+// as any parallel run.
+//
+// -remote dispatches the sketch trials to a refereed daemon instead of
+// running them in-process. The RS construction is a pure function of its
+// parameters and trial coins are seed-derived, so the daemon reproduces
+// exactly the runs a local -sketch would execute.
 package main
 
 import (
@@ -19,13 +25,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/ap3"
+	"repro/internal/client"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/matchproto"
 	"repro/internal/rng"
 	"repro/internal/rsgraph"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -36,9 +45,15 @@ func main() {
 	printEdges := flag.Bool("print", false, "print the edge partition")
 	sketch := flag.Bool("sketch", false, "run the two-round MM sketch on the RS graph via the engine")
 	trials := flag.Int("trials", 4, "sketch trials (each with fresh coins)")
-	workers := flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "engine workers, >= 0 (0 = GOMAXPROCS); sketch output is byte-identical for any value")
 	seed := flag.Uint64("seed", 42, "root seed for sketch trials")
+	remote := flag.String("remote", "", "dispatch -sketch trials to a refereed daemon at this HOST:PORT")
 	flag.Parse()
+
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "rsgen: -workers must be >= 0 (0 = GOMAXPROCS), got %d\n", *workers)
+		os.Exit(2)
+	}
 
 	var rs *rsgraph.RSGraph
 	switch *family {
@@ -77,11 +92,74 @@ func main() {
 	}
 
 	if *sketch {
-		if err := runSketch(rs, *trials, *workers, *seed); err != nil {
+		var err error
+		if *remote != "" {
+			gspec := wire.GraphSpec{Kind: "rs-behrend", M: *m}
+			if *family == "disjoint" {
+				gspec = wire.GraphSpec{Kind: "rs-disjoint", R: *r, T: *t}
+			}
+			err = runSketchRemote(*remote, gspec, *trials, *workers, *seed)
+		} else {
+			err = runSketch(rs, *trials, *workers, *seed)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "rsgen: sketch: %v\n", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// runSketchRemote dispatches the sketch trials to a refereed daemon as
+// one batch of RunSpecs. Each trial's coins are expressed as the derived
+// node's seed — the same derivation runSketch uses locally — so the
+// daemon executes bit-identical runs.
+func runSketchRemote(remote string, gspec wire.GraphSpec, trials, workers int, seed uint64) error {
+	if trials <= 0 {
+		return fmt.Errorf("-trials must be positive, got %d", trials)
+	}
+	base := remote
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	c := client.New(client.Config{BaseURL: base})
+	ctx := context.Background()
+	if _, err := c.Health(ctx); err != nil {
+		return err
+	}
+	coins := rng.NewPublicCoins(seed).Derive("rsgen-mm")
+	specs := make([]wire.RunSpec, trials)
+	for i := range specs {
+		specs[i] = wire.RunSpec{
+			Label:    fmt.Sprintf("mm/trial%d", i),
+			Protocol: "mm-tworound",
+			Graph:    gspec,
+			Seed:     coins.DeriveIndex(i).Seed(),
+			Workers:  workers,
+		}
+	}
+	items, err := c.RunBatch(ctx, specs)
+	if err != nil {
+		return err
+	}
+	maximal := 0
+	var totalBits, broadcasts int64
+	maxMsg := 0
+	for i := range items {
+		if items[i].Err != "" {
+			return fmt.Errorf("%s: %s", items[i].Label, items[i].Err)
+		}
+		if items[i].Outcome.Valid {
+			maximal++
+		}
+		totalBits += items[i].Stats.TotalBits
+		broadcasts += int64(items[i].Stats.Broadcasts)
+		if items[i].Stats.MaxMessageBits > maxMsg {
+			maxMsg = items[i].Stats.MaxMessageBits
+		}
+	}
+	fmt.Printf("two-round MM sketch (remote %s): %d/%d maximal, max message = %d bits, total = %d bits over %d broadcasts\n",
+		remote, maximal, len(items), maxMsg, totalBits, broadcasts)
+	return engine.WriteStats(os.Stdout, &items[0].Stats)
 }
 
 // runSketch executes `trials` independent two-round MM runs on the RS

@@ -1,15 +1,27 @@
 // Command sketchlab runs the reproduction experiments E1–E19 (DESIGN.md)
-// and renders their tables.
+// and renders their tables, and drives the fixture parity sweep either
+// in-process or against a refereed daemon.
 //
 // Usage:
 //
 //	sketchlab [-scale small|full] [-seed N] [-run E5,E6] [-workers N] [-faults PLAN]
 //	          [-cpuprofile FILE] [-memprofile FILE]
+//	sketchlab -sweep [-workers N] [-json]
+//	sketchlab -remote HOST:PORT [-workers N] [-json]
 //
-// -workers sets the execution-engine worker count for engine-backed
-// sweeps (0 = GOMAXPROCS). The engine is bit-deterministic, so every
-// value — including -workers 1, the sequential baseline — produces
-// byte-identical output; the flag only changes wall time.
+// -sweep executes the committed-fixture specs (wire.SmokeSpecs) locally
+// and prints one deterministic line per run: label, protocol, transcript
+// digest, bit counts, outcome, resilience — and nothing that varies
+// between hosts or worker counts. -remote dispatches the same sweep to a
+// refereed daemon; because local and remote share one execution path,
+// the two outputs diff clean byte for byte, which is exactly what the CI
+// smoke job checks. -json replaces the text lines with the service's
+// JSON report form (wire.ReportJSON, transcripts elided).
+//
+// -workers sets the execution-engine worker count (0 = GOMAXPROCS) and
+// must be >= 0. The engine is bit-deterministic, so output is
+// byte-identical for any value — including -workers 1, the sequential
+// baseline; the flag only changes wall time.
 //
 // -faults adds a custom fault plan to the E20 resilience sweep, e.g.
 // "drop=0.1,corrupt=0.05,flip=4,straggle=0.01,delay=2ms". Faults are
@@ -22,6 +34,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,8 +43,10 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"repro/internal/client"
 	"repro/internal/experiments"
 	"repro/internal/faults"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -47,11 +63,22 @@ func run() (ok bool) {
 	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	format := flag.String("format", "text", "output format: text or md")
-	workers := flag.Int("workers", 0, "engine workers for batched sweeps (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "engine workers, >= 0 (0 = GOMAXPROCS); output is byte-identical for any value")
 	faultsFlag := flag.String("faults", "", "custom fault plan for the E20 sweep (drop=P,corrupt=P,flip=K,straggle=P,delay=D)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (taken after the runs) to this file")
+	sweep := flag.Bool("sweep", false, "run the fixture parity sweep locally instead of experiments")
+	remote := flag.String("remote", "", "dispatch the parity sweep to a refereed daemon at this HOST:PORT")
+	jsonOut := flag.Bool("json", false, "emit sweep results as JSON reports (wire.ReportJSON) instead of text lines")
 	flag.Parse()
+
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "sketchlab: -workers must be >= 0 (0 = GOMAXPROCS), got %d\n", *workers)
+		os.Exit(2)
+	}
+	if *sweep || *remote != "" || *jsonOut {
+		return runSweep(*remote, *workers, *jsonOut)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -139,4 +166,70 @@ func run() (ok bool) {
 		}
 	}
 	return !failed
+}
+
+// runSweep executes the fixture parity sweep — locally, or via a
+// refereed daemon when remote is set — and prints one report per spec.
+// The text form contains only fields that are deterministic across
+// hosts, transports, and worker counts, so two sweeps of the same tree
+// diff clean regardless of where or how wide they ran.
+func runSweep(remote string, workers int, jsonOut bool) (ok bool) {
+	ctx := context.Background()
+	specs := wire.SmokeSpecs(workers)
+	reports := make([]*wire.RunReport, 0, len(specs))
+	if remote != "" {
+		base := remote
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		c := client.New(client.Config{BaseURL: base})
+		if _, err := c.Health(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "sketchlab: remote %s: %v\n", remote, err)
+			return false
+		}
+		for _, spec := range specs {
+			report, err := c.Run(ctx, spec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sketchlab: remote %s: %v\n", spec.Label, err)
+				return false
+			}
+			reports = append(reports, report)
+		}
+	} else {
+		for _, spec := range specs {
+			report, err := wire.ExecuteSpec(ctx, spec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sketchlab: %s: %v\n", spec.Label, err)
+				return false
+			}
+			reports = append(reports, report)
+		}
+	}
+	if jsonOut {
+		out := make([]wire.ReportJSON, len(reports))
+		for i, r := range reports {
+			out[i] = wire.ReportToJSON(r, false)
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sketchlab: %v\n", err)
+			return false
+		}
+		fmt.Println(string(data))
+		return true
+	}
+	for _, r := range reports {
+		outcome := fmt.Sprintf("%s/%d", r.Outcome.Kind, r.Outcome.Size)
+		if r.Outcome.Checked {
+			if r.Outcome.Valid {
+				outcome += ":valid"
+			} else {
+				outcome += ":INVALID"
+			}
+		}
+		fmt.Printf("%-26s protocol=%-18s total_bits=%-8d max_msg_bits=%-6d outcome=%-16s resilience=%-8s digest=%s\n",
+			r.Spec.Label, r.Spec.Protocol, r.Stats.TotalBits, r.Stats.MaxMessageBits,
+			outcome, r.Stats.Faults.Resilience, r.Digest())
+	}
+	return true
 }

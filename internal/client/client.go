@@ -1,0 +1,201 @@
+// Package client is the typed client for the refereed daemon
+// (internal/server). It speaks the binary wire format end to end —
+// RunSpec frames out, RunReport frames back — so a remote run returns
+// the same decoded transcript object a local engine.Run would produce.
+//
+// Transient failures (network errors, 429, 502, 503, 504) are retried
+// with exponential backoff. Deterministic failures — a 400 for a spec
+// the daemon rejects, a 500 for a protocol failing mid-run — are not:
+// the engine is deterministic, so resubmitting an identical spec can
+// only fail identically.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Config carries the client's knobs; the zero value plus a BaseURL is a
+// working client.
+type Config struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8377".
+	BaseURL string
+	// HTTPClient overrides the transport. nil means http.DefaultClient.
+	HTTPClient *http.Client
+	// Retries is the number of re-attempts after the first try on a
+	// transient failure. 0 means 3; negative disables retries.
+	Retries int
+	// Backoff is the delay before the first retry; it doubles per
+	// attempt. 0 means 100ms.
+	Backoff time.Duration
+	// Sleep overrides the inter-retry wait, for tests. nil means a
+	// context-aware time.Sleep.
+	Sleep func(context.Context, time.Duration) error
+}
+
+// Client dispatches runs to a refereed daemon.
+type Client struct {
+	cfg Config
+}
+
+// New builds a Client, applying defaults for zero Config fields.
+func New(cfg Config) *Client {
+	cfg.BaseURL = strings.TrimRight(cfg.BaseURL, "/")
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = http.DefaultClient
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 3
+	} else if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 100 * time.Millisecond
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = sleepCtx
+	}
+	return &Client{cfg: cfg}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// StatusError is a non-2xx daemon response.
+type StatusError struct {
+	Code int
+	Body string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("refereed: status %d: %s", e.Code, strings.TrimSpace(e.Body))
+}
+
+// retryable reports whether a daemon status is worth re-attempting.
+func retryable(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// post sends body to path, retrying transient failures with exponential
+// backoff, and returns the response body of the first 2xx answer.
+func (c *Client) post(ctx context.Context, path string, body []byte) ([]byte, error) {
+	backoff := c.cfg.Backoff
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			if err := c.cfg.Sleep(ctx, backoff); err != nil {
+				return nil, err
+			}
+			backoff *= 2
+		}
+		resp, err := c.do(ctx, path, body)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if se, ok := err.(*StatusError); ok && !retryable(se.Code) {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, lastErr
+		}
+	}
+	return nil, fmt.Errorf("refereed: %d attempts failed, last: %w", c.cfg.Retries+1, lastErr)
+}
+
+func (c *Client) do(ctx context.Context, path string, body []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, &StatusError{Code: resp.StatusCode, Body: string(data)}
+	}
+	return data, nil
+}
+
+// Run executes one spec on the daemon and returns its full report,
+// transcript included.
+func (c *Client) Run(ctx context.Context, spec wire.RunSpec) (*wire.RunReport, error) {
+	data, err := c.post(ctx, "/v1/run", wire.EncodeRunSpec(spec))
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeRunReport(data)
+}
+
+// RunBatch executes specs on the daemon as one batch and returns the
+// per-spec stats and outcomes (no transcripts ride along).
+func (c *Client) RunBatch(ctx context.Context, specs []wire.RunSpec) ([]wire.BatchItem, error) {
+	data, err := c.post(ctx, "/v1/batch", wire.EncodeBatchSpec(specs))
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeBatchReport(data)
+}
+
+// Health describes a live daemon.
+type Health struct {
+	Status      string   `json:"status"`
+	WireVersion int      `json:"wire_version"`
+	Protocols   []string `json:"protocols"`
+}
+
+// Health checks daemon liveness and wire-version compatibility.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+"/v1/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &StatusError{Code: resp.StatusCode, Body: string(data)}
+	}
+	var h Health
+	if err := json.Unmarshal(data, &h); err != nil {
+		return nil, fmt.Errorf("refereed: malformed healthz response: %w", err)
+	}
+	if h.WireVersion != wire.Version {
+		return nil, fmt.Errorf("refereed: daemon speaks wire version %d, this build speaks %d", h.WireVersion, wire.Version)
+	}
+	return &h, nil
+}

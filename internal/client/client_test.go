@@ -1,0 +1,181 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/wire"
+)
+
+// flakyHandler fails the first failures requests with status, then
+// behaves as a minimal daemon for /v1/run.
+func flakyHandler(t *testing.T, failures int32, status int) (*httptest.Server, *atomic.Int32) {
+	t.Helper()
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= failures {
+			http.Error(w, "injected failure", status)
+			return
+		}
+		spec, err := wire.DecodeRunSpec(mustReadAll(t, r))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		report, err := wire.ExecuteSpec(r.Context(), spec)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(wire.EncodeRunReport(report))
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+func mustReadAll(t *testing.T, r *http.Request) []byte {
+	t.Helper()
+	data := make([]byte, 0, 512)
+	buf := make([]byte, 512)
+	for {
+		n, err := r.Body.Read(buf)
+		data = append(data, buf[:n]...)
+		if err != nil {
+			return data
+		}
+	}
+}
+
+// recordingSleeper captures backoff delays instead of sleeping.
+type recordingSleeper struct{ delays []time.Duration }
+
+func (s *recordingSleeper) sleep(ctx context.Context, d time.Duration) error {
+	s.delays = append(s.delays, d)
+	return ctx.Err()
+}
+
+// TestRetrySucceedsAfterTransientFailures checks fail-twice-then-succeed
+// recovery and exponential backoff growth.
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	ts, calls := flakyHandler(t, 2, http.StatusServiceUnavailable)
+	sleeper := &recordingSleeper{}
+	c := client.New(client.Config{BaseURL: ts.URL, Backoff: 10 * time.Millisecond, Sleep: sleeper.sleep})
+	spec := wire.SmokeSpecs(1)[0]
+	report, err := c.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := wire.ExecuteSpec(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Digest() != local.Digest() {
+		t.Fatal("recovered run returned a different transcript")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("%d requests reached the daemon, want 3", got)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(sleeper.delays) != len(want) {
+		t.Fatalf("slept %v, want %v", sleeper.delays, want)
+	}
+	for i := range want {
+		if sleeper.delays[i] != want[i] {
+			t.Fatalf("backoff %d was %v, want %v (must double per attempt)", i, sleeper.delays[i], want[i])
+		}
+	}
+}
+
+// TestNoRetryOnDeterministicFailure checks that a 400 — and a 500, a
+// deterministic execution failure — is surfaced immediately: the engine
+// is deterministic, so an identical resubmission cannot do better.
+func TestNoRetryOnDeterministicFailure(t *testing.T) {
+	for _, status := range []int{http.StatusBadRequest, http.StatusInternalServerError} {
+		ts, calls := flakyHandler(t, 100, status)
+		c := client.New(client.Config{BaseURL: ts.URL, Sleep: (&recordingSleeper{}).sleep})
+		_, err := c.Run(context.Background(), wire.SmokeSpecs(1)[0])
+		var se *client.StatusError
+		if !errors.As(err, &se) || se.Code != status {
+			t.Fatalf("status %d: got %v, want StatusError", status, err)
+		}
+		if got := calls.Load(); got != 1 {
+			t.Fatalf("status %d: %d requests, want 1 (no retries)", status, got)
+		}
+	}
+}
+
+// TestRetriesExhausted checks the terminal error after persistent
+// transient failures.
+func TestRetriesExhausted(t *testing.T) {
+	ts, calls := flakyHandler(t, 100, http.StatusBadGateway)
+	c := client.New(client.Config{BaseURL: ts.URL, Retries: 2, Sleep: (&recordingSleeper{}).sleep})
+	_, err := c.Run(context.Background(), wire.SmokeSpecs(1)[0])
+	if err == nil {
+		t.Fatal("persistent 502s should fail")
+	}
+	var se *client.StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadGateway {
+		t.Fatalf("terminal error %v should wrap the last StatusError", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("%d requests, want 3 (1 try + 2 retries)", got)
+	}
+}
+
+// TestRetryOnConnectionError checks that network-level failures (a
+// daemon that is not up yet) are retried too — the CI smoke job leans
+// on this while refereed boots.
+func TestRetryOnConnectionError(t *testing.T) {
+	ts, _ := flakyHandler(t, 0, 0)
+	url := ts.URL
+	ts.Close() // now the port refuses connections
+	sleeper := &recordingSleeper{}
+	c := client.New(client.Config{BaseURL: url, Retries: 2, Sleep: sleeper.sleep})
+	_, err := c.Run(context.Background(), wire.SmokeSpecs(1)[0])
+	if err == nil {
+		t.Fatal("closed port should fail")
+	}
+	if len(sleeper.delays) != 2 {
+		t.Fatalf("slept %v, want 2 retries for connection errors", sleeper.delays)
+	}
+}
+
+// TestContextCancelStopsRetries checks that a dead context cuts the
+// retry loop off instead of burning the full budget.
+func TestContextCancelStopsRetries(t *testing.T) {
+	ts, calls := flakyHandler(t, 100, http.StatusServiceUnavailable)
+	ctx, cancel := context.WithCancel(context.Background())
+	c := client.New(client.Config{BaseURL: ts.URL, Retries: 50, Sleep: func(ctx context.Context, d time.Duration) error {
+		cancel()
+		return ctx.Err()
+	}})
+	_, err := c.Run(ctx, wire.SmokeSpecs(1)[0])
+	if err == nil {
+		t.Fatal("canceled context should fail")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("%d requests after cancel, want 1", got)
+	}
+}
+
+// TestHealthRejectsWireVersionSkew checks that a daemon speaking a
+// different wire version is refused up front with a clear error.
+func TestHealthRejectsWireVersionSkew(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"status": "ok", "wire_version": wire.Version + 1})
+	}))
+	t.Cleanup(ts.Close)
+	c := client.New(client.Config{BaseURL: ts.URL})
+	_, err := c.Health(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "wire version") {
+		t.Fatalf("version skew surfaced as %v", err)
+	}
+}

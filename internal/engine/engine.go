@@ -244,20 +244,29 @@ func (e *Engine) Execute(ctx context.Context, p Broadcaster, g *graph.Graph, coi
 // function rather than a method only because Go methods cannot carry type
 // parameters.
 func Run[O any](ctx context.Context, e *Engine, p Protocol[O], g *graph.Graph, coins *rng.PublicCoins) (Result[O], error) {
+	res, _, err := RunWithTranscript(ctx, e, p, g, coins)
+	return res, err
+}
+
+// RunWithTranscript is Run, additionally returning the sealed transcript
+// the referee decoded. The service layer (internal/wire, internal/server)
+// uses it to ship the exact transcript to remote callers; on error the
+// partial transcript (every fully sealed round) is still returned.
+func RunWithTranscript[O any](ctx context.Context, e *Engine, p Protocol[O], g *graph.Graph, coins *rng.PublicCoins) (Result[O], *Transcript, error) {
 	start := time.Now()
 	transcript, stats, err := e.Execute(ctx, p, g, coins)
 	res := Result[O]{Stats: *stats}
 	if err != nil {
 		res.Stats.TotalWall = time.Since(start)
-		return res, err
+		return res, transcript, err
 	}
 	decodeStart := time.Now()
 	out, err := p.Decode(g.N(), transcript, coins)
 	res.Stats.DecodeWall = time.Since(decodeStart)
 	res.Stats.TotalWall = time.Since(start)
 	if err != nil {
-		return res, fmt.Errorf("engine: decode: %w", err)
+		return res, transcript, fmt.Errorf("engine: decode: %w", err)
 	}
 	res.Output = out
-	return res, nil
+	return res, transcript, nil
 }

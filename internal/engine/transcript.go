@@ -39,6 +39,12 @@ func (t *Transcript) Message(round, v int) *bitio.Reader {
 // sealed round.
 func (t *Transcript) BitLen(round, v int) int { return t.rounds[round][v].nbit }
 
+// Players returns the number of player slots in the given sealed round.
+// Every round of an engine execution has one slot per vertex; the wire
+// codec (internal/wire) uses this to serialize rounds without needing the
+// graph that produced them.
+func (t *Transcript) Players(round int) int { return len(t.rounds[round]) }
+
 // SealRound appends one completed round of broadcasts, copying each
 // writer's bits so the sealed round is immune to later writer mutation.
 // A nil writer seals as an empty message. The engine calls this exactly

@@ -43,6 +43,15 @@ type ResilientProtocol[O any] interface {
 // under a distinct label) so that injecting faults never perturbs the
 // protocol's own randomness.
 func Run[O any](ctx context.Context, e *engine.Engine, p engine.Protocol[O], g *graph.Graph, coins *rng.PublicCoins, plan Plan, faultCoins *rng.PublicCoins) (engine.Result[O], error) {
+	res, _, err := RunWithTranscript(ctx, e, p, g, coins, plan, faultCoins)
+	return res, err
+}
+
+// RunWithTranscript is Run, additionally returning the sealed (faulted)
+// transcript the referee decoded, so the service layer can ship the exact
+// damaged transcript to remote callers. On error the partial transcript
+// is still returned.
+func RunWithTranscript[O any](ctx context.Context, e *engine.Engine, p engine.Protocol[O], g *graph.Graph, coins *rng.PublicCoins, plan Plan, faultCoins *rng.PublicCoins) (engine.Result[O], *engine.Transcript, error) {
 	start := time.Now()
 	inj := NewInjector(ctx, p, plan, faultCoins)
 	transcript, stats, err := e.Execute(ctx, inj, g, coins)
@@ -60,7 +69,7 @@ func Run[O any](ctx context.Context, e *engine.Engine, p engine.Protocol[O], g *
 	if err != nil {
 		res.Stats.Faults.Resilience = core.ResilienceFailed
 		res.Stats.TotalWall = time.Since(start)
-		return res, err
+		return res, transcript, err
 	}
 
 	decodeStart := time.Now()
@@ -75,12 +84,12 @@ func Run[O any](ctx context.Context, e *engine.Engine, p engine.Protocol[O], g *
 	res.Stats.TotalWall = time.Since(start)
 	if err != nil {
 		res.Stats.Faults.Resilience = core.ResilienceFailed
-		return res, fmt.Errorf("faults: decode: %w", err)
+		return res, transcript, fmt.Errorf("faults: decode: %w", err)
 	}
 	if !rec.Clean() {
 		verdict = verdict.Worse(core.ResilienceDegraded)
 	}
 	res.Output = out
 	res.Stats.Faults.Resilience = verdict
-	return res, nil
+	return res, transcript, nil
 }

@@ -1,0 +1,281 @@
+// Package server is the refereed daemon: an HTTP front end that accepts
+// wire.RunSpec frames, executes them through the in-process engine, and
+// returns wire.RunReport frames. The daemon adds no semantics of its own
+// — by the engine's determinism contract and the wire codec's
+// canonicality, a spec dispatched here yields the byte-identical
+// transcript a local engine.Run would, which the parity tests and the CI
+// smoke sweep check digest-for-digest.
+//
+// Endpoints:
+//
+//	POST /v1/run     one RunSpec frame in, one RunReport frame out
+//	                 (JSON report, sans transcript, under Accept: application/json)
+//	POST /v1/batch   one batch-spec frame in, one batch-report frame out
+//	                 (stats and outcomes only — no transcripts)
+//	GET  /v1/healthz liveness plus the protocol registry
+//
+// Operational behavior lives here, deliberately apart from execution:
+// a semaphore bounds simultaneous executions (waiters queue until the
+// request context dies), every execution runs under a per-request
+// timeout, and each request emits one structured log line.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/wire"
+)
+
+// maxBodyBytes bounds request bodies. Specs are a few hundred bytes;
+// even a large batch stays far under this.
+const maxBodyBytes = 1 << 20
+
+// Config carries the daemon's operational knobs.
+type Config struct {
+	// MaxConcurrent bounds simultaneous spec executions; requests beyond
+	// it queue until a slot frees or their context dies. 0 means
+	// GOMAXPROCS.
+	MaxConcurrent int
+	// Timeout is the per-request execution budget. 0 means one minute.
+	Timeout time.Duration
+	// Logger receives one structured record per request. nil means
+	// slog.Default().
+	Logger *slog.Logger
+}
+
+// Server handles the referee service endpoints. It is an http.Handler;
+// use Serve for a managed listener with graceful shutdown.
+type Server struct {
+	cfg Config
+	log *slog.Logger
+	sem chan struct{}
+	mux *http.ServeMux
+}
+
+// New builds a Server from cfg, applying defaults for zero fields.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = time.Minute
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	s := &Server{
+		cfg: cfg,
+		log: cfg.Logger,
+		sem: make(chan struct{}, cfg.MaxConcurrent),
+		mux: http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return s
+}
+
+// statusWriter records the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP dispatches to the v1 endpoints and logs every request.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(sw, r)
+	s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", sw.status),
+		slog.Duration("elapsed", time.Since(start)),
+		slog.String("remote", r.RemoteAddr),
+	)
+}
+
+// acquire claims an execution slot, queueing until one frees or ctx
+// dies. The returned release must be called iff ok.
+func (s *Server) acquire(ctx context.Context) (release func(), ok bool) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	case <-ctx.Done():
+		return nil, false
+	}
+}
+
+// fail writes a plain-text error response.
+func fail(w http.ResponseWriter, status int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), status)
+}
+
+// readBody drains a request body under the size cap.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+}
+
+// wantsJSON reports whether the client asked for the JSON form of the
+// response instead of the binary frame.
+func wantsJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/json")
+}
+
+// execStatus maps an execution failure to a response status: timeouts
+// and shutdown cancellations are retryable (504/503), everything else —
+// a spec the registry rejects, a protocol failing mid-run — is a
+// deterministic 4xx/5xx the client must not retry.
+func execStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		fail(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	spec, err := wire.DecodeRunSpec(body)
+	if err != nil {
+		fail(w, http.StatusBadRequest, "decode spec: %v", err)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		fail(w, http.StatusBadRequest, "invalid spec: %v", err)
+		return
+	}
+	release, ok := s.acquire(r.Context())
+	if !ok {
+		fail(w, http.StatusServiceUnavailable, "canceled while queued for an execution slot")
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	report, err := wire.ExecuteSpec(ctx, spec)
+	if err != nil {
+		fail(w, execStatus(err), "execute %q: %v", spec.Label, err)
+		return
+	}
+	s.log.LogAttrs(r.Context(), slog.LevelInfo, "run",
+		slog.String("label", spec.Label),
+		slog.String("protocol", spec.Protocol),
+		slog.String("digest", report.Digest()),
+		slog.String("resilience", report.Stats.Faults.Resilience.String()),
+	)
+	if wantsJSON(r) {
+		writeJSON(w, wire.ReportToJSON(report, false))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(wire.EncodeRunReport(report))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		fail(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	specs, err := wire.DecodeBatchSpec(body)
+	if err != nil {
+		fail(w, http.StatusBadRequest, "decode batch: %v", err)
+		return
+	}
+	release, ok := s.acquire(r.Context())
+	if !ok {
+		fail(w, http.StatusServiceUnavailable, "canceled while queued for an execution slot")
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	// The batch runs on one slot: engine.RunBatch already parallelizes
+	// across jobs internally, so letting it also multiply against the
+	// request limiter would oversubscribe the host.
+	items := wire.ExecuteBatch(ctx, &engine.Engine{}, specs)
+	if err := ctx.Err(); err != nil {
+		fail(w, execStatus(err), "execute batch: %v", err)
+		return
+	}
+	s.log.LogAttrs(r.Context(), slog.LevelInfo, "batch", slog.Int("specs", len(specs)))
+	if wantsJSON(r) {
+		writeJSON(w, wire.BatchToJSON(items))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(wire.EncodeBatchReport(items))
+}
+
+// healthInfo is the healthz response body.
+type healthInfo struct {
+	Status      string   `json:"status"`
+	WireVersion int      `json:"wire_version"`
+	Protocols   []string `json:"protocols"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, healthInfo{Status: "ok", WireVersion: wire.Version, Protocols: wire.Protocols()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// Serve runs the daemon on ln until ctx is canceled, then shuts down
+// gracefully: the listener closes immediately, in-flight requests get
+// grace to finish, and stragglers are cut off after it. Returns nil on
+// a clean drain.
+func (s *Server) Serve(ctx context.Context, ln net.Listener, grace time.Duration) error {
+	if grace <= 0 {
+		grace = 5 * time.Second
+	}
+	srv := &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.log.Info("shutting down", slog.Duration("grace", grace))
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := srv.Shutdown(shutdownCtx)
+	if err != nil {
+		// Grace expired with requests still in flight; cut them off.
+		srv.Close()
+	}
+	<-errc // drain http.ErrServerClosed from the Serve goroutine
+	return err
+}

@@ -1,0 +1,300 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func newTestServer(t *testing.T, cfg server.Config) (*httptest.Server, *client.Client) {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = quietLogger()
+	}
+	ts := httptest.NewServer(server.New(cfg))
+	t.Cleanup(ts.Close)
+	return ts, client.New(client.Config{BaseURL: ts.URL})
+}
+
+// TestGoldenParityLocalVsRemote is the service's non-negotiable
+// invariant: for every committed fixture spec — five clean, three
+// faulted — the transcript obtained through refereed over loopback HTTP
+// is byte-identical to the local engine run, at Workers 1 and 8 on
+// either side.
+func TestGoldenParityLocalVsRemote(t *testing.T) {
+	_, c := newTestServer(t, server.Config{})
+	for _, spec := range wire.SmokeSpecs(1) {
+		spec := spec
+		t.Run(spec.Label, func(t *testing.T) {
+			local, err := wire.ExecuteSpec(context.Background(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			localBytes := wire.EncodeTranscript(local.Transcript)
+			for _, workers := range []int{1, 8} {
+				remoteSpec := spec
+				remoteSpec.Workers = workers
+				remote, err := c.Run(context.Background(), remoteSpec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(wire.EncodeTranscript(remote.Transcript), localBytes) {
+					t.Fatalf("workers=%d: remote transcript differs from local run", workers)
+				}
+				if remote.Digest() != wire.TranscriptDigest(local.Transcript) {
+					t.Fatalf("workers=%d: digest drifted", workers)
+				}
+				if remote.Stats.Faults.Resilience != local.Stats.Faults.Resilience {
+					t.Fatalf("workers=%d: resilience %v != local %v",
+						workers, remote.Stats.Faults.Resilience, local.Stats.Faults.Resilience)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentRunsUnderLimiter slams the daemon with more simultaneous
+// /v1/run requests than it has execution slots; all must succeed, agree
+// on the digest, and never exceed the limiter (checked under -race).
+func TestConcurrentRunsUnderLimiter(t *testing.T) {
+	const clients = 20
+	_, c := newTestServer(t, server.Config{MaxConcurrent: 4})
+	spec := wire.SmokeSpecs(2)[3] // mm-tworound
+	want, err := wire.ExecuteSpec(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDigest := want.Digest()
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			report, err := c.Run(context.Background(), spec)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got := report.Digest(); got != wantDigest {
+				errs <- fmt.Errorf("digest %s, want %s", got, wantDigest)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestGracefulShutdown starts Serve on a real listener, opens requests,
+// cancels the serve context mid-flight, and checks that in-flight work
+// drains cleanly while new connections are refused.
+func TestGracefulShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(server.Config{MaxConcurrent: 8, Logger: quietLogger()})
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, ln, 10*time.Second) }()
+
+	c := client.New(client.Config{BaseURL: "http://" + ln.Addr().String(), Retries: -1})
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	const inflight = 6
+	spec := wire.SmokeSpecs(4)[0]
+	results := make(chan error, inflight)
+	for i := 0; i < inflight; i++ {
+		go func() {
+			_, err := c.Run(context.Background(), spec)
+			results <- err
+		}()
+	}
+	// Let the requests reach the daemon, then pull the plug.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+
+	for i := 0; i < inflight; i++ {
+		if err := <-results; err != nil {
+			// A request may lose the race with the listener closing;
+			// that surfaces as a connection error, never a corrupt
+			// response.
+			if !strings.Contains(err.Error(), "connection") && !strings.Contains(err.Error(), "EOF") {
+				t.Errorf("in-flight request failed oddly: %v", err)
+			}
+		}
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve returned %v, want nil after graceful drain", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("Serve did not return after cancel")
+	}
+	if _, err := c.Health(context.Background()); err == nil {
+		t.Fatal("daemon still answering after shutdown")
+	}
+}
+
+// TestBatchEndpoint checks /v1/batch matches per-spec local execution
+// and reports per-item errors instead of failing the whole batch.
+func TestBatchEndpoint(t *testing.T) {
+	_, c := newTestServer(t, server.Config{})
+	specs := append(wire.SmokeSpecs(1)[:3],
+		wire.RunSpec{Label: "bogus", Protocol: "no-such", Graph: wire.GraphSpec{Kind: "gnp", N: 4, P: 0.5}})
+	items, err := c.RunBatch(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != len(specs) {
+		t.Fatalf("got %d items, want %d", len(items), len(specs))
+	}
+	for i, spec := range specs[:3] {
+		if items[i].Err != "" {
+			t.Fatalf("item %d: %s", i, items[i].Err)
+		}
+		local, err := wire.ExecuteSpec(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if items[i].Stats.TotalBits != local.Stats.TotalBits {
+			t.Fatalf("item %d: TotalBits %d != local %d", i, items[i].Stats.TotalBits, local.Stats.TotalBits)
+		}
+		if items[i].Outcome != local.Outcome {
+			t.Fatalf("item %d: outcome %+v != local %+v", i, items[i].Outcome, local.Outcome)
+		}
+	}
+	if items[3].Err == "" || !strings.Contains(items[3].Err, "unknown protocol") {
+		t.Fatalf("bogus spec not reported: %+v", items[3])
+	}
+}
+
+// TestHealthz checks liveness, the advertised wire version, and the
+// protocol registry listing.
+func TestHealthz(t *testing.T) {
+	_, c := newTestServer(t, server.Config{})
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.WireVersion != wire.Version {
+		t.Fatalf("unexpected health: %+v", h)
+	}
+	if len(h.Protocols) < 6 {
+		t.Fatalf("registry advertises only %v", h.Protocols)
+	}
+}
+
+// TestRunJSONResponse checks the Accept: application/json form of
+// /v1/run: a ReportJSON with stats, outcome, resilience, and digest but
+// no transcript — the same shape sketchlab -json emits.
+func TestRunJSONResponse(t *testing.T) {
+	ts, _ := newTestServer(t, server.Config{})
+	spec := wire.SmokeSpecs(1)[7] // faulted mis-tworound
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/run", bytes.NewReader(wire.EncodeRunSpec(spec)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var j wire.ReportJSON
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	local, err := wire.ExecuteSpec(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Digest != local.Digest() {
+		t.Fatalf("digest %s != local %s", j.Digest, local.Digest())
+	}
+	if j.Resilience != local.Stats.Faults.Resilience.String() {
+		t.Fatalf("resilience %q != local %q", j.Resilience, local.Stats.Faults.Resilience)
+	}
+	if len(j.Transcript) != 0 {
+		t.Fatal("JSON response should omit the transcript")
+	}
+}
+
+// TestBadRequests checks the daemon's error statuses: garbage frames
+// and invalid specs are 400s (which the client must not retry), and
+// wrong methods are rejected.
+func TestBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t, server.Config{})
+	post := func(path string, body []byte) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	if resp := post("/v1/run", []byte("not a frame")); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage frame: status %d, want 400", resp.StatusCode)
+	}
+	bad := wire.SmokeSpecs(1)[0]
+	bad.Workers = -3
+	if resp := post("/v1/run", wire.EncodeRunSpec(bad)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid spec: status %d, want 400", resp.StatusCode)
+	}
+	if resp := post("/v1/batch", []byte{0xde, 0xad}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage batch: status %d, want 400", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/v1/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/run: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestRequestTimeout checks that an execution exceeding the per-request
+// budget comes back 504 — retryable, in case the daemon was merely
+// oversubscribed.
+func TestRequestTimeout(t *testing.T) {
+	_, c := newTestServer(t, server.Config{Timeout: time.Nanosecond})
+	_, err := c.Run(context.Background(), wire.SmokeSpecs(1)[0])
+	if err == nil {
+		t.Fatal("nanosecond budget should not finish a run")
+	}
+	if !strings.Contains(err.Error(), "504") && !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("timeout surfaced as %v, want a 504", err)
+	}
+}

@@ -1,0 +1,150 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bitio"
+	"repro/internal/engine"
+)
+
+// goldenFixturePaths returns every committed golden transcript in the
+// engine and faults test suites. The wire codec must round-trip all of
+// them byte-identically: they are the bytes the service parity sweep
+// diffs against.
+func goldenFixturePaths(t *testing.T) []string {
+	t.Helper()
+	var paths []string
+	for _, dir := range []string{
+		filepath.Join("..", "engine", "testdata"),
+		filepath.Join("..", "faults", "testdata"),
+	} {
+		matches, err := filepath.Glob(filepath.Join(dir, "*.golden"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, matches...)
+	}
+	if len(paths) < 8 {
+		t.Fatalf("found only %d golden fixtures, expected the 5 engine + 3 faults ones", len(paths))
+	}
+	return paths
+}
+
+// readFixtureTranscript rebuilds an engine.Transcript from a golden file
+// of "round vertex nbit hex" lines (bits packed LSB-first, exactly
+// bitio.Writer's layout).
+func readFixtureTranscript(t *testing.T, path string) *engine.Transcript {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr := engine.NewTranscript()
+	var msgs []*bitio.Writer
+	current := 0
+	flush := func() {
+		if msgs != nil {
+			tr.SealRound(msgs)
+			msgs = nil
+		}
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<22)
+	for sc.Scan() {
+		var round, vertex, nbit int
+		var hexBits string
+		n, err := fmt.Sscanf(sc.Text(), "%d %d %d %s", &round, &vertex, &nbit, &hexBits)
+		if err != nil && n < 3 {
+			t.Fatalf("%s: malformed line %q: %v", path, sc.Text(), err)
+		}
+		if round != current {
+			flush()
+			current = round
+		}
+		if nbit == 0 {
+			msgs = append(msgs, nil)
+			continue
+		}
+		buf, err := hex.DecodeString(hexBits)
+		if err != nil {
+			t.Fatalf("%s: bad hex in %q: %v", path, sc.Text(), err)
+		}
+		w := &bitio.Writer{}
+		for i, rem := 0, nbit; rem > 0; i, rem = i+1, rem-8 {
+			w.WriteUint(uint64(buf[i]), min(rem, 8))
+		}
+		msgs = append(msgs, w)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	flush()
+	return tr
+}
+
+// TestGoldenFixtureWireRoundTrip asserts decode(encode(t)) is
+// byte-identical for every committed golden transcript, and that the
+// digest is stable across the round trip.
+func TestGoldenFixtureWireRoundTrip(t *testing.T) {
+	for _, path := range goldenFixturePaths(t) {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			want := readFixtureTranscript(t, path)
+			enc1 := EncodeTranscript(want)
+			got, err := DecodeTranscript(enc1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc2 := EncodeTranscript(got)
+			if !bytes.Equal(enc1, enc2) {
+				t.Fatal("decode(encode(t)) re-encodes differently")
+			}
+			if TranscriptDigest(got) != TranscriptDigest(want) {
+				t.Fatal("digest drifted across round trip")
+			}
+		})
+	}
+}
+
+// TestGoldenFixtureCrossVersionRejected flips the version byte on each
+// fixture's encoding and checks for a clear rejection.
+func TestGoldenFixtureCrossVersionRejected(t *testing.T) {
+	for _, path := range goldenFixturePaths(t) {
+		data := EncodeTranscript(readFixtureTranscript(t, path))
+		data[4] = Version + 1
+		if _, err := DecodeTranscript(data); err == nil {
+			t.Fatalf("%s: future-version frame accepted", filepath.Base(path))
+		}
+	}
+}
+
+// TestSmokeSpecsReproduceGoldenFixtures is the local half of the service
+// parity invariant: executing each SmokeSpecs entry through the RunSpec
+// registry yields exactly the transcript committed as that fixture's
+// golden file. The remote half (same specs dispatched through refereed
+// over HTTP) lives in internal/server.
+func TestSmokeSpecsReproduceGoldenFixtures(t *testing.T) {
+	dirFor := map[bool]string{false: filepath.Join("..", "engine", "testdata"), true: filepath.Join("..", "faults", "testdata")}
+	for _, spec := range SmokeSpecs(1) {
+		spec := spec
+		t.Run(spec.Label, func(t *testing.T) {
+			report, err := ExecuteSpec(context.Background(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dirFor[spec.Faults != (FaultSpec{})], spec.Label+".golden")
+			want := readFixtureTranscript(t, path)
+			if !bytes.Equal(EncodeTranscript(report.Transcript), EncodeTranscript(want)) {
+				t.Fatalf("spec %s does not reproduce committed fixture %s", spec.Label, path)
+			}
+		})
+	}
+}

@@ -1,0 +1,52 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// FuzzWireDecodeRunSpec asserts the RunSpec decoder never panics on
+// arbitrary input — corrupt frames must come back as errors — and that
+// every successfully decoded spec re-encodes canonically.
+func FuzzWireDecodeRunSpec(f *testing.F) {
+	for _, spec := range SmokeSpecs(4) {
+		f.Add(EncodeRunSpec(spec))
+	}
+	f.Add([]byte{})
+	f.Add([]byte("RSKW"))
+	f.Add(appendFrame(kindRunSpec, nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeRunSpec(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeRunSpec(spec), data) {
+			t.Fatalf("accepted non-canonical run-spec encoding: %x", data)
+		}
+	})
+}
+
+// FuzzWireDecodeTranscript asserts the transcript decoder never panics on
+// arbitrary input and that accepted frames are canonical: the rebuilt
+// transcript re-encodes to exactly the input bytes.
+func FuzzWireDecodeTranscript(f *testing.F) {
+	for _, spec := range SmokeSpecs(2)[:2] {
+		report, err := ExecuteSpec(context.Background(), spec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(EncodeTranscript(report.Transcript))
+	}
+	f.Add(EncodeTranscript(nil))
+	f.Add(appendFrame(kindTranscript, []byte{1, 1, 3, 0xff}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeTranscript(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeTranscript(tr), data) {
+			t.Fatalf("accepted non-canonical transcript encoding: %x", data)
+		}
+	})
+}

@@ -1,0 +1,357 @@
+package wire
+
+// The protocol registry maps wire names to the in-process protocol
+// constructors, and the executor turns a RunSpec into a RunReport. This
+// is the single execution path shared by the refereed daemon and by local
+// callers (cmd/sketchlab's sweep, tests), which is what makes the
+// local-vs-remote byte-parity invariant a property of ONE code path fed
+// through two transports rather than two implementations kept in sync.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/agm"
+	"repro/internal/bitio"
+	"repro/internal/cclique"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/graph"
+	"repro/internal/matchproto"
+	"repro/internal/misproto"
+	"repro/internal/rng"
+)
+
+// Outcome summarizes a referee's decoded output in a protocol-agnostic
+// shape the wire can carry: the output's kind and size, plus — when the
+// registry knows a ground-truth verifier for the protocol — whether the
+// output passed verification against the actual input graph. (The
+// verifier runs on the daemon, which holds the graph; the model's referee
+// of course never sees it. Valid is service-level auditing, not part of
+// the sketching model.)
+type Outcome struct {
+	// Kind names the output shape: "edges", "vertices", or "count".
+	Kind string `json:"kind"`
+	// Size is the output's cardinality (edge count, vertex count, or the
+	// counted value itself for "count").
+	Size int `json:"size"`
+	// Checked reports whether a ground-truth verifier ran.
+	Checked bool `json:"checked"`
+	// Valid is the verifier's verdict (false when Checked is false).
+	Valid bool `json:"valid"`
+}
+
+// adapted lifts a typed protocol to engine.Protocol[Outcome] so that
+// heterogeneous protocols (edge outputs, vertex sets, counts) can share
+// one executor, one batch, and one wire shape.
+type adapted[T any] struct {
+	inner   engine.Protocol[T]
+	outcome func(T) Outcome
+}
+
+var _ faults.ResilientProtocol[Outcome] = (*adapted[int])(nil)
+
+func (a *adapted[T]) Name() string { return a.inner.Name() }
+func (a *adapted[T]) Rounds() int  { return a.inner.Rounds() }
+
+func (a *adapted[T]) Broadcast(round int, view core.VertexView, t *engine.Transcript, coins *rng.PublicCoins) (*bitio.Writer, error) {
+	return a.inner.Broadcast(round, view, t, coins)
+}
+
+func (a *adapted[T]) Decode(n int, t *engine.Transcript, coins *rng.PublicCoins) (Outcome, error) {
+	out, err := a.inner.Decode(n, t, coins)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return a.outcome(out), nil
+}
+
+// DecodeResilient forwards to the inner protocol's resilient decode when
+// it has one, with the same strict-decode fallback semantics as
+// cclique.OneRound: a clean strict decode reports ok (faults.Run's
+// channel-record folding still demotes it when faults were injected).
+func (a *adapted[T]) DecodeResilient(n int, t *engine.Transcript, coins *rng.PublicCoins) (Outcome, core.Resilience, error) {
+	if rp, ok := a.inner.(faults.ResilientProtocol[T]); ok {
+		out, verdict, err := rp.DecodeResilient(n, t, coins)
+		if err != nil {
+			return Outcome{}, verdict, err
+		}
+		return a.outcome(out), verdict, nil
+	}
+	out, err := a.inner.Decode(n, t, coins)
+	if err != nil {
+		return Outcome{}, core.ResilienceFailed, err
+	}
+	return a.outcome(out), core.ResilienceOK, nil
+}
+
+// adaptEdges wraps an edge-output protocol; verify may be nil.
+func adaptEdges(p engine.Protocol[[]graph.Edge], g *graph.Graph, verify func(*graph.Graph, []graph.Edge) bool) engine.Protocol[Outcome] {
+	return &adapted[[]graph.Edge]{inner: p, outcome: func(out []graph.Edge) Outcome {
+		o := Outcome{Kind: "edges", Size: len(out)}
+		if verify != nil {
+			o.Checked, o.Valid = true, verify(g, out)
+		}
+		return o
+	}}
+}
+
+// adaptVertices wraps a vertex-set-output protocol; verify may be nil.
+func adaptVertices(p engine.Protocol[[]int], g *graph.Graph, verify func(*graph.Graph, []int) bool) engine.Protocol[Outcome] {
+	return &adapted[[]int]{inner: p, outcome: func(out []int) Outcome {
+		o := Outcome{Kind: "vertices", Size: len(out)}
+		if verify != nil {
+			o.Checked, o.Valid = true, verify(g, out)
+		}
+		return o
+	}}
+}
+
+// adaptCount wraps a count-output protocol; verify may be nil.
+func adaptCount(p engine.Protocol[int], g *graph.Graph, verify func(*graph.Graph, int) bool) engine.Protocol[Outcome] {
+	return &adapted[int]{inner: p, outcome: func(out int) Outcome {
+		o := Outcome{Kind: "count", Size: out}
+		if verify != nil {
+			o.Checked, o.Valid = true, verify(g, out)
+		}
+		return o
+	}}
+}
+
+// protocolRegistry maps wire protocol names to constructors. Each entry
+// builds a FRESH protocol instance per run — protocol values memoize
+// per-run state, so instances are never shared across executions.
+var protocolRegistry = map[string]func(g *graph.Graph) engine.Protocol[Outcome]{
+	"agm-forest": func(g *graph.Graph) engine.Protocol[Outcome] {
+		return adaptEdges(&cclique.OneRound[[]graph.Edge]{P: agm.NewSpanningForest(agm.Config{})}, g, graph.IsSpanningForest)
+	},
+	"agm-forest-backup": func(g *graph.Graph) engine.Protocol[Outcome] {
+		return adaptEdges(&cclique.OneRound[[]graph.Edge]{P: agm.NewSpanningForest(agm.Config{BackupReps: 2})}, g, graph.IsSpanningForest)
+	},
+	"agm-skeleton": func(g *graph.Graph) engine.Protocol[Outcome] {
+		return adaptEdges(&cclique.OneRound[[]graph.Edge]{P: agm.NewSkeleton(2, agm.Config{})}, g, nil)
+	},
+	"agm-components": func(g *graph.Graph) engine.Protocol[Outcome] {
+		return adaptCount(&cclique.OneRound[int]{P: agm.NewComponentCount(agm.Config{})}, g, func(g *graph.Graph, out int) bool {
+			_, count := g.Components()
+			return out == count
+		})
+	},
+	"mm-tworound": func(g *graph.Graph) engine.Protocol[Outcome] {
+		return adaptEdges(matchproto.NewTwoRound(), g, graph.IsMaximalMatching)
+	},
+	"mis-tworound": func(g *graph.Graph) engine.Protocol[Outcome] {
+		return adaptVertices(misproto.NewTwoRound(), g, graph.IsMaximalIndependentSet)
+	},
+}
+
+// lookupProtocol resolves a registry name.
+func lookupProtocol(name string) (func(*graph.Graph) engine.Protocol[Outcome], error) {
+	build, ok := protocolRegistry[name]
+	if !ok {
+		return nil, fmt.Errorf("wire: unknown protocol %q (known: %v)", name, Protocols())
+	}
+	return build, nil
+}
+
+// Protocols returns the sorted registry names.
+func Protocols() []string {
+	names := make([]string, 0, len(protocolRegistry))
+	for name := range protocolRegistry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunReport is the full result of executing one RunSpec: the echoed spec,
+// the run's metrics (with the resilience verdict under Stats.Faults), the
+// summarized output, and the exact sealed transcript.
+type RunReport struct {
+	Spec       RunSpec
+	Stats      engine.RunStats
+	Outcome    Outcome
+	Transcript *engine.Transcript
+}
+
+// Digest returns the content address of the report's transcript.
+func (r *RunReport) Digest() string { return TranscriptDigest(r.Transcript) }
+
+// ExecuteSpec runs one spec end to end: materialize the graph, construct
+// the protocol, re-derive the coin trees from the spec's seeds, execute
+// (through the fault injector when the spec carries an active plan), and
+// decode. The transcript in the returned report is byte-identical for
+// every Workers value and for every transport that leads here — that is
+// the service's core invariant, enforced by the golden parity tests.
+func ExecuteSpec(ctx context.Context, spec RunSpec) (*RunReport, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := BuildGraph(spec.Graph)
+	if err != nil {
+		return nil, err
+	}
+	build, err := lookupProtocol(spec.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	p := build(g)
+	eng := &engine.Engine{Workers: spec.Workers}
+	coins := rng.NewPublicCoins(spec.Seed)
+
+	var (
+		res        engine.Result[Outcome]
+		transcript *engine.Transcript
+	)
+	if plan := spec.Faults.Plan(); plan.Active() {
+		faultCoins := rng.NewPublicCoins(spec.Faults.Seed).Derive("faults")
+		res, transcript, err = faults.RunWithTranscript(ctx, eng, p, g, coins, plan, faultCoins)
+	} else {
+		res, transcript, err = engine.RunWithTranscript(ctx, eng, p, g, coins)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wire: execute %s: %w", spec.Protocol, err)
+	}
+	return &RunReport{Spec: spec, Stats: res.Stats, Outcome: res.Output, Transcript: transcript}, nil
+}
+
+// BatchItem is one job's result in a batch report. Err is the job's own
+// failure rendered as text (empty on success); other jobs still run.
+type BatchItem struct {
+	Label   string
+	Err     string
+	Stats   engine.RunStats
+	Outcome Outcome
+}
+
+// ExecuteBatch runs a batch of specs. Clean specs flow through
+// engine.RunBatch over a shared pool of e.Workers job-level workers
+// (each job sequential inside, so every job stays bit-identical to a
+// standalone run); faulted specs run one by one through the fault
+// injector. Results return in spec order. Batch reports carry stats and
+// outcomes but no transcripts — batches are for sweeps, where the
+// per-job digest workflow of /v1/run does not apply.
+func ExecuteBatch(ctx context.Context, e *engine.Engine, specs []RunSpec) []BatchItem {
+	items := make([]BatchItem, len(specs))
+	var jobs []engine.Job[Outcome]
+	var jobIdx []int
+	for i, spec := range specs {
+		items[i].Label = spec.Label
+		if err := spec.Validate(); err != nil {
+			items[i].Err = err.Error()
+			continue
+		}
+		g, err := BuildGraph(spec.Graph)
+		if err != nil {
+			items[i].Err = err.Error()
+			continue
+		}
+		build, _ := lookupProtocol(spec.Protocol)
+		p := build(g)
+		coins := rng.NewPublicCoins(spec.Seed)
+		if plan := spec.Faults.Plan(); plan.Active() {
+			faultCoins := rng.NewPublicCoins(spec.Faults.Seed).Derive("faults")
+			res, err := faults.Run(ctx, &engine.Engine{Workers: 1}, p, g, coins, plan, faultCoins)
+			items[i].Stats = res.Stats
+			items[i].Outcome = res.Output
+			if err != nil {
+				items[i].Err = err.Error()
+			}
+			continue
+		}
+		jobs = append(jobs, engine.Job[Outcome]{Label: spec.Label, Protocol: p, Graph: g, Coins: coins})
+		jobIdx = append(jobIdx, i)
+	}
+	results, _ := engine.RunBatch(ctx, e, jobs)
+	for j, jr := range results {
+		i := jobIdx[j]
+		items[i].Stats = jr.Result.Stats
+		items[i].Outcome = jr.Result.Output
+		if jr.Err != nil {
+			items[i].Err = jr.Err.Error()
+		}
+	}
+	return items
+}
+
+// EncodeRunReport serializes a report as one frame.
+func EncodeRunReport(r *RunReport) []byte {
+	var e enc
+	appendRunSpecPayload(&e, r.Spec)
+	appendRunStatsPayload(&e, &r.Stats)
+	appendOutcomePayload(&e, r.Outcome)
+	appendTranscriptPayload(&e, r.Transcript)
+	return appendFrame(kindRunReport, e.b)
+}
+
+// DecodeRunReport inverts EncodeRunReport.
+func DecodeRunReport(data []byte) (*RunReport, error) {
+	payload, err := openFrame(data, kindRunReport)
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{b: payload}
+	r := &RunReport{}
+	r.Spec = decodeRunSpecPayload(d)
+	r.Stats = *decodeRunStatsPayload(d)
+	r.Outcome = decodeOutcomePayload(d)
+	r.Transcript = decodeTranscriptPayload(d)
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func appendOutcomePayload(e *enc, o Outcome) {
+	e.str(o.Kind)
+	e.uint(o.Size)
+	e.bool(o.Checked)
+	e.bool(o.Valid)
+}
+
+func decodeOutcomePayload(d *dec) Outcome {
+	var o Outcome
+	o.Kind = d.str("outcome kind")
+	o.Size = d.int("outcome size")
+	o.Checked = d.bool()
+	o.Valid = d.bool()
+	return o
+}
+
+// EncodeBatchReport serializes batch results as one frame.
+func EncodeBatchReport(items []BatchItem) []byte {
+	var e enc
+	e.uint(len(items))
+	for i := range items {
+		e.str(items[i].Label)
+		e.str(items[i].Err)
+		appendRunStatsPayload(&e, &items[i].Stats)
+		appendOutcomePayload(&e, items[i].Outcome)
+	}
+	return appendFrame(kindBatchReport, e.b)
+}
+
+// DecodeBatchReport inverts EncodeBatchReport.
+func DecodeBatchReport(data []byte) ([]BatchItem, error) {
+	payload, err := openFrame(data, kindBatchReport)
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{b: payload}
+	n := d.length("batch item", 8)
+	items := make([]BatchItem, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		var it BatchItem
+		it.Label = d.str("label")
+		it.Err = d.str("error text")
+		it.Stats = *decodeRunStatsPayload(d)
+		it.Outcome = decodeOutcomePayload(d)
+		items = append(items, it)
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return items, nil
+}

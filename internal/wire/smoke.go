@@ -1,0 +1,37 @@
+package wire
+
+// SmokeSpecs is the service parity sweep: one RunSpec per committed
+// golden fixture. The five clean specs reproduce the transcripts pinned
+// under internal/engine/testdata and the three faulted ones those under
+// internal/faults/testdata (same graphs, same coin roots, same fault
+// plan), so running this sweep through a refereed daemon and diffing the
+// digests against a local run checks the whole stack — wire codec, HTTP
+// transport, registry, engine, fault injector — against bytes recorded
+// before the service existed.
+//
+// workers sets every spec's engine worker count; by the engine's
+// determinism contract it cannot change any digest, which is exactly why
+// the CI smoke job runs the local side at -workers 1 and the remote side
+// at -workers 8 and still diffs clean.
+func SmokeSpecs(workers int) []RunSpec {
+	const faultSeed = 202
+	faulted := FaultSpec{Drop: 0.15, Corrupt: 0.15, Flip: 3, Straggle: 0.2, DelayNS: 100_000, Seed: faultSeed}
+	return []RunSpec{
+		{Label: "agm-forest", Protocol: "agm-forest",
+			Graph: GraphSpec{Kind: "gnp", N: 60, P: 0.15, Seed: 11}, Seed: 12, Workers: workers},
+		{Label: "agm-forest-backup", Protocol: "agm-forest-backup",
+			Graph: GraphSpec{Kind: "gnp", N: 40, P: 0.2, Seed: 21}, Seed: 22, Workers: workers},
+		{Label: "agm-skeleton", Protocol: "agm-skeleton",
+			Graph: GraphSpec{Kind: "gnp", N: 40, P: 0.2, Seed: 21}, Seed: 23, Workers: workers},
+		{Label: "mm-tworound", Protocol: "mm-tworound",
+			Graph: GraphSpec{Kind: "gnp", N: 50, P: 0.3, Seed: 13}, Seed: 14, Workers: workers},
+		{Label: "mis-tworound", Protocol: "mis-tworound",
+			Graph: GraphSpec{Kind: "gnp", N: 50, P: 0.25, Seed: 15}, Seed: 16, Workers: workers},
+		{Label: "faulted-agm-forest-backup", Protocol: "agm-forest-backup",
+			Graph: GraphSpec{Kind: "gnp", N: 48, P: 0.2, Seed: 7}, Seed: 101, Workers: workers, Faults: faulted},
+		{Label: "faulted-mm-tworound", Protocol: "mm-tworound",
+			Graph: GraphSpec{Kind: "gnp", N: 48, P: 0.2, Seed: 7}, Seed: 101, Workers: workers, Faults: faulted},
+		{Label: "faulted-mis-tworound", Protocol: "mis-tworound",
+			Graph: GraphSpec{Kind: "gnp", N: 48, P: 0.2, Seed: 7}, Seed: 101, Workers: workers, Faults: faulted},
+	}
+}

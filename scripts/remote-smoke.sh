@@ -1,0 +1,43 @@
+#!/bin/sh
+# remote-smoke: end-to-end parity check between the in-process referee
+# and the refereed daemon. Boots refereed on a loopback port, runs the
+# fixture sweep locally (sequential engine) and remotely (8 workers),
+# and byte-diffs the outputs — every line carries the run's transcript
+# digest, so the diff failing means the networked path moved a bit.
+set -eu
+
+ADDR="${REFEREED_ADDR:-127.0.0.1:8377}"
+TMP="$(mktemp -d)"
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
+
+go build -o "$TMP/refereed" ./cmd/refereed
+go build -o "$TMP/sketchlab" ./cmd/sketchlab
+
+"$TMP/refereed" -addr "$ADDR" >"$TMP/refereed.log" 2>&1 &
+DAEMON_PID=$!
+
+# Wait for the daemon to answer healthz (the sketchlab client retries
+# connection errors too, but an explicit wait keeps the log readable).
+i=0
+until curl -sf "http://$ADDR/v1/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "remote-smoke: refereed did not come up on $ADDR" >&2
+        cat "$TMP/refereed.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+"$TMP/sketchlab" -sweep -workers 1 >"$TMP/local.txt"
+"$TMP/sketchlab" -remote "$ADDR" -workers 8 >"$TMP/remote.txt"
+
+if ! diff -u "$TMP/local.txt" "$TMP/remote.txt"; then
+    echo "remote-smoke: FAIL — remote transcripts diverge from local run" >&2
+    exit 1
+fi
+
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || true
+echo "remote-smoke: OK — local and remote sweeps byte-identical"
+cat "$TMP/local.txt"
