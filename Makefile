@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check test test-race fuzz-smoke remote-smoke bench bench-smoke bench-baseline experiments experiments-full examples lint
+.PHONY: all check test test-race lint-registry fuzz-smoke remote-smoke bench bench-smoke bench-baseline experiments experiments-full examples lint
 
 # The hot-path micro-benchmarks: field exponentiation/inversion, ℓ₀
 # sketch updates, and the per-vertex AGM sketching cost. bench-smoke and
@@ -13,8 +13,15 @@ all: check
 # check is the default gate: build + vet + tests, then the race detector
 # over the concurrency-bearing packages (engine scheduler, the cclique
 # protocols it drives in parallel, and the fault injector that perturbs
-# them from inside the worker pool).
-check: test test-race
+# them from inside the worker pool), then the registry drift guard.
+check: test test-race lint-registry
+
+# lint-registry fails when the protocol registry drifts: a package
+# implementing the Sketch contract without self-registering, a
+# registered name the wire cannot resolve (missing blank import in
+# internal/wire/protocols.go), or a protocol with no smoke-sweep spec.
+lint-registry:
+	go test -count=1 -run='TestEverySketchingPackageIsRegistered|TestEveryProtocolHasSmokeSpec|TestProtocolsSortedAndNonEmpty' ./internal/wire
 
 test:
 	go build ./... && go vet ./... && go test ./...

@@ -156,7 +156,8 @@ func TestStreamSketcherMatchesFromScratch(t *testing.T) {
 	p := NewSpanningForest(Config{})
 	views := core.Views(final)
 	for v := 0; v < n; v++ {
-		direct, err := p.Sketch(views[v], coins)
+		view := views[v]
+		direct, err := p.Sketch(view, coins)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -144,13 +144,15 @@ func BenchmarkAGMSketchVertex(b *testing.B) {
 	coins := rng.NewPublicCoins(2)
 	p := NewSpanningForest(Config{})
 	views := core.Views(g)
-	if _, err := p.Sketch(views[0], coins); err != nil { // warm the cache
+	warm := views[0]
+	if _, err := p.Sketch(warm, coins); err != nil { // warm the cache
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w, err := p.Sketch(views[i%len(views)], coins)
+		view := views[i%len(views)]
+		w, err := p.Sketch(view, coins)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -112,6 +112,24 @@ func (w *Writer) WriteBytes(p []byte) {
 	}
 }
 
+// Append appends every bit of o to w, without any padding or framing: the
+// result is the exact bit string "w then o". Protocols that concatenate
+// independently-produced sub-sketches into one message (e.g. one forest
+// sketch per weight threshold) use it to keep the combined length equal to
+// the sum of the parts.
+func (w *Writer) Append(o *Writer) {
+	r := ReaderFor(o)
+	for rem := o.Len(); rem > 0; {
+		k := rem
+		if k > 64 {
+			k = 64
+		}
+		v, _ := r.ReadUint(k)
+		w.WriteUint(v, k)
+		rem -= k
+	}
+}
+
 // Reader consumes a bit string produced by Writer.
 type Reader struct {
 	buf  []byte

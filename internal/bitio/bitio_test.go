@@ -204,3 +204,67 @@ func TestMixedStreamRoundTripQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestAppendConcatenatesExactBits(t *testing.T) {
+	// Property: for arbitrary bit strings a, b the appended writer holds
+	// exactly the bits of a followed by the bits of b, with no padding.
+	f := func(abits, bbits []bool) bool {
+		var a, b Writer
+		for _, bit := range abits {
+			a.WriteBit(bit)
+		}
+		for _, bit := range bbits {
+			b.WriteBit(bit)
+		}
+		var w Writer
+		w.Append(&a)
+		w.Append(&b)
+		if w.Len() != len(abits)+len(bbits) {
+			return false
+		}
+		r := ReaderFor(&w)
+		for _, want := range append(append([]bool(nil), abits...), bbits...) {
+			got, err := r.ReadBit()
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendUnalignedOffsets(t *testing.T) {
+	// Cross every source length against every destination offset around
+	// the 64-bit chunk boundary Append reads in.
+	for dstOff := 0; dstOff < 9; dstOff++ {
+		for srcLen := 0; srcLen < 140; srcLen++ {
+			var src Writer
+			for i := 0; i < srcLen; i++ {
+				src.WriteBit(i%3 == 0)
+			}
+			var w Writer
+			for i := 0; i < dstOff; i++ {
+				w.WriteBit(true)
+			}
+			w.Append(&src)
+			if w.Len() != dstOff+srcLen {
+				t.Fatalf("off=%d len=%d: Len()=%d", dstOff, srcLen, w.Len())
+			}
+			r := ReaderFor(&w)
+			for i := 0; i < dstOff; i++ {
+				if got, _ := r.ReadBit(); !got {
+					t.Fatalf("off=%d len=%d: prefix bit %d clobbered", dstOff, srcLen, i)
+				}
+			}
+			for i := 0; i < srcLen; i++ {
+				got, err := r.ReadBit()
+				if err != nil || got != (i%3 == 0) {
+					t.Fatalf("off=%d len=%d: bit %d = %v (err %v)", dstOff, srcLen, i, got, err)
+				}
+			}
+		}
+	}
+}

@@ -23,10 +23,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/bitio"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/protocol"
 	"repro/internal/rng"
 )
 
@@ -48,10 +50,12 @@ type Config struct {
 //
 // Protocol values memoize the publicly-derivable color lists per
 // (n, coins) pair — every party would compute identical lists, so the
-// simulator derives each once. Not safe for concurrent use.
+// simulator derives each once. The memo is mutex-guarded: the execution
+// engine sketches a round's vertices concurrently.
 type Protocol struct {
 	cfg Config
 
+	mu   sync.Mutex
 	memo struct {
 		n     int
 		seed  uint64
@@ -86,6 +90,8 @@ func (p *Protocol) listSize(n int) int {
 // can compute any vertex's list; the memo avoids rederiving a list the
 // simulator has already produced for these coins.
 func (p *Protocol) list(n, v int, coins *rng.PublicCoins) []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.memo.n != n || p.memo.seed != coins.Seed() {
 		p.memo.n = n
 		p.memo.seed = coins.Seed()
@@ -183,6 +189,32 @@ func (p *Protocol) Decode(n int, sketches []*bitio.Reader, coins *rng.PublicCoin
 		}
 	}
 	return nil, fmt.Errorf("coloring: no list coloring found in %d attempts", attempts)
+}
+
+// Verify implements protocol.Sketcher: the coloring must assign every
+// vertex a palette color distinct from all its neighbors'. Size reports
+// the number of distinct colors used.
+func (p *Protocol) Verify(g *graph.Graph, out []int) protocol.Outcome {
+	o := protocol.Outcome{Kind: "coloring", Checked: true}
+	if len(out) != g.N() {
+		return o
+	}
+	distinct := make(map[int]bool, len(out))
+	valid := true
+	for v, c := range out {
+		if c < 0 || c > p.cfg.MaxDegree {
+			valid = false
+		}
+		distinct[c] = true
+		g.EachNeighbor(v, func(u int) {
+			if out[u] == c {
+				valid = false
+			}
+		})
+	}
+	o.Size = len(distinct)
+	o.Valid = valid
+	return o
 }
 
 // tryListColoring performs one randomized greedy pass over the conflict

@@ -1,0 +1,16 @@
+package coloring
+
+// Wire registration: the promised Δ is taken from the actual input graph
+// (the standard formulation assumes Δ is known to all parties), list
+// size and referee attempts stay at their documented defaults.
+
+import (
+	"repro/internal/graph"
+	"repro/internal/protocol"
+)
+
+func init() {
+	protocol.RegisterSketcher("palette-sparsification", func(g *graph.Graph) protocol.Sketcher[[]int] {
+		return New(Config{MaxDegree: g.MaxDegree()})
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/bitio"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/protocol"
 	"repro/internal/rng"
 )
 
@@ -189,6 +190,20 @@ func (p *Protocol) Decode(n int, sketches []*bitio.Reader, _ *rng.PublicCoins) (
 		}
 	}
 	return int(best + 0.5), nil
+}
+
+// Verify implements protocol.Sketcher: the estimator promises a
+// constant-factor approximation w.h.p., audited as a factor-2 band
+// around the exact peeling degeneracy (one unit of absolute slack for
+// near-empty graphs).
+func (p *Protocol) Verify(g *graph.Graph, out int) protocol.Outcome {
+	exact, _ := Exact(g)
+	return protocol.Outcome{
+		Kind:    "count",
+		Size:    out,
+		Checked: true,
+		Valid:   2*out >= exact-2 && out <= 2*exact+1,
+	}
 }
 
 type vertexPriority struct {

@@ -1,0 +1,16 @@
+package degeneracy
+
+// Wire registration: the default per-vertex sample budget
+// (4·(log2(n+1)+1), a pure function of n) keeps the spec free of extra
+// parameters.
+
+import (
+	"repro/internal/graph"
+	"repro/internal/protocol"
+)
+
+func init() {
+	protocol.RegisterSketcher("degeneracy-sketch", func(g *graph.Graph) protocol.Sketcher[int] {
+		return New()
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/hashing"
+	"repro/internal/protocol"
 	"repro/internal/rng"
 )
 
@@ -163,4 +164,19 @@ func (p *Protocol) Decode(n int, sketches []*bitio.Reader, coins *rng.PublicCoin
 	sampled := b.Build()
 	prob := p.prob(n)
 	return peelingDensity(sampled, nil) / prob, nil
+}
+
+// Verify implements protocol.Sketcher. The audit band is coarse by
+// design — peeling is itself a 2-approximation and sampling adds noise —
+// so the estimate must land within a factor 2 of the peeling reference,
+// with one unit of absolute slack for near-empty graphs.
+func (p *Protocol) Verify(g *graph.Graph, out float64) protocol.Outcome {
+	exact := ExactPeelingDensity(g)
+	return protocol.Outcome{
+		Kind:    "value",
+		Size:    int(out + 0.5),
+		Value:   out,
+		Checked: true,
+		Valid:   out >= exact/2-1 && out <= 2*exact+1,
+	}
 }

@@ -1,0 +1,16 @@
+package densest
+
+// Wire registration: the budget-driven default sampling probability
+// (min(1, 8·log2(n+1)/√n), a pure function of n) keeps the spec free of
+// extra parameters.
+
+import (
+	"repro/internal/graph"
+	"repro/internal/protocol"
+)
+
+func init() {
+	protocol.RegisterSketcher("densest-subgraph-sketch", func(g *graph.Graph) protocol.Sketcher[float64] {
+		return New(0)
+	})
+}

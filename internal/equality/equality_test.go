@@ -138,11 +138,12 @@ func TestPrivateCodeUsesPrivateRandomness(t *testing.T) {
 	g := twinGraph(60, src)
 	coins := rng.NewPublicCoins(11)
 	views := core.Views(g)
-	a, err := (&PrivateCode{PrivateSeed: 1}).Sketch(views[0], coins)
+	view := views[0]
+	a, err := (&PrivateCode{PrivateSeed: 1}).Sketch(view, coins)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := (&PrivateCode{PrivateSeed: 2}).Sketch(views[0], coins)
+	b, err := (&PrivateCode{PrivateSeed: 2}).Sketch(view, coins)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,8 @@ func TestNonSpeakingPlayersSilent(t *testing.T) {
 	coins := rng.NewPublicCoins(16)
 	for _, p := range []core.Protocol[bool]{Deterministic{}, PublicFingerprint{}, &PrivateCode{}} {
 		views := core.Views(g)
-		w, err := p.Sketch(views[7], coins)
+		view := views[7]
+		w, err := p.Sketch(view, coins)
 		if err != nil {
 			t.Fatal(err)
 		}

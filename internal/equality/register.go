@@ -1,0 +1,34 @@
+package equality
+
+import (
+	"repro/internal/graph"
+	"repro/internal/protocol"
+)
+
+func init() {
+	protocol.RegisterSketcher("equality-public-coin",
+		func(g *graph.Graph) protocol.Sketcher[bool] { return PublicFingerprint{} })
+}
+
+// NeighborhoodsEqual is the problem's ground truth: whether vertices 0
+// and 1 have identical neighborhoods restricted to [2, n).
+func NeighborhoodsEqual(g *graph.Graph) bool {
+	for u := 2; u < g.N(); u++ {
+		if g.HasEdge(0, u) != g.HasEdge(1, u) {
+			return false
+		}
+	}
+	return true
+}
+
+// Verify implements protocol.Sketcher. The outcome is a yes/no decision;
+// Valid compares it to the actual neighborhood equality (false on the
+// protocol's one-sided fingerprint-collision error).
+func (PublicFingerprint) Verify(g *graph.Graph, out bool) protocol.Outcome {
+	o := protocol.Outcome{Kind: "decision", Checked: true}
+	if out {
+		o.Size = 1
+	}
+	o.Valid = out == NeighborhoodsEqual(g)
+	return o
+}

@@ -5,9 +5,9 @@ import (
 	"math"
 	"sort"
 
-	"repro/internal/core"
 	"repro/internal/degeneracy"
 	"repro/internal/densest"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/rng"
@@ -36,24 +36,42 @@ func E17CutSparsifier(scale Scale, seed uint64) ([]*Table, error) {
 			"K is the per-level skeleton connectivity: the ε-knob",
 		},
 	}
-	for _, k := range []int{2, 4, 8} {
-		g := gen.Gnp(n, 0.4, src)
-		res, err := core.Run[*sparsify.Sparsifier](sparsify.New(sparsify.Config{K: k}), g, coins.DeriveIndex(k))
-		if err != nil {
-			return nil, err
-		}
-		sp := res.Output
-		var rels []float64
+	// Graphs and cut sides draw from the shared source in the exact
+	// order of the sequential sweep (per k: graph, then its cut sides);
+	// only then do the sparsifier runs batch through the engine.
+	ks := []int{2, 4, 8}
+	graphs := make([]*graph.Graph, len(ks))
+	sides := make([][][]bool, len(ks))
+	jobs := make([]engine.Job[*sparsify.Sparsifier], len(ks))
+	for i, k := range ks {
+		graphs[i] = gen.Gnp(n, 0.4, src)
+		sides[i] = make([][]bool, cuts)
 		for c := 0; c < cuts; c++ {
-			side := make([]bool, g.N())
+			side := make([]bool, graphs[i].N())
 			for v := range side {
 				side[v] = src.Bool()
 			}
-			truth := sparsify.TrueCut(g, side)
+			sides[i][c] = side
+		}
+		jobs[i] = oneRoundJob(fmt.Sprintf("sparsify/k%d", k),
+			sparsify.New(sparsify.Config{K: k}), graphs[i], coins.DeriveIndex(k))
+	}
+	results, err := runOneRoundBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range ks {
+		if results[i].Err != nil {
+			return nil, results[i].Err
+		}
+		g, sp := graphs[i], results[i].Result.Output
+		var rels []float64
+		for c := 0; c < cuts; c++ {
+			truth := sparsify.TrueCut(g, sides[i][c])
 			if truth == 0 {
 				continue
 			}
-			rels = append(rels, math.Abs(sp.CutValue(side)-truth)/truth)
+			rels = append(rels, math.Abs(sp.CutValue(sides[i][c])-truth)/truth)
 		}
 		sort.Float64s(rels)
 		t.AddRow(n, k, g.M(), sp.Edges(),
@@ -69,14 +87,24 @@ func E17CutSparsifier(scale Scale, seed uint64) ([]*Table, error) {
 		Title:   "Approximate min cut from the sparsifier (planted bottleneck)",
 		Columns: []string{"blob size", "planted cut", "true min cut", "sparsifier min cut", "side correct"},
 	}
-	for _, blob := range []int{8, 12} {
-		g := graphBuilderTwoBlobs(blob, 3)
-		truth, _ := graph.GlobalMinCut(g)
-		res, err := core.Run[*sparsify.Sparsifier](sparsify.New(sparsify.Config{K: 4}), g, coins.Derive("mincut").DeriveIndex(blob))
-		if err != nil {
-			return nil, err
+	blobs := []int{8, 12}
+	mcJobs := make([]engine.Job[*sparsify.Sparsifier], len(blobs))
+	for i, blob := range blobs {
+		mcJobs[i] = oneRoundJob(fmt.Sprintf("mincut/blob%d", blob),
+			sparsify.New(sparsify.Config{K: 4}), graphBuilderTwoBlobs(blob, 3),
+			coins.Derive("mincut").DeriveIndex(blob))
+	}
+	mcResults, err := runOneRoundBatch(mcJobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, blob := range blobs {
+		if mcResults[i].Err != nil {
+			return nil, mcResults[i].Err
 		}
-		est, side := graph.WeightedMinCut(g.N(), res.Output.Weight)
+		g := mcJobs[i].Graph
+		truth, _ := graph.GlobalMinCut(g)
+		est, side := graph.WeightedMinCut(g.N(), mcResults[i].Result.Output.Weight)
 		mc.AddRow(blob, 3, truth, est, len(side) == blob)
 	}
 	return []*Table{t, mc}, nil
@@ -119,21 +147,29 @@ func E18DegeneracyDensest(scale Scale, seed uint64) ([]*Table, error) {
 		},
 	}
 	for _, n := range ns {
-		exactSum, estSum, within, maxBits := 0, 0, 0, 0
+		jobs := make([]engine.Job[int], trials)
 		for trial := 0; trial < trials; trial++ {
-			g := gen.Gnp(n, 0.3, src)
-			exact, _ := degeneracy.Exact(g)
-			res, err := core.Run[int](&degeneracy.Protocol{SamplesPerVertex: 12}, g, coins.Derive("deg").DeriveIndex(n+trial))
-			if err != nil {
-				return nil, err
+			jobs[trial] = oneRoundJob(fmt.Sprintf("deg/n%d/t%d", n, trial),
+				&degeneracy.Protocol{SamplesPerVertex: 12}, gen.Gnp(n, 0.3, src),
+				coins.Derive("deg").DeriveIndex(n+trial))
+		}
+		results, err := runOneRoundBatch(jobs)
+		if err != nil {
+			return nil, err
+		}
+		exactSum, estSum, within, maxBits := 0, 0, 0, 0
+		for trial, jr := range results {
+			if jr.Err != nil {
+				return nil, jr.Err
 			}
+			exact, _ := degeneracy.Exact(jobs[trial].Graph)
 			exactSum += exact
-			estSum += res.Output
-			if res.MaxSketchBits > maxBits {
-				maxBits = res.MaxSketchBits
+			estSum += jr.Result.Output
+			if jr.Result.Stats.MaxMessageBits > maxBits {
+				maxBits = jr.Result.Stats.MaxMessageBits
 			}
 			if exact > 0 {
-				r := float64(res.Output) / float64(exact)
+				r := float64(jr.Result.Output) / float64(exact)
 				if r >= 0.5 && r <= 2 {
 					within++
 				}
@@ -154,21 +190,29 @@ func E18DegeneracyDensest(scale Scale, seed uint64) ([]*Table, error) {
 	}
 	for _, n := range ns {
 		p := 0.3
+		jobs := make([]engine.Job[float64], trials)
+		for trial := 0; trial < trials; trial++ {
+			jobs[trial] = oneRoundJob(fmt.Sprintf("den/n%d/t%d", n, trial),
+				densest.New(p), gen.Gnp(n, 0.3, src),
+				coins.Derive("den").DeriveIndex(n+trial))
+		}
+		results, err := runOneRoundBatch(jobs)
+		if err != nil {
+			return nil, err
+		}
 		exactSum, estSum := 0.0, 0.0
 		within, maxBits := 0, 0
-		for trial := 0; trial < trials; trial++ {
-			g := gen.Gnp(n, 0.3, src)
-			exact := densest.ExactPeelingDensity(g)
-			res, err := core.Run[float64](densest.New(p), g, coins.Derive("den").DeriveIndex(n+trial))
-			if err != nil {
-				return nil, err
+		for trial, jr := range results {
+			if jr.Err != nil {
+				return nil, jr.Err
 			}
+			exact := densest.ExactPeelingDensity(jobs[trial].Graph)
 			exactSum += exact
-			estSum += res.Output
-			if res.MaxSketchBits > maxBits {
-				maxBits = res.MaxSketchBits
+			estSum += jr.Result.Output
+			if jr.Result.Stats.MaxMessageBits > maxBits {
+				maxBits = jr.Result.Stats.MaxMessageBits
 			}
-			if exact > 0 && res.Output >= exact/1.5 && res.Output <= exact*1.5 {
+			if exact > 0 && jr.Result.Output >= exact/1.5 && jr.Result.Output <= exact*1.5 {
 				within++
 			}
 		}

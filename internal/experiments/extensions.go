@@ -101,7 +101,11 @@ func E13Certificates(scale Scale, seed uint64) ([]*Table, error) {
 		p := agm.NewSpanningForest(agm.Config{})
 		views := core.Views(final)
 		for v := 0; v < n && identical; v++ {
-			direct, err := p.Sketch(views[v], coins.Derive("stream").DeriveIndex(n))
+			// Not a run loop: each vertex's direct sketch is compared
+			// against the incrementally maintained stream sketch, bit for
+			// bit.
+			view := views[v]
+			direct, err := p.Sketch(view, coins.Derive("stream").DeriveIndex(n))
 			if err != nil {
 				return nil, err
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/agm"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/mst"
 	"repro/internal/rng"
@@ -37,24 +38,37 @@ func E16MSTEstimator(scale Scale, seed uint64) ([]*Table, error) {
 		},
 	}
 	for _, c := range cfgs {
-		matches, errSum, maxBits := 0, 0, 0
+		// Weighted instances draw from the shared source first (same
+		// order as the sequential sweep), then all trials run as one
+		// engine batch.
+		wgs := make([]*mst.Weighted, trials)
+		jobs := make([]engine.Job[int], trials)
 		for trial := 0; trial < trials; trial++ {
 			g := gen.Gnp(c.n, c.p, src)
-			wg := mst.RandomWeights(g, c.maxW, src)
-			res, err := mst.Run(wg, agm.Config{}, coins.DeriveIndex(c.n*100+trial))
-			if err != nil {
-				return nil, err
+			wgs[trial] = mst.RandomWeights(g, c.maxW, src)
+			jobs[trial] = oneRoundJob(fmt.Sprintf("mst/n%d/t%d", c.n, trial),
+				mst.NewProtocol(wgs[trial], agm.Config{}), g, coins.DeriveIndex(c.n*100+trial))
+		}
+		results, err := runOneRoundBatch(jobs)
+		if err != nil {
+			return nil, err
+		}
+		matches, errSum, maxBits := 0, 0, 0
+		for trial, jr := range results {
+			if jr.Err != nil {
+				return nil, jr.Err
 			}
-			if res.Exactly() {
+			exact := wgs[trial].ExactMSTWeight()
+			if jr.Result.Output == exact {
 				matches++
 			}
-			diff := res.Estimate - res.Exact
+			diff := jr.Result.Output - exact
 			if diff < 0 {
 				diff = -diff
 			}
 			errSum += diff
-			if res.MaxSketchBits > maxBits {
-				maxBits = res.MaxSketchBits
+			if jr.Result.Stats.MaxMessageBits > maxBits {
+				maxBits = jr.Result.Stats.MaxMessageBits
 			}
 		}
 		t.AddRow(c.n, c.maxW, trials,

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/rng"
 	"repro/internal/triangles"
@@ -33,19 +33,26 @@ func E19TriangleCounting(scale Scale, seed uint64) ([]*Table, error) {
 	exact := float64(triangles.Exact(g))
 	fullBits := g.MaxDegree() * 8
 	for _, p := range []float64{0.2, 0.4, 0.7, 1.0} {
-		sum, errSum, maxBits := 0.0, 0.0, 0
+		jobs := make([]engine.Job[float64], trials)
 		for trial := 0; trial < trials; trial++ {
-			res, err := core.Run[float64](triangles.New(p), g,
-				coins.DeriveIndex(int(p*100)*1000+trial))
-			if err != nil {
-				return nil, err
+			jobs[trial] = oneRoundJob(fmt.Sprintf("tri/p%.1f/t%d", p, trial),
+				triangles.New(p), g, coins.DeriveIndex(int(p*100)*1000+trial))
+		}
+		results, err := runOneRoundBatch(jobs)
+		if err != nil {
+			return nil, err
+		}
+		sum, errSum, maxBits := 0.0, 0.0, 0
+		for _, jr := range results {
+			if jr.Err != nil {
+				return nil, jr.Err
 			}
-			sum += res.Output
+			sum += jr.Result.Output
 			if exact > 0 {
-				errSum += math.Abs(res.Output-exact) / exact
+				errSum += math.Abs(jr.Result.Output-exact) / exact
 			}
-			if res.MaxSketchBits > maxBits {
-				maxBits = res.MaxSketchBits
+			if jr.Result.Stats.MaxMessageBits > maxBits {
+				maxBits = jr.Result.Stats.MaxMessageBits
 			}
 		}
 		t.AddRow(n, p, trials, int(exact),

@@ -37,10 +37,10 @@ func E8AGMSpanningForest(scale Scale, seed uint64) ([]*Table, error) {
 			"bits/log³n flat across rows ⇒ O(log³ n) scaling",
 		},
 	}
-	p := agm.NewSpanningForest(agm.Config{})
+	build := func() core.Protocol[[]graph.Edge] { return agm.NewSpanningForest(agm.Config{}) }
 	for _, n := range ns {
 		prob := 3 * math.Log(float64(n)) / float64(n)
-		stats := core.EstimateSuccess[[]graph.Edge](p, func(i int) core.Trial[[]graph.Edge] {
+		stats := estimateSuccessBatch[[]graph.Edge](build, func(i int) core.Trial[[]graph.Edge] {
 			g := gen.Gnp(n, prob, src)
 			return core.Trial[[]graph.Edge]{
 				Graph:  g,
@@ -63,8 +63,10 @@ func E8AGMSpanningForest(scale Scale, seed uint64) ([]*Table, error) {
 	}
 	n := 96
 	for _, cfg := range []agm.Config{{Rounds: 1, Reps: 1}, {Rounds: 4, Reps: 1}, {Rounds: 10, Reps: 1}, {Rounds: 10, Reps: 3}, {}} {
-		pp := agm.NewSpanningForest(cfg)
-		stats := core.EstimateSuccess[[]graph.Edge](pp, func(i int) core.Trial[[]graph.Edge] {
+		cfg := cfg
+		stats := estimateSuccessBatch[[]graph.Edge](func() core.Protocol[[]graph.Edge] {
+			return agm.NewSpanningForest(cfg)
+		}, func(i int) core.Trial[[]graph.Edge] {
 			g := gen.Gnp(n, 0.1, src)
 			return core.Trial[[]graph.Edge]{
 				Graph:  g,
@@ -103,19 +105,30 @@ func E9BridgeFinding(scale Scale, seed uint64) ([]*Table, error) {
 			"cancellation of the signed edge-ID sums exposes it to the referee",
 		},
 	}
-	p := agm.NewBridgeFinder(0)
 	for _, half := range halves {
-		success, maxBits := 0, 0
+		bridges := make([]graph.Edge, trials)
+		jobs := make([]engine.Job[graph.Edge], trials)
 		for trial := 0; trial < trials; trial++ {
 			g, bridge := gen.TwoBlobsWithBridge(half, math.Max(0.1, 8/float64(half)), src)
-			res, err := core.Run[graph.Edge](p, g, coins.DeriveIndex(half*1000+trial))
-			if err != nil {
+			bridges[trial] = bridge
+			jobs[trial] = oneRoundJob(fmt.Sprintf("bridge/h%d/t%d", half, trial),
+				agm.NewBridgeFinder(0), g, coins.DeriveIndex(half*1000+trial))
+		}
+		results, err := runOneRoundBatch(jobs)
+		if err != nil {
+			return nil, err
+		}
+		success, maxBits := 0, 0
+		for trial, jr := range results {
+			// A failed decode counts as a miss and (matching the
+			// sequential sweep it replaced) leaves the bit column alone.
+			if jr.Err != nil {
 				continue
 			}
-			if res.MaxSketchBits > maxBits {
-				maxBits = res.MaxSketchBits
+			if jr.Result.Stats.MaxMessageBits > maxBits {
+				maxBits = jr.Result.Stats.MaxMessageBits
 			}
-			if res.Output == bridge {
+			if jr.Result.Output == bridges[trial] {
 				success++
 			}
 		}
@@ -150,8 +163,9 @@ func E10Coloring(scale Scale, seed uint64) ([]*Table, error) {
 	for _, c := range cfgs {
 		g := gen.Gnp(c.n, c.p, src)
 		delta := g.MaxDegree()
-		proto := coloring.New(coloring.Config{MaxDegree: delta})
-		stats := core.EstimateSuccess[[]int](proto, func(i int) core.Trial[[]int] {
+		stats := estimateSuccessBatch[[]int](func() core.Protocol[[]int] {
+			return coloring.New(coloring.Config{MaxDegree: delta})
+		}, func(i int) core.Trial[[]int] {
 			return core.Trial[[]int]{
 				Graph:  g,
 				Verify: func(out []int) bool { return graph.IsProperColoring(g, out, delta+1) },
@@ -177,8 +191,9 @@ func E10Coloring(scale Scale, seed uint64) ([]*Table, error) {
 	kd := kg.MaxDegree()
 	for _, c := range []float64{0.5, 1, 2, 4} {
 		ls := int(math.Ceil(c * math.Log(float64(kg.N())+1)))
-		proto := coloring.New(coloring.Config{MaxDegree: kd, ListSize: ls})
-		stats := core.EstimateSuccess[[]int](proto, func(i int) core.Trial[[]int] {
+		stats := estimateSuccessBatch[[]int](func() core.Protocol[[]int] {
+			return coloring.New(coloring.Config{MaxDegree: kd, ListSize: ls})
+		}, func(i int) core.Trial[[]int] {
 			return core.Trial[[]int]{
 				Graph:  kg,
 				Verify: func(out []int) bool { return graph.IsProperColoring(kg, out, kd+1) },

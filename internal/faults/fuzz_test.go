@@ -37,7 +37,8 @@ func FuzzTranscriptCorruption(f *testing.F) {
 		p := agm.NewSpanningForest(cfg)
 		writers := make([]*bitio.Writer, n)
 		for v := 0; v < n; v++ {
-			w, err := p.Sketch(views[v], coins)
+			view := views[v]
+			w, err := p.Sketch(view, coins)
 			if err != nil {
 				t.Fatalf("sketch vertex %d: %v", v, err)
 			}

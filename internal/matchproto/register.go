@@ -1,0 +1,16 @@
+package matchproto
+
+// Wire registration: the two-round maximal-matching protocol (the upper
+// bound side of the paper's MM story) self-registers for wire execution.
+
+import (
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/protocol"
+)
+
+func init() {
+	protocol.Register("mm-tworound", func(g *graph.Graph) engine.Protocol[protocol.Outcome] {
+		return protocol.Adapt[[]graph.Edge](NewTwoRound(), protocol.EdgesOutcome(g, graph.IsMaximalMatching))
+	})
+}

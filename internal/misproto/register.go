@@ -1,0 +1,16 @@
+package misproto
+
+// Wire registration: the two-round MIS protocol (the upper bound side of
+// the paper's MIS story) self-registers for wire execution.
+
+import (
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/protocol"
+)
+
+func init() {
+	protocol.Register("mis-tworound", func(g *graph.Graph) engine.Protocol[protocol.Outcome] {
+		return protocol.Adapt[[]int](NewTwoRound(), protocol.VerticesOutcome(g, graph.IsMaximalIndependentSet))
+	})
+}

@@ -22,8 +22,10 @@ import (
 
 	"repro/internal/agm"
 	"repro/internal/bitio"
+	"repro/internal/cclique"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/protocol"
 	"repro/internal/rng"
 )
 
@@ -116,54 +118,103 @@ type Result struct {
 // Exactly reports whether the estimate matched the reference.
 func (r Result) Exactly() bool { return r.Estimate == r.Exact }
 
-// Run executes the sketching estimator: every vertex emits one AGM
-// forest sketch per threshold of its thresholded incidence, the referee
-// decodes component counts and sums the generalized identity
-// w(MSF) = n + Σ_{i=1}^{W−1} cc(G_≤i) − W·cc(G), valid for disconnected
+// Protocol is the one-round sketching estimator behind Run, expressed
+// on the uniform Sketch/Decode contract so it runs on the execution
+// engine and the wire like every other protocol. Vertex v's message is
+// the concatenation, over thresholds i = 1..MaxW, of one AGM forest
+// sketch of its G_≤i incidence (no padding between parts: the message
+// length is exactly the sum of the per-threshold sketch lengths, which
+// is what the model charges). The referee decodes threshold by
+// threshold — each forest sketch has a deterministic length, so the
+// concatenated messages parse unambiguously — and sums the generalized
+// identity.
+type Protocol struct {
+	wg      *Weighted
+	cfg     agm.Config
+	forests []*agm.ForestProtocol
+}
+
+var _ core.Protocol[int] = (*Protocol)(nil)
+
+// NewProtocol returns the estimator for one weighted graph. The weights
+// parameterize the protocol (each vertex thresholds its own incident
+// weights), so instances are bound to wg.
+func NewProtocol(wg *Weighted, cfg agm.Config) *Protocol {
+	forests := make([]*agm.ForestProtocol, wg.MaxW)
+	for i := range forests {
+		forests[i] = agm.NewSpanningForest(cfg)
+	}
+	return &Protocol{wg: wg, cfg: cfg, forests: forests}
+}
+
+// Name implements core.Protocol.
+func (p *Protocol) Name() string { return "mst-weight" }
+
+// Sketch implements core.Protocol: one forest sketch per threshold of
+// the vertex's thresholded incidence, concatenated bit-exactly.
+func (p *Protocol) Sketch(view core.VertexView, coins *rng.PublicCoins) (*bitio.Writer, error) {
+	w := &bitio.Writer{}
+	for i := 1; i <= p.wg.MaxW; i++ {
+		var nbrs []int
+		for _, u := range view.Neighbors {
+			if p.wg.W[graph.NewEdge(view.ID, u)] <= i {
+				nbrs = append(nbrs, u)
+			}
+		}
+		sub := core.VertexView{N: view.N, ID: view.ID, Neighbors: nbrs}
+		sw, err := p.forests[i-1].Sketch(sub, coins.Derive("mst-threshold").DeriveIndex(i))
+		if err != nil {
+			return nil, fmt.Errorf("mst: threshold %d vertex %d: %w", i, view.ID, err)
+		}
+		w.Append(sw)
+		bitio.Release(sw)
+	}
+	return w, nil
+}
+
+// Decode implements core.Protocol: recover cc(G_≤i) for every threshold
+// from the concatenated forest sketches and sum the identity
+// w(MSF) = n + Σ_{i<W} cc(G_≤i) − W·cc(G), valid for disconnected
 // graphs too. A forest-decode failure overcounts that threshold's
 // components, inflating the estimate when i < W and deflating it at
 // i = W; the experiment reports |estimate − exact|.
-func Run(wg *Weighted, cfg agm.Config, coins *rng.PublicCoins) (Result, error) {
-	var res Result
-	res.Exact = wg.ExactMSTWeight()
-	n := wg.G.N()
-
-	perVertexBits := make([]int, n)
+func (p *Protocol) Decode(n int, sketches []*bitio.Reader, coins *rng.PublicCoins) (int, error) {
 	ccTotal := 0
 	var ccFull int
-	for i := 1; i <= wg.MaxW; i++ {
-		sub := wg.thresholded(i)
-		p := agm.NewSpanningForest(cfg)
+	for i := 1; i <= p.wg.MaxW; i++ {
 		c := coins.Derive("mst-threshold").DeriveIndex(i)
-
-		views := core.Views(sub)
-		readers := make([]*bitio.Reader, n)
-		for v := 0; v < n; v++ {
-			w, err := p.Sketch(views[v], c)
-			if err != nil {
-				return res, fmt.Errorf("mst: threshold %d vertex %d: %w", i, v, err)
-			}
-			perVertexBits[v] += w.Len()
-			readers[v] = bitio.ReaderFor(w)
-		}
-		forest, err := p.Decode(n, readers, c)
+		forest, err := p.forests[i-1].Decode(n, sketches, c)
 		if err != nil {
-			return res, fmt.Errorf("mst: threshold %d decode: %w", i, err)
+			return 0, fmt.Errorf("mst: threshold %d decode: %w", i, err)
 		}
 		cc := n - len(forest)
-		if i < wg.MaxW {
+		if i < p.wg.MaxW {
 			ccTotal += cc
 		} else {
 			ccFull = cc
 		}
 	}
-	// Generalized identity: w(MSF) = n − ccFull − (W−1)·ccFull + Σ_{i<W} (cc_i)
-	//                              = n + Σ_{i<W} cc_i − W·ccFull.
-	res.Estimate = n + ccTotal - wg.MaxW*ccFull
-	for v := 0; v < n; v++ {
-		if perVertexBits[v] > res.MaxSketchBits {
-			res.MaxSketchBits = perVertexBits[v]
-		}
+	return n + ccTotal - p.wg.MaxW*ccFull, nil
+}
+
+// Verify implements protocol.Sketcher: the estimate is audited against
+// the Kruskal reference (the sketch is exact whenever every forest
+// decode succeeds, which holds w.h.p. at the default parameters).
+func (p *Protocol) Verify(_ *graph.Graph, out int) protocol.Outcome {
+	return protocol.Outcome{Kind: "count", Size: out, Checked: true, Valid: out == p.wg.ExactMSTWeight()}
+}
+
+// Run executes the sketching estimator through the execution engine:
+// every vertex emits its concatenated per-threshold forest sketches, the
+// referee decodes component counts and sums the identity.
+func Run(wg *Weighted, cfg agm.Config, coins *rng.PublicCoins) (Result, error) {
+	var res Result
+	res.Exact = wg.ExactMSTWeight()
+	r, err := cclique.Run[int](&cclique.OneRound[int]{P: NewProtocol(wg, cfg)}, wg.G, coins)
+	if err != nil {
+		return res, err
 	}
+	res.Estimate = r.Output
+	res.MaxSketchBits = r.MaxMessageBits
 	return res, nil
 }

@@ -1,0 +1,32 @@
+package mst
+
+// Wire registration. A wire spec carries only a graph, so the registry
+// binds the remaining estimator parameters to fixed, documented
+// constants: weights are drawn from a fixed-seed source as a pure
+// function of the graph (every executor derives the same weighted
+// instance), and the forest configuration is sized for smoke-scale
+// graphs. The golden fixture under internal/protocol/testdata pins the
+// resulting transcripts.
+
+import (
+	"repro/internal/agm"
+	"repro/internal/graph"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// Registry constants: the weight distribution and sketch size the wire
+// protocol "mst-weight" is pinned to.
+const (
+	registryMaxW       = 3
+	registryWeightSeed = 91
+)
+
+func registryConfig() agm.Config { return agm.Config{Rounds: 6, Reps: 2} }
+
+func init() {
+	protocol.RegisterSketcher("mst-weight", func(g *graph.Graph) protocol.Sketcher[int] {
+		wg := RandomWeights(g, registryMaxW, rng.NewSource(registryWeightSeed))
+		return NewProtocol(wg, registryConfig())
+	})
+}

@@ -1,0 +1,182 @@
+package protocol_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+
+	// Register the migrated protocols so Build resolves them.
+	_ "repro/internal/agm"
+	_ "repro/internal/coloring"
+	_ "repro/internal/degeneracy"
+	_ "repro/internal/densest"
+	_ "repro/internal/equality"
+	_ "repro/internal/mst"
+	_ "repro/internal/sparsify"
+	_ "repro/internal/triangles"
+)
+
+// updateFixtures regenerates the committed golden transcripts. The three
+// fixtures for palette-sparsification, triangle-count and mst-weight were
+// recorded from the pre-migration per-package run loops; they must only
+// ever be regenerated for a deliberate, documented format change — they
+// exist so that the migration onto the protocol registry (and any future
+// refactor behind it) cannot silently move a single sketch bit.
+var updateFixtures = flag.Bool("update-fixtures", false, "rewrite testdata transcript fixtures")
+
+// fixtureCase pins one registry-built protocol execution whose full
+// transcript is committed under testdata/. Graph and coin seeds match the
+// corresponding wire.SmokeSpecs entries, so the same fixtures also pin
+// the service parity sweep.
+type fixtureCase struct {
+	label    string // fixture file name, sans .golden
+	protocol string // registered protocol name
+	g        *graph.Graph
+	coins    *rng.PublicCoins
+}
+
+func protocolFixtureCases() []fixtureCase {
+	return []fixtureCase{
+		{label: "palette-sparsification", protocol: "palette-sparsification",
+			g: gen.Gnp(40, 0.2, rng.NewSource(31)), coins: rng.NewPublicCoins(32)},
+		{label: "triangle-count", protocol: "triangle-count-sketch",
+			g: gen.Gnp(40, 0.3, rng.NewSource(33)), coins: rng.NewPublicCoins(34)},
+		{label: "mst-weight", protocol: "mst-weight",
+			g: gen.Gnp(24, 0.25, rng.NewSource(35)), coins: rng.NewPublicCoins(36)},
+		{label: "agm-cut-sparsifier", protocol: "agm-cut-sparsifier",
+			g: gen.Gnp(30, 0.3, rng.NewSource(37)), coins: rng.NewPublicCoins(38)},
+		{label: "densest-subgraph-sketch", protocol: "densest-subgraph-sketch",
+			g: gen.Gnp(40, 0.3, rng.NewSource(39)), coins: rng.NewPublicCoins(40)},
+		{label: "degeneracy-sketch", protocol: "degeneracy-sketch",
+			g: gen.Gnp(40, 0.3, rng.NewSource(41)), coins: rng.NewPublicCoins(42)},
+		{label: "agm-components", protocol: "agm-components",
+			g: gen.Gnp(40, 0.25, rng.NewSource(43)), coins: rng.NewPublicCoins(44)},
+		{label: "equality-public-coin", protocol: "equality-public-coin",
+			g: gen.Gnp(40, 0.3, rng.NewSource(45)), coins: rng.NewPublicCoins(46)},
+	}
+}
+
+// TestGoldenFixtureTranscripts asserts, for every registered one-round
+// protocol and Workers ∈ {1, 2, 8}, byte-for-byte equality of the full
+// transcript with the fixture committed under testdata/. Because the
+// protocol instance comes from the registry builder, this also pins the
+// builder's configuration (weights seed, sampling rate, forest config).
+func TestGoldenFixtureTranscripts(t *testing.T) {
+	for _, fc := range protocolFixtureCases() {
+		fc := fc
+		t.Run(fc.label, func(t *testing.T) {
+			path := filepath.Join("testdata", fc.label+".golden")
+			if *updateFixtures {
+				writeTranscriptFixture(t, path, execFixture(t, fc, 1), fc.g.N())
+			}
+			want := readTranscriptFixture(t, path)
+			for _, workers := range []int{1, 2, 8} {
+				got := flattenTranscript(t, execFixture(t, fc, workers), fc.g.N())
+				compareTranscriptLines(t, fmt.Sprintf("%s workers=%d", fc.label, workers), got, want)
+			}
+		})
+	}
+}
+
+func execFixture(t *testing.T, fc fixtureCase, workers int) *engine.Transcript {
+	t.Helper()
+	p, err := protocol.Build(fc.protocol, fc.g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &engine.Engine{Workers: workers, ShardSize: 3}
+	tr, _, err := eng.Execute(context.Background(), p, fc.g, fc.coins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// flattenTranscript renders a transcript as one canonical line per
+// (round, vertex): "round vertex nbit hex" with bits packed LSB-first
+// exactly as bitio.Writer lays them out (same format as the engine and
+// faults fixtures).
+func flattenTranscript(t *testing.T, tr *engine.Transcript, n int) []string {
+	t.Helper()
+	var out []string
+	for round := 0; round < tr.Rounds(); round++ {
+		for v := 0; v < n; v++ {
+			nbit := tr.BitLen(round, v)
+			r := tr.Message(round, v)
+			buf := make([]byte, (nbit+7)/8)
+			for i := 0; i < nbit; i++ {
+				b, err := r.ReadBit()
+				if err != nil {
+					t.Fatalf("round %d vertex %d bit %d: %v", round, v, i, err)
+				}
+				if b {
+					buf[i/8] |= 1 << uint(i%8)
+				}
+			}
+			out = append(out, fmt.Sprintf("%d %d %d %s", round, v, nbit, hex.EncodeToString(buf)))
+		}
+	}
+	return out
+}
+
+func writeTranscriptFixture(t *testing.T, path string, tr *engine.Transcript, n int) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for _, line := range flattenTranscript(t, tr, n) {
+		fmt.Fprintln(w, line)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readTranscriptFixture(t *testing.T, path string) []string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("missing fixture %s (generate with -update-fixtures ONLY from a known-good tree): %v", path, err)
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<22)
+	for sc.Scan() {
+		out = append(out, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func compareTranscriptLines(t *testing.T, label string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d transcript messages, fixture has %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: transcript message %d drifted from committed fixture:\n got %s\nwant %s",
+				label, i, got[i], want[i])
+		}
+	}
+}

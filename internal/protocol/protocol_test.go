@@ -1,0 +1,95 @@
+package protocol_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/cclique"
+	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/triangles"
+)
+
+// TestAdaptedImplementsResilientProtocol pins the structural contract the
+// adapter relies on: protocol.Adapt's result must satisfy
+// faults.ResilientProtocol[Outcome] (the adapter forwards DecodeResilient
+// through a locally-declared mirror of that interface, because importing
+// faults from package protocol would be an import cycle). If the faults
+// interface ever changes shape, this assertion fails to compile the
+// forwarding away silently.
+func TestAdaptedImplementsResilientProtocol(t *testing.T) {
+	p := protocol.Adapt[[]graph.Edge](&cclique.OneRound[[]graph.Edge]{}, nil)
+	if _, ok := p.(faults.ResilientProtocol[protocol.Outcome]); !ok {
+		t.Fatal("protocol.Adapt result does not implement faults.ResilientProtocol[Outcome]; " +
+			"the resilientDecoder mirror in protocol.go has drifted from faults.ResilientProtocol")
+	}
+}
+
+// TestRegisterRejectsBadInput checks the registration programming-error
+// panics: empty name, nil builder, duplicate name.
+func TestRegisterRejectsBadInput(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	dummy := func(g *graph.Graph) protocol.Sketcher[float64] { return triangles.New(0.5) }
+	expectPanic("empty name", func() { protocol.RegisterSketcher("", dummy) })
+	expectPanic("nil builder", func() { protocol.Register("protocol-test-nil", nil) })
+	protocol.RegisterSketcher("protocol-test-dup", dummy)
+	expectPanic("duplicate", func() { protocol.RegisterSketcher("protocol-test-dup", dummy) })
+}
+
+// TestLookupUnknownListsKnown checks the error message for an unknown
+// name carries the registered names, so a wire client's typo is
+// self-diagnosing.
+func TestLookupUnknownListsKnown(t *testing.T) {
+	_, err := protocol.Lookup("no-such-protocol")
+	if err == nil {
+		t.Fatal("expected error for unknown protocol")
+	}
+	if !strings.Contains(err.Error(), "mst-weight") {
+		t.Errorf("error should list known protocols, got: %v", err)
+	}
+	if _, err := protocol.Build("no-such-protocol", gen.Gnp(8, 0.5, rng.NewSource(1))); err == nil {
+		t.Fatal("Build should propagate the lookup error")
+	}
+}
+
+// TestLiftRunsSketcherEndToEnd checks that a registry-built protocol
+// executes through the engine and reports the Sketcher's own Verify
+// verdict in the outcome.
+func TestLiftRunsSketcherEndToEnd(t *testing.T) {
+	g := gen.Gnp(30, 0.4, rng.NewSource(5))
+	p, err := protocol.Build("triangle-count-sketch", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.Name(), "triangle-count-sketch/bcc"; got != want {
+		t.Errorf("Name() = %q, want %q", got, want)
+	}
+	res, err := engine.Run[protocol.Outcome](
+		context.Background(), &engine.Engine{Workers: 2}, p, g, rng.NewPublicCoins(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Output
+	if out.Kind != "value" {
+		t.Errorf("Kind = %q, want %q", out.Kind, "value")
+	}
+	if !out.Checked {
+		t.Error("outcome should be checked: triangles has an exact verifier")
+	}
+	if out.Value <= 0 {
+		t.Errorf("Value = %v, want a positive triangle estimate", out.Value)
+	}
+}

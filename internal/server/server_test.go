@@ -35,10 +35,10 @@ func newTestServer(t *testing.T, cfg server.Config) (*httptest.Server, *client.C
 }
 
 // TestGoldenParityLocalVsRemote is the service's non-negotiable
-// invariant: for every committed fixture spec — five clean, three
-// faulted — the transcript obtained through refereed over loopback HTTP
-// is byte-identical to the local engine run, at Workers 1 and 8 on
-// either side.
+// invariant: for every committed fixture spec — one per registered
+// protocol, plus three faulted — the transcript obtained through
+// refereed over loopback HTTP is byte-identical to the local engine
+// run, at Workers 1 and 8 on either side.
 func TestGoldenParityLocalVsRemote(t *testing.T) {
 	_, c := newTestServer(t, server.Config{})
 	for _, spec := range wire.SmokeSpecs(1) {

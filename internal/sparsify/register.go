@@ -1,0 +1,23 @@
+package sparsify
+
+// Wire registration. The documented defaults (log n levels, k = 4,
+// default forest config) cost hundreds of kilobits per vertex — fine for
+// the offline experiments, excessive for a wire smoke spec — so the
+// registry pins a smoke-scale configuration: three levels, 2-connected
+// skeletons, short forests.
+
+import (
+	"repro/internal/agm"
+	"repro/internal/graph"
+	"repro/internal/protocol"
+)
+
+func registryConfig() Config {
+	return Config{Levels: 3, K: 2, Forest: agm.Config{Rounds: 6, Reps: 1}}
+}
+
+func init() {
+	protocol.RegisterSketcher("agm-cut-sparsifier", func(g *graph.Graph) protocol.Sketcher[*Sparsifier] {
+		return New(registryConfig())
+	})
+}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/hashing"
+	"repro/internal/protocol"
 	"repro/internal/rng"
 )
 
@@ -187,6 +188,28 @@ func (p *Protocol) Decode(n int, sketches []*bitio.Reader, coins *rng.PublicCoin
 		}
 	}
 	return sp, nil
+}
+
+// Verify implements protocol.Sketcher: a structurally sound sparsifier
+// supports only actual edges of g with weights ≥ 1 (each weight is 2^i
+// for the shallowest retaining level i). Size is the support size and
+// Value the total weight — approximation quality over random cuts is
+// measured by experiment E17, not audited here.
+func (p *Protocol) Verify(g *graph.Graph, out *Sparsifier) protocol.Outcome {
+	o := protocol.Outcome{Kind: "sparsifier", Checked: true}
+	if out == nil || out.N != g.N() {
+		return o
+	}
+	o.Size = out.Edges()
+	valid := true
+	for e, w := range out.Weight {
+		o.Value += w
+		if !g.HasEdge(e.U, e.V) || w < 1 {
+			valid = false
+		}
+	}
+	o.Valid = valid
+	return o
 }
 
 // skeletonBits returns the deterministic bit length of one skeleton

@@ -143,7 +143,8 @@ func TestSkeletonBitsMatchesActual(t *testing.T) {
 	p := agm.NewSkeleton(cfg.K, cfg.Forest)
 	g := gen.Gnp(n, 0.3, rng.NewSource(8))
 	views := core.Views(g)
-	w, err := p.Sketch(views[0], rng.NewPublicCoins(9))
+	view := views[0]
+	w, err := p.Sketch(view, rng.NewPublicCoins(9))
 	if err != nil {
 		t.Fatal(err)
 	}

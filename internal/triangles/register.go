@@ -1,0 +1,19 @@
+package triangles
+
+// Wire registration: a wire spec carries only a graph, so the sampling
+// probability is pinned to 1/2 — dense enough to keep the estimate
+// informative at smoke scale, sparse enough that the sketches actually
+// subsample.
+
+import (
+	"repro/internal/graph"
+	"repro/internal/protocol"
+)
+
+const registrySampleProb = 0.5
+
+func init() {
+	protocol.RegisterSketcher("triangle-count-sketch", func(g *graph.Graph) protocol.Sketcher[float64] {
+		return New(registrySampleProb)
+	})
+}

@@ -14,11 +14,13 @@ package triangles
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/bitio"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/hashing"
+	"repro/internal/protocol"
 	"repro/internal/rng"
 )
 
@@ -106,4 +108,20 @@ func (p *Protocol) Decode(n int, sketches []*bitio.Reader, _ *rng.PublicCoins) (
 	sampled := Exact(b.Build())
 	scale := 1 / (p.SampleProb * p.SampleProb * p.SampleProb)
 	return float64(sampled) * scale, nil
+}
+
+// Verify implements protocol.Sketcher. The estimator is unbiased but
+// noisy, so the audit is a coarse band: the estimate must land within a
+// factor 2 of the exact count (with one triangle of absolute slack, so
+// near-triangle-free graphs do not flap). Size rounds the estimate.
+func (p *Protocol) Verify(g *graph.Graph, out float64) protocol.Outcome {
+	exact := float64(Exact(g))
+	lo, hi := exact/2-1, 2*exact+1
+	return protocol.Outcome{
+		Kind:    "value",
+		Size:    int(math.Round(out)),
+		Value:   out,
+		Checked: true,
+		Valid:   out >= lo && out <= hi,
+	}
 }

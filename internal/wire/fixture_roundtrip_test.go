@@ -24,6 +24,7 @@ func goldenFixturePaths(t *testing.T) []string {
 	for _, dir := range []string{
 		filepath.Join("..", "engine", "testdata"),
 		filepath.Join("..", "faults", "testdata"),
+		filepath.Join("..", "protocol", "testdata"),
 	} {
 		matches, err := filepath.Glob(filepath.Join(dir, "*.golden"))
 		if err != nil {
@@ -31,8 +32,8 @@ func goldenFixturePaths(t *testing.T) []string {
 		}
 		paths = append(paths, matches...)
 	}
-	if len(paths) < 8 {
-		t.Fatalf("found only %d golden fixtures, expected the 5 engine + 3 faults ones", len(paths))
+	if len(paths) < 16 {
+		t.Fatalf("found only %d golden fixtures, expected the 5 engine + 3 faults + 8 protocol ones", len(paths))
 	}
 	return paths
 }
@@ -132,7 +133,6 @@ func TestGoldenFixtureCrossVersionRejected(t *testing.T) {
 // golden file. The remote half (same specs dispatched through refereed
 // over HTTP) lives in internal/server.
 func TestSmokeSpecsReproduceGoldenFixtures(t *testing.T) {
-	dirFor := map[bool]string{false: filepath.Join("..", "engine", "testdata"), true: filepath.Join("..", "faults", "testdata")}
 	for _, spec := range SmokeSpecs(1) {
 		spec := spec
 		t.Run(spec.Label, func(t *testing.T) {
@@ -140,11 +140,30 @@ func TestSmokeSpecsReproduceGoldenFixtures(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			path := filepath.Join(dirFor[spec.Faults != (FaultSpec{})], spec.Label+".golden")
+			path := smokeFixturePath(t, spec)
 			want := readFixtureTranscript(t, path)
 			if !bytes.Equal(EncodeTranscript(report.Transcript), EncodeTranscript(want)) {
 				t.Fatalf("spec %s does not reproduce committed fixture %s", spec.Label, path)
 			}
 		})
 	}
+}
+
+// smokeFixturePath maps a smoke spec to its committed golden file:
+// faulted specs pin faults fixtures; clean specs pin either an engine
+// fixture (the original five) or a protocol one (the migrated sketch
+// protocols).
+func smokeFixturePath(t *testing.T, spec RunSpec) string {
+	t.Helper()
+	if spec.Faults != (FaultSpec{}) {
+		return filepath.Join("..", "faults", "testdata", spec.Label+".golden")
+	}
+	for _, dir := range []string{"engine", "protocol"} {
+		path := filepath.Join("..", dir, "testdata", spec.Label+".golden")
+		if _, err := os.Stat(path); err == nil {
+			return path
+		}
+	}
+	t.Fatalf("no committed golden fixture for smoke spec %q", spec.Label)
+	return ""
 }

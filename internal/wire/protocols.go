@@ -1,0 +1,21 @@
+package wire
+
+// Every protocol package self-registers in the protocol registry from
+// its init() (see the register.go file in each). These blank imports
+// link the full set into any binary that uses the wire, which is what
+// makes all of them resolvable by name through ExecuteSpec and the
+// refereed daemon. The registry-completeness test pins this list against
+// the packages that actually implement the Sketch/Decode contract.
+
+import (
+	_ "repro/internal/agm"
+	_ "repro/internal/coloring"
+	_ "repro/internal/degeneracy"
+	_ "repro/internal/densest"
+	_ "repro/internal/equality"
+	_ "repro/internal/matchproto"
+	_ "repro/internal/misproto"
+	_ "repro/internal/mst"
+	_ "repro/internal/sparsify"
+	_ "repro/internal/triangles"
+)

@@ -6,165 +6,33 @@ package wire
 // callers (cmd/sketchlab's sweep, tests), which is what makes the
 // local-vs-remote byte-parity invariant a property of ONE code path fed
 // through two transports rather than two implementations kept in sync.
+//
+// The registry itself lives in package protocol: every protocol package
+// self-registers from init(), and wire links the full set through the
+// blank imports in protocols.go. Adding a protocol to the wire is
+// therefore one register.go file in its own package, not an edit here.
 
 import (
 	"context"
 	"fmt"
-	"sort"
 
-	"repro/internal/agm"
-	"repro/internal/bitio"
-	"repro/internal/cclique"
-	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/faults"
-	"repro/internal/graph"
-	"repro/internal/matchproto"
-	"repro/internal/misproto"
+	"repro/internal/protocol"
 	"repro/internal/rng"
 )
 
-// Outcome summarizes a referee's decoded output in a protocol-agnostic
-// shape the wire can carry: the output's kind and size, plus — when the
-// registry knows a ground-truth verifier for the protocol — whether the
-// output passed verification against the actual input graph. (The
-// verifier runs on the daemon, which holds the graph; the model's referee
-// of course never sees it. Valid is service-level auditing, not part of
-// the sketching model.)
-type Outcome struct {
-	// Kind names the output shape: "edges", "vertices", or "count".
-	Kind string `json:"kind"`
-	// Size is the output's cardinality (edge count, vertex count, or the
-	// counted value itself for "count").
-	Size int `json:"size"`
-	// Checked reports whether a ground-truth verifier ran.
-	Checked bool `json:"checked"`
-	// Valid is the verifier's verdict (false when Checked is false).
-	Valid bool `json:"valid"`
-}
-
-// adapted lifts a typed protocol to engine.Protocol[Outcome] so that
-// heterogeneous protocols (edge outputs, vertex sets, counts) can share
-// one executor, one batch, and one wire shape.
-type adapted[T any] struct {
-	inner   engine.Protocol[T]
-	outcome func(T) Outcome
-}
-
-var _ faults.ResilientProtocol[Outcome] = (*adapted[int])(nil)
-
-func (a *adapted[T]) Name() string { return a.inner.Name() }
-func (a *adapted[T]) Rounds() int  { return a.inner.Rounds() }
-
-func (a *adapted[T]) Broadcast(round int, view core.VertexView, t *engine.Transcript, coins *rng.PublicCoins) (*bitio.Writer, error) {
-	return a.inner.Broadcast(round, view, t, coins)
-}
-
-func (a *adapted[T]) Decode(n int, t *engine.Transcript, coins *rng.PublicCoins) (Outcome, error) {
-	out, err := a.inner.Decode(n, t, coins)
-	if err != nil {
-		return Outcome{}, err
-	}
-	return a.outcome(out), nil
-}
-
-// DecodeResilient forwards to the inner protocol's resilient decode when
-// it has one, with the same strict-decode fallback semantics as
-// cclique.OneRound: a clean strict decode reports ok (faults.Run's
-// channel-record folding still demotes it when faults were injected).
-func (a *adapted[T]) DecodeResilient(n int, t *engine.Transcript, coins *rng.PublicCoins) (Outcome, core.Resilience, error) {
-	if rp, ok := a.inner.(faults.ResilientProtocol[T]); ok {
-		out, verdict, err := rp.DecodeResilient(n, t, coins)
-		if err != nil {
-			return Outcome{}, verdict, err
-		}
-		return a.outcome(out), verdict, nil
-	}
-	out, err := a.inner.Decode(n, t, coins)
-	if err != nil {
-		return Outcome{}, core.ResilienceFailed, err
-	}
-	return a.outcome(out), core.ResilienceOK, nil
-}
-
-// adaptEdges wraps an edge-output protocol; verify may be nil.
-func adaptEdges(p engine.Protocol[[]graph.Edge], g *graph.Graph, verify func(*graph.Graph, []graph.Edge) bool) engine.Protocol[Outcome] {
-	return &adapted[[]graph.Edge]{inner: p, outcome: func(out []graph.Edge) Outcome {
-		o := Outcome{Kind: "edges", Size: len(out)}
-		if verify != nil {
-			o.Checked, o.Valid = true, verify(g, out)
-		}
-		return o
-	}}
-}
-
-// adaptVertices wraps a vertex-set-output protocol; verify may be nil.
-func adaptVertices(p engine.Protocol[[]int], g *graph.Graph, verify func(*graph.Graph, []int) bool) engine.Protocol[Outcome] {
-	return &adapted[[]int]{inner: p, outcome: func(out []int) Outcome {
-		o := Outcome{Kind: "vertices", Size: len(out)}
-		if verify != nil {
-			o.Checked, o.Valid = true, verify(g, out)
-		}
-		return o
-	}}
-}
-
-// adaptCount wraps a count-output protocol; verify may be nil.
-func adaptCount(p engine.Protocol[int], g *graph.Graph, verify func(*graph.Graph, int) bool) engine.Protocol[Outcome] {
-	return &adapted[int]{inner: p, outcome: func(out int) Outcome {
-		o := Outcome{Kind: "count", Size: out}
-		if verify != nil {
-			o.Checked, o.Valid = true, verify(g, out)
-		}
-		return o
-	}}
-}
-
-// protocolRegistry maps wire protocol names to constructors. Each entry
-// builds a FRESH protocol instance per run — protocol values memoize
-// per-run state, so instances are never shared across executions.
-var protocolRegistry = map[string]func(g *graph.Graph) engine.Protocol[Outcome]{
-	"agm-forest": func(g *graph.Graph) engine.Protocol[Outcome] {
-		return adaptEdges(&cclique.OneRound[[]graph.Edge]{P: agm.NewSpanningForest(agm.Config{})}, g, graph.IsSpanningForest)
-	},
-	"agm-forest-backup": func(g *graph.Graph) engine.Protocol[Outcome] {
-		return adaptEdges(&cclique.OneRound[[]graph.Edge]{P: agm.NewSpanningForest(agm.Config{BackupReps: 2})}, g, graph.IsSpanningForest)
-	},
-	"agm-skeleton": func(g *graph.Graph) engine.Protocol[Outcome] {
-		return adaptEdges(&cclique.OneRound[[]graph.Edge]{P: agm.NewSkeleton(2, agm.Config{})}, g, nil)
-	},
-	"agm-components": func(g *graph.Graph) engine.Protocol[Outcome] {
-		return adaptCount(&cclique.OneRound[int]{P: agm.NewComponentCount(agm.Config{})}, g, func(g *graph.Graph, out int) bool {
-			_, count := g.Components()
-			return out == count
-		})
-	},
-	"mm-tworound": func(g *graph.Graph) engine.Protocol[Outcome] {
-		return adaptEdges(matchproto.NewTwoRound(), g, graph.IsMaximalMatching)
-	},
-	"mis-tworound": func(g *graph.Graph) engine.Protocol[Outcome] {
-		return adaptVertices(misproto.NewTwoRound(), g, graph.IsMaximalIndependentSet)
-	},
-}
+// Outcome is the uniform decoded-output summary the wire carries; see
+// protocol.Outcome.
+type Outcome = protocol.Outcome
 
 // lookupProtocol resolves a registry name.
-func lookupProtocol(name string) (func(*graph.Graph) engine.Protocol[Outcome], error) {
-	build, ok := protocolRegistry[name]
-	if !ok {
-		return nil, fmt.Errorf("wire: unknown protocol %q (known: %v)", name, Protocols())
-	}
-	return build, nil
+func lookupProtocol(name string) (protocol.Builder, error) {
+	return protocol.Lookup(name)
 }
 
-// Protocols returns the sorted registry names.
-func Protocols() []string {
-	names := make([]string, 0, len(protocolRegistry))
-	for name := range protocolRegistry {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
-}
+// Protocols returns the sorted names of every registered protocol.
+func Protocols() []string { return protocol.Names() }
 
 // RunReport is the full result of executing one RunSpec: the echoed spec,
 // the run's metrics (with the resilience verdict under Stats.Faults), the
@@ -307,6 +175,7 @@ func DecodeRunReport(data []byte) (*RunReport, error) {
 func appendOutcomePayload(e *enc, o Outcome) {
 	e.str(o.Kind)
 	e.uint(o.Size)
+	e.f64(o.Value)
 	e.bool(o.Checked)
 	e.bool(o.Valid)
 }
@@ -315,6 +184,7 @@ func decodeOutcomePayload(d *dec) Outcome {
 	var o Outcome
 	o.Kind = d.str("outcome kind")
 	o.Size = d.int("outcome size")
+	o.Value = d.f64()
 	o.Checked = d.bool()
 	o.Valid = d.bool()
 	return o

@@ -1,0 +1,124 @@
+package wire
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// sketchSignature matches a concrete implementation of the core sketching
+// contract — a Sketch method taking a vertex view. Interface declarations
+// (core.Protocol itself) spell the parameter type without the package
+// qualifier, so they do not match.
+var sketchSignature = regexp.MustCompile(`Sketch\(view core\.VertexView`)
+
+// registerCall extracts the names a register.go passes to
+// protocol.Register / protocol.RegisterSketcher.
+var registerCall = regexp.MustCompile(`protocol\.Register(?:Sketcher)?(?:\[[^\]]*\])?\(\s*"([^"]+)"`)
+
+// sketchingPackages walks internal/* and returns, per package directory
+// that implements the Sketch contract in non-test code, the protocol
+// names it registers (empty slice when it registers nothing).
+func sketchingPackages(t *testing.T) map[string][]string {
+	t.Helper()
+	root := filepath.Join("..")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string][]string{}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, e.Name())
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sketches := false
+		var names []string
+		for _, f := range files {
+			if strings.HasSuffix(f, "_test.go") {
+				continue
+			}
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sketchSignature.Match(src) {
+				sketches = true
+			}
+			for _, m := range registerCall.FindAllSubmatch(src, -1) {
+				names = append(names, string(m[1]))
+			}
+		}
+		if sketches {
+			out[e.Name()] = names
+		}
+	}
+	if len(out) < 10 {
+		t.Fatalf("found only %d sketching packages under internal/, the walk looks broken: %v", len(out), out)
+	}
+	return out
+}
+
+// TestEverySketchingPackageIsRegistered is the registry-completeness
+// invariant: every internal package implementing the core Sketch/Decode
+// contract must self-register at least one protocol, and every name it
+// registers must resolve through wire.Protocols(). A package that adds a
+// new sketching protocol without a register.go — or a registered name
+// that the wire's blank-import list in protocols.go fails to link — both
+// fail here.
+func TestEverySketchingPackageIsRegistered(t *testing.T) {
+	known := map[string]bool{}
+	for _, name := range Protocols() {
+		known[name] = true
+	}
+	for pkg, names := range sketchingPackages(t) {
+		if len(names) == 0 {
+			t.Errorf("internal/%s implements Sketch/Decode but registers no protocol (add a register.go)", pkg)
+			continue
+		}
+		for _, name := range names {
+			if !known[name] {
+				t.Errorf("internal/%s registers %q, which is not resolvable through wire.Protocols() — is the package blank-imported in protocols.go?", pkg, name)
+			}
+		}
+	}
+}
+
+// TestEveryProtocolHasSmokeSpec pins service-sweep coverage: every
+// registered protocol appears in at least one SmokeSpecs entry, so the
+// local-vs-remote parity tests and the committed fixtures exercise all
+// of them.
+func TestEveryProtocolHasSmokeSpec(t *testing.T) {
+	covered := map[string]bool{}
+	for _, spec := range SmokeSpecs(1) {
+		covered[spec.Protocol] = true
+	}
+	for _, name := range Protocols() {
+		if !covered[name] {
+			t.Errorf("registered protocol %q has no SmokeSpecs entry", name)
+		}
+	}
+}
+
+// TestProtocolsSortedAndNonEmpty pins basic registry hygiene the README
+// table and sweep labels rely on.
+func TestProtocolsSortedAndNonEmpty(t *testing.T) {
+	names := Protocols()
+	if len(names) == 0 {
+		t.Fatal("no protocols registered")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Protocols() not sorted/deduplicated at %q >= %q", names[i-1], names[i])
+		}
+	}
+	if _, err := lookupProtocol(names[0]); err != nil {
+		t.Fatalf("lookupProtocol(%q): %v", names[0], err)
+	}
+}

@@ -1,13 +1,15 @@
 package wire
 
 // SmokeSpecs is the service parity sweep: one RunSpec per committed
-// golden fixture. The five clean specs reproduce the transcripts pinned
-// under internal/engine/testdata and the three faulted ones those under
+// golden fixture, covering every registered protocol. The clean specs
+// reproduce the transcripts pinned under internal/engine/testdata and
+// internal/protocol/testdata and the three faulted ones those under
 // internal/faults/testdata (same graphs, same coin roots, same fault
 // plan), so running this sweep through a refereed daemon and diffing the
 // digests against a local run checks the whole stack — wire codec, HTTP
 // transport, registry, engine, fault injector — against bytes recorded
-// before the service existed.
+// before the service existed (and, for the migrated sketch protocols,
+// before the migration onto the protocol registry).
 //
 // workers sets every spec's engine worker count; by the engine's
 // determinism contract it cannot change any digest, which is exactly why
@@ -33,5 +35,23 @@ func SmokeSpecs(workers int) []RunSpec {
 			Graph: GraphSpec{Kind: "gnp", N: 48, P: 0.2, Seed: 7}, Seed: 101, Workers: workers, Faults: faulted},
 		{Label: "faulted-mis-tworound", Protocol: "mis-tworound",
 			Graph: GraphSpec{Kind: "gnp", N: 48, P: 0.2, Seed: 7}, Seed: 101, Workers: workers, Faults: faulted},
+		// The registry-migrated protocols, appended so existing specs keep
+		// their indices; fixtures live under internal/protocol/testdata.
+		{Label: "palette-sparsification", Protocol: "palette-sparsification",
+			Graph: GraphSpec{Kind: "gnp", N: 40, P: 0.2, Seed: 31}, Seed: 32, Workers: workers},
+		{Label: "triangle-count", Protocol: "triangle-count-sketch",
+			Graph: GraphSpec{Kind: "gnp", N: 40, P: 0.3, Seed: 33}, Seed: 34, Workers: workers},
+		{Label: "mst-weight", Protocol: "mst-weight",
+			Graph: GraphSpec{Kind: "gnp", N: 24, P: 0.25, Seed: 35}, Seed: 36, Workers: workers},
+		{Label: "agm-cut-sparsifier", Protocol: "agm-cut-sparsifier",
+			Graph: GraphSpec{Kind: "gnp", N: 30, P: 0.3, Seed: 37}, Seed: 38, Workers: workers},
+		{Label: "densest-subgraph-sketch", Protocol: "densest-subgraph-sketch",
+			Graph: GraphSpec{Kind: "gnp", N: 40, P: 0.3, Seed: 39}, Seed: 40, Workers: workers},
+		{Label: "degeneracy-sketch", Protocol: "degeneracy-sketch",
+			Graph: GraphSpec{Kind: "gnp", N: 40, P: 0.3, Seed: 41}, Seed: 42, Workers: workers},
+		{Label: "agm-components", Protocol: "agm-components",
+			Graph: GraphSpec{Kind: "gnp", N: 40, P: 0.25, Seed: 43}, Seed: 44, Workers: workers},
+		{Label: "equality-public-coin", Protocol: "equality-public-coin",
+			Graph: GraphSpec{Kind: "gnp", N: 40, P: 0.3, Seed: 45}, Seed: 46, Workers: workers},
 	}
 }

@@ -37,6 +37,17 @@ if ! diff -u "$TMP/local.txt" "$TMP/remote.txt"; then
     exit 1
 fi
 
+# The sweep must cover every registry-migrated protocol; a label missing
+# here means wire.SmokeSpecs lost its spec.
+for label in palette-sparsification triangle-count mst-weight \
+    agm-cut-sparsifier densest-subgraph-sketch degeneracy-sketch \
+    agm-components equality-public-coin; do
+    if ! grep -q "$label" "$TMP/local.txt"; then
+        echo "remote-smoke: FAIL — sweep is missing $label" >&2
+        exit 1
+    fi
+done
+
 kill -TERM "$DAEMON_PID"
 wait "$DAEMON_PID" || true
 echo "remote-smoke: OK — local and remote sweeps byte-identical"
