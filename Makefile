@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check test test-race lint-registry fuzz-smoke remote-smoke bench bench-smoke bench-baseline experiments experiments-full examples lint
+.PHONY: all check test test-race lint-registry fuzz-smoke remote-smoke cluster-smoke bench bench-smoke bench-baseline bench-json experiments experiments-full examples lint
 
 # The hot-path micro-benchmarks: field exponentiation/inversion, ℓ₀
 # sketch updates, and the per-vertex AGM sketching cost. bench-smoke and
@@ -28,7 +28,8 @@ test:
 
 test-race:
 	go test -race ./internal/engine/... ./internal/cclique/... ./internal/faults/... \
-		./internal/wire/... ./internal/server/... ./internal/client/...
+		./internal/wire/... ./internal/server/... ./internal/client/... \
+		./internal/cache/... ./internal/cluster/...
 
 # fuzz-smoke gives each fuzz target a short budget — the same smoke CI
 # runs (.github/workflows/ci.yml).
@@ -46,6 +47,13 @@ fuzz-smoke:
 remote-smoke:
 	./scripts/remote-smoke.sh
 
+# cluster-smoke is remote-smoke's big sibling: three caching backends
+# plus a coordinator, the fixture sweep through the cluster byte-diffed
+# against the local run, then the same sweep again with a backend killed
+# mid-sweep — failover must keep the output identical.
+cluster-smoke:
+	./scripts/cluster-smoke.sh
+
 bench:
 	go test -bench=. -benchmem ./...
 
@@ -61,6 +69,13 @@ bench-smoke:
 bench-baseline:
 	mkdir -p bench
 	go test -run='^$$' -bench='$(BENCH_HOT)' -benchtime=100ms -count=5 -benchmem $(BENCH_HOT_PKGS) | tee bench/baseline.txt
+
+# bench-json refreshes the committed BENCH_NNNN.json snapshot: the
+# hot-path micro-benchmarks plus a short loadgen run against a caching
+# daemon (latency percentiles + cache hit rate). Machine-dependent; re-run
+# on a quiet machine and commit when the serving path changes.
+bench-json:
+	./scripts/bench-json.sh
 
 experiments:
 	go run ./cmd/sketchlab

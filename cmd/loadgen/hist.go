@@ -1,0 +1,88 @@
+package main
+
+import "math/bits"
+
+// hist is an HDR-style latency histogram: geometric buckets, each
+// octave split into 2^subBits linear sub-buckets, so the relative
+// quantization error is bounded by 2^-subBits (~3%) at every scale —
+// the property that lets one fixed-size table cover microseconds to
+// minutes without losing tail resolution. Values are nanoseconds.
+type hist struct {
+	counts []int64
+	total  int64
+	max    int64
+}
+
+const subBits = 5 // 32 sub-buckets per octave
+
+// bucketOf maps a value to its bucket index. Values below 2^subBits
+// index exactly; above, the index is (octave, sub-bucket) packed so
+// consecutive indices cover contiguous ranges.
+func bucketOf(v int64) int {
+	if v < 1 {
+		v = 1
+	}
+	u := uint64(v)
+	m := bits.Len64(u) - 1 // highest set bit position
+	if m < subBits {
+		return int(u)
+	}
+	o := m - subBits + 1
+	sub := int(u>>(m-subBits)) & (1<<subBits - 1)
+	return o<<subBits + sub
+}
+
+// bucketMid returns a representative value (range midpoint) for index.
+func bucketMid(i int) int64 {
+	if i < 1<<subBits {
+		return int64(i)
+	}
+	o := i >> subBits
+	sub := int64(i & (1<<subBits - 1))
+	lower := (int64(1)<<subBits + sub) << (o - 1)
+	width := int64(1) << (o - 1)
+	return lower + width/2
+}
+
+func (h *hist) record(v int64) {
+	i := bucketOf(v)
+	if i >= len(h.counts) {
+		grown := make([]int64, i+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[i]++
+	h.total++
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// percentile returns the value at quantile q in [0,1]. The exact
+// maximum is reported for the top sample instead of its bucket
+// midpoint, so p100 (and a p99 that lands on the last sample) never
+// exceeds an observed latency.
+func (h *hist) percentile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(h.total) + 0.5)
+	if rank >= h.total {
+		return h.max
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			mid := bucketMid(i)
+			if mid > h.max {
+				return h.max
+			}
+			return mid
+		}
+	}
+	return h.max
+}

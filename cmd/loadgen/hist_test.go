@@ -1,0 +1,61 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBucketContinuity: bucket indices are monotone in the value and
+// contiguous — no value falls between buckets.
+func TestBucketContinuity(t *testing.T) {
+	prev := bucketOf(1)
+	for v := int64(2); v < 1<<20; v++ {
+		i := bucketOf(v)
+		if i < prev || i > prev+1 {
+			t.Fatalf("bucketOf(%d)=%d after bucketOf(%d)=%d; indices must step by 0 or 1", v, i, v-1, prev)
+		}
+		prev = i
+	}
+}
+
+// TestBucketRelativeError: the bucket midpoint is within ~2^-subBits of
+// any value mapping to it — the HDR resolution bound.
+func TestBucketRelativeError(t *testing.T) {
+	for _, v := range []int64{1, 17, 100, 999, 12_345, 1_000_000, 250_000_000, 60_000_000_000} {
+		mid := bucketMid(bucketOf(v))
+		relErr := math.Abs(float64(mid-v)) / float64(v)
+		if relErr > 1.0/float64(int64(1)<<subBits)+1e-9 {
+			t.Fatalf("value %d -> midpoint %d, relative error %.4f beyond bound", v, mid, relErr)
+		}
+	}
+}
+
+// TestPercentiles: a known distribution yields the right quantiles
+// within bucket resolution.
+func TestPercentiles(t *testing.T) {
+	var h hist
+	for v := int64(1); v <= 10_000; v++ {
+		h.record(v * 1000) // 1µs .. 10ms, uniform
+	}
+	checks := []struct {
+		q    float64
+		want int64
+	}{{0.50, 5_000_000}, {0.95, 9_500_000}, {0.99, 9_900_000}}
+	for _, c := range checks {
+		got := h.percentile(c.q)
+		relErr := math.Abs(float64(got-c.want)) / float64(c.want)
+		if relErr > 0.05 {
+			t.Fatalf("p%.0f = %d, want ~%d (err %.3f)", c.q*100, got, c.want, relErr)
+		}
+	}
+	if h.percentile(1.0) != h.max {
+		t.Fatalf("p100 %d != max %d", h.percentile(1.0), h.max)
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var h hist
+	if h.percentile(0.99) != 0 {
+		t.Fatal("empty histogram must report 0")
+	}
+}

@@ -1,0 +1,219 @@
+// Command loadgen is the open-loop load generator for the referee
+// service: it fires wire.RunSpec requests at a refereed daemon or a
+// cluster coordinator with Poisson arrivals at a target rate, measures
+// per-request latency into an HDR-style histogram, and reports
+// p50/p95/p99/max plus an error-rate SLO verdict as JSON.
+//
+// Open-loop means arrivals are scheduled by the clock, not by
+// completions: a slow server does not throttle the generator, it just
+// accumulates in-flight requests — exactly the regime where queueing
+// delay and load shedding (429 + Retry-After) become visible. The
+// arrival process and the spec mix both derive from -seed, so a load
+// profile is reproducible run to run.
+//
+// The spec mix cycles wire.SmokeSpecs, so after the first pass a
+// caching daemon answers from memory — the cache section of the report
+// (sampled from GET /v1/stats before and after) shows the hit rate the
+// traffic achieved. -unique perturbs every spec's graph seed to defeat
+// memoization and measure raw execution instead.
+//
+// Usage:
+//
+//	loadgen [-target http://127.0.0.1:8377] [-rps 50] [-duration 10s]
+//	        [-seed 1] [-unique] [-slo-p99 D] [-slo-errors 0.01] [-strict]
+//	        [-o report.json]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/rng"
+	"repro/internal/wire"
+)
+
+// report is the JSON document loadgen emits; scripts/bench-json.sh
+// folds it into BENCH_NNNN.json.
+type report struct {
+	Target          string  `json:"target"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	OfferedRPS      float64 `json:"offered_rps"`
+	AchievedRPS     float64 `json:"achieved_rps"`
+	Sent            int64   `json:"sent"`
+	OK              int64   `json:"ok"`
+	Errors          int64   `json:"errors"`
+	ErrorRate       float64 `json:"error_rate"`
+	LatencyMS       latency `json:"latency_ms"`
+	Cache           *cache  `json:"cache,omitempty"`
+	SLO             slo     `json:"slo"`
+}
+
+type latency struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// cache is the hit/miss delta attributable to this load run.
+type cache struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+type slo struct {
+	P99Budget string  `json:"p99_budget,omitempty"`
+	P99OK     bool    `json:"p99_ok"`
+	ErrBudget float64 `json:"error_budget"`
+	ErrRateOK bool    `json:"error_rate_ok"`
+	OK        bool    `json:"ok"`
+}
+
+type result struct {
+	ns  int64
+	err error
+}
+
+func main() {
+	target := flag.String("target", "http://127.0.0.1:8377", "refereed daemon or coordinator base URL")
+	rps := flag.Float64("rps", 50, "target arrival rate (Poisson)")
+	duration := flag.Duration("duration", 10*time.Second, "generation window")
+	seed := flag.Uint64("seed", 1, "seed for arrivals and spec mix")
+	unique := flag.Bool("unique", false, "perturb each spec's graph seed to defeat the result cache")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request budget")
+	sloP99 := flag.Duration("slo-p99", 0, "p99 latency budget (0 = not checked)")
+	sloErr := flag.Float64("slo-errors", 0.01, "error-rate budget")
+	strict := flag.Bool("strict", false, "exit nonzero when the SLO verdict is a fail")
+	out := flag.String("o", "", "write the JSON report here instead of stdout")
+	flag.Parse()
+
+	if *rps <= 0 || *duration <= 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -rps and -duration must be positive")
+		os.Exit(2)
+	}
+
+	// Measurement traffic is never retried: a retry would fold queueing
+	// and backoff into one latency sample and hide shed load.
+	c := client.New(client.Config{BaseURL: *target, Retries: -1})
+	ctx := context.Background()
+	if _, err := c.Health(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: target not healthy: %v\n", err)
+		os.Exit(1)
+	}
+	statsBefore, statsErr := c.Stats(ctx)
+
+	src := rng.NewSource(*seed)
+	specs := wire.SmokeSpecs(0)
+	results := make(chan result, 1024)
+	var wg sync.WaitGroup
+	var sent int64
+
+	start := time.Now()
+	next := start
+	for {
+		// Exponential inter-arrival times make the arrival process
+		// Poisson at -rps; scheduling against absolute timestamps keeps
+		// the loop open-loop even when individual requests are slow.
+		next = next.Add(time.Duration(-math.Log(1-src.Float64()) / *rps * float64(time.Second)))
+		if next.Sub(start) > *duration {
+			break
+		}
+		time.Sleep(time.Until(next))
+		spec := specs[src.Intn(len(specs))]
+		if *unique {
+			spec.Graph.Seed = src.Uint64()
+			spec.Seed = src.Uint64()
+		}
+		sent++
+		wg.Add(1)
+		go func(spec wire.RunSpec) {
+			defer wg.Done()
+			rctx, cancel := context.WithTimeout(ctx, *reqTimeout)
+			defer cancel()
+			t0 := time.Now()
+			_, err := c.Run(rctx, spec)
+			results <- result{ns: time.Since(t0).Nanoseconds(), err: err}
+		}(spec)
+	}
+	go func() { wg.Wait(); close(results) }()
+
+	var h hist
+	var okCount, errCount int64
+	for r := range results {
+		if r.err != nil {
+			errCount++
+			continue
+		}
+		okCount++
+		h.record(r.ns)
+	}
+	elapsed := time.Since(start)
+
+	rep := report{
+		Target:          *target,
+		DurationSeconds: elapsed.Seconds(),
+		OfferedRPS:      *rps,
+		AchievedRPS:     float64(okCount) / elapsed.Seconds(),
+		Sent:            sent,
+		OK:              okCount,
+		Errors:          errCount,
+		LatencyMS: latency{
+			P50: float64(h.percentile(0.50)) / 1e6,
+			P95: float64(h.percentile(0.95)) / 1e6,
+			P99: float64(h.percentile(0.99)) / 1e6,
+			Max: float64(h.max) / 1e6,
+		},
+	}
+	if sent > 0 {
+		rep.ErrorRate = float64(errCount) / float64(sent)
+	}
+	if statsErr == nil && statsBefore.Cache.Enabled {
+		if after, err := c.Stats(ctx); err == nil {
+			d := &cache{
+				Hits:   after.Cache.Hits - statsBefore.Cache.Hits,
+				Misses: after.Cache.Misses - statsBefore.Cache.Misses,
+			}
+			if total := d.Hits + d.Misses; total > 0 {
+				d.HitRate = float64(d.Hits) / float64(total)
+			}
+			rep.Cache = d
+		}
+	}
+	rep.SLO = slo{
+		ErrBudget: *sloErr,
+		ErrRateOK: rep.ErrorRate <= *sloErr,
+		P99OK:     true,
+	}
+	if *sloP99 > 0 {
+		rep.SLO.P99Budget = sloP99.String()
+		rep.SLO.P99OK = rep.LatencyMS.P99 <= float64(sloP99.Milliseconds())
+	}
+	rep.SLO.OK = rep.SLO.P99OK && rep.SLO.ErrRateOK
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: report written to %s\n", *out)
+	} else {
+		os.Stdout.Write(data)
+	}
+	if *strict && !rep.SLO.OK {
+		os.Exit(1)
+	}
+}

@@ -4,14 +4,24 @@
 // stats, outcome, sealed transcript — back. The daemon executes through
 // the same engine path as a local run, so the transcript it returns is
 // byte-identical to what the client would have computed itself; it adds
-// only operational concerns (concurrency limit, timeouts, graceful
-// shutdown, request logs).
+// only operational concerns (concurrency limit, timeouts, result cache,
+// graceful shutdown, request logs).
 //
 // Usage:
 //
-//	refereed [-addr 127.0.0.1:8377] [-max-concurrent N] [-timeout D] [-grace D]
+//	refereed [-addr 127.0.0.1:8377] [-max-concurrent N] [-timeout D]
+//	         [-queue-timeout D] [-cache-bytes N] [-grace D]
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener
+// With -coordinator, the same binary fronts a cluster instead of an
+// engine: it consistent-hash-shards specs across the listed refereed
+// backends, health-checks them, and fails over on backend death. The
+// coordinator serves the identical /v1 surface, so clients cannot tell
+// it from a single daemon:
+//
+//	refereed -coordinator host1:8377,host2:8377,host3:8377 \
+//	         [-addr 127.0.0.1:8380] [-health-interval D] [-grace D]
+//
+// Either mode shuts down gracefully on SIGINT/SIGTERM: the listener
 // closes immediately, in-flight runs get -grace to finish.
 package main
 
@@ -23,9 +33,11 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
@@ -33,7 +45,11 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8377", "listen address")
 	maxConcurrent := flag.Int("max-concurrent", 0, "simultaneous run executions (0 = GOMAXPROCS); excess requests queue")
 	timeout := flag.Duration("timeout", time.Minute, "per-request execution budget")
+	queueTimeout := flag.Duration("queue-timeout", 0, "max wait for an execution slot before shedding 429 (0 = wait as long as the request allows)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "result cache budget in bytes (0 disables memoization)")
 	grace := flag.Duration("grace", 5*time.Second, "shutdown grace for in-flight requests")
+	coordinator := flag.String("coordinator", "", "run as cluster coordinator over these comma-separated refereed backends instead of serving an engine")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "coordinator backend health probe period")
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -45,8 +61,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "refereed: %v\n", err)
 		os.Exit(1)
 	}
+
+	if *coordinator != "" {
+		var backends []string
+		for _, b := range strings.Split(*coordinator, ",") {
+			if b = strings.TrimSpace(b); b != "" {
+				backends = append(backends, b)
+			}
+		}
+		co, err := cluster.New(cluster.Config{
+			Backends:       backends,
+			HealthInterval: *healthInterval,
+			Timeout:        *timeout,
+			Logger:         log,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "refereed: %v\n", err)
+			os.Exit(1)
+		}
+		log.Info("coordinating", slog.String("addr", ln.Addr().String()), slog.Int("backends", len(backends)))
+		if err := co.Serve(ctx, ln, *grace); err != nil {
+			fmt.Fprintf(os.Stderr, "refereed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	log.Info("listening", slog.String("addr", ln.Addr().String()))
-	s := server.New(server.Config{MaxConcurrent: *maxConcurrent, Timeout: *timeout, Logger: log})
+	s := server.New(server.Config{
+		MaxConcurrent: *maxConcurrent,
+		Timeout:       *timeout,
+		QueueTimeout:  *queueTimeout,
+		CacheBytes:    *cacheBytes,
+		Logger:        log,
+	})
 	if err := s.Serve(ctx, ln, *grace); err != nil {
 		fmt.Fprintf(os.Stderr, "refereed: %v\n", err)
 		os.Exit(1)

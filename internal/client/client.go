@@ -4,10 +4,14 @@
 // the same decoded transcript object a local engine.Run would produce.
 //
 // Transient failures (network errors, 429, 502, 503, 504) are retried
-// with exponential backoff. Deterministic failures — a 400 for a spec
-// the daemon rejects, a 500 for a protocol failing mid-run — are not:
-// the engine is deterministic, so resubmitting an identical spec can
-// only fail identically.
+// with exponential backoff; when the daemon sheds load with a
+// Retry-After hint (the 429 its queue timeout produces), that hint
+// replaces the exponential delay for the attempt — the server knows
+// how saturated it is better than a client-side schedule does.
+// Deterministic failures — a 400 for a spec the daemon rejects, a 500
+// for a protocol failing mid-run — are not retried: the engine is
+// deterministic, so resubmitting an identical spec can only fail
+// identically.
 package client
 
 import (
@@ -17,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -77,18 +82,46 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// maxRetryAfter caps how long a server's Retry-After hint can stall
+// the retry loop; a daemon advertising more than this is treated as if
+// it had said this much.
+const maxRetryAfter = 30 * time.Second
+
 // StatusError is a non-2xx daemon response.
 type StatusError struct {
 	Code int
 	Body string
+	// RetryAfter is the daemon's Retry-After hint (zero when absent).
+	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
 	return fmt.Sprintf("refereed: status %d: %s", e.Code, strings.TrimSpace(e.Body))
 }
 
-// retryable reports whether a daemon status is worth re-attempting.
-func retryable(code int) bool {
+// parseRetryAfter reads a Retry-After header's delay-seconds form,
+// clamped to [0, maxRetryAfter]. The HTTP-date form and garbage both
+// yield 0 — the caller falls back to its exponential schedule.
+func parseRetryAfter(h string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(h))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	d := time.Duration(secs) * time.Second
+	if d > maxRetryAfter {
+		return maxRetryAfter
+	}
+	return d
+}
+
+// Retryable reports whether a daemon status is worth re-attempting:
+// 429 (shed load), 502/503 (daemon down or draining), 504 (budget
+// exceeded on an oversubscribed host). Everything else is
+// deterministic — by the engine's determinism contract an identical
+// resubmission fails identically — which is also why the cluster
+// coordinator uses this split to decide between failing over to
+// another backend and returning the error as-is.
+func Retryable(code int) bool {
 	switch code {
 	case http.StatusTooManyRequests, http.StatusBadGateway,
 		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
@@ -104,7 +137,15 @@ func (c *Client) post(ctx context.Context, path string, body []byte) ([]byte, er
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
-			if err := c.cfg.Sleep(ctx, backoff); err != nil {
+			// A Retry-After hint from the previous response overrides the
+			// exponential delay for this attempt; the schedule itself
+			// still advances so a daemon that stops hinting is backed
+			// off from progressively.
+			delay := backoff
+			if se, ok := lastErr.(*StatusError); ok && se.RetryAfter > 0 {
+				delay = se.RetryAfter
+			}
+			if err := c.cfg.Sleep(ctx, delay); err != nil {
 				return nil, err
 			}
 			backoff *= 2
@@ -114,7 +155,7 @@ func (c *Client) post(ctx context.Context, path string, body []byte) ([]byte, er
 			return resp, nil
 		}
 		lastErr = err
-		if se, ok := err.(*StatusError); ok && !retryable(se.Code) {
+		if se, ok := err.(*StatusError); ok && !Retryable(se.Code) {
 			return nil, err
 		}
 		if ctx.Err() != nil {
@@ -140,7 +181,11 @@ func (c *Client) do(ctx context.Context, path string, body []byte) ([]byte, erro
 		return nil, err
 	}
 	if resp.StatusCode/100 != 2 {
-		return nil, &StatusError{Code: resp.StatusCode, Body: string(data)}
+		return nil, &StatusError{
+			Code:       resp.StatusCode,
+			Body:       string(data),
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
 	return data, nil
 }
@@ -174,28 +219,69 @@ type Health struct {
 
 // Health checks daemon liveness and wire-version compatibility.
 func (c *Client) Health(ctx context.Context) (*Health, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+"/v1/healthz", nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.cfg.HTTPClient.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, &StatusError{Code: resp.StatusCode, Body: string(data)}
-	}
 	var h Health
-	if err := json.Unmarshal(data, &h); err != nil {
-		return nil, fmt.Errorf("refereed: malformed healthz response: %w", err)
+	if err := c.getJSON(ctx, "/v1/healthz", &h); err != nil {
+		return nil, err
 	}
 	if h.WireVersion != wire.Version {
 		return nil, fmt.Errorf("refereed: daemon speaks wire version %d, this build speaks %d", h.WireVersion, wire.Version)
 	}
 	return &h, nil
+}
+
+// CacheStats mirrors the daemon's result-cache counters.
+type CacheStats struct {
+	Enabled   bool    `json:"enabled"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	Entries   int     `json:"entries"`
+	Bytes     int64   `json:"bytes"`
+	MaxBytes  int64   `json:"max_bytes"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// Stats mirrors the daemon's GET /v1/stats body.
+type Stats struct {
+	Status        string     `json:"status"`
+	UptimeSeconds float64    `json:"uptime_seconds"`
+	MaxConcurrent int        `json:"max_concurrent"`
+	Cache         CacheStats `json:"cache"`
+}
+
+// Stats fetches the daemon's operational counters (cache hit/miss/
+// eviction totals and occupancy) — what cmd/loadgen samples before and
+// after a run to report the cache hit rate of its own traffic.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	var s Stats
+	if err := c.getJSON(ctx, "/v1/stats", &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// getJSON fetches one JSON endpoint without retries (liveness and
+// stats probes want the current truth, not an eventually-successful
+// one).
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return &StatusError{Code: resp.StatusCode, Body: string(data)}
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("refereed: malformed %s response: %w", path, err)
+	}
+	return nil
 }

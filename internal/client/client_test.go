@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -127,6 +128,108 @@ func TestRetriesExhausted(t *testing.T) {
 	}
 	if got := calls.Load(); got != 3 {
 		t.Fatalf("%d requests, want 3 (1 try + 2 retries)", got)
+	}
+}
+
+// TestRetryClassification is the status-code contract in one table:
+// transient statuses (429, 502, 503, 504) are retried until the budget
+// runs out; deterministic ones (400, 404, 422, 500) fail fast on the
+// first response — the engine is deterministic, so an identical
+// resubmission cannot do better.
+func TestRetryClassification(t *testing.T) {
+	cases := []struct {
+		status    int
+		wantCalls int32
+	}{
+		{http.StatusTooManyRequests, 3},
+		{http.StatusBadGateway, 3},
+		{http.StatusServiceUnavailable, 3},
+		{http.StatusGatewayTimeout, 3},
+		{http.StatusBadRequest, 1},
+		{http.StatusNotFound, 1},
+		{http.StatusUnprocessableEntity, 1},
+		{http.StatusInternalServerError, 1},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprint(tc.status), func(t *testing.T) {
+			ts, calls := flakyHandler(t, 100, tc.status)
+			c := client.New(client.Config{BaseURL: ts.URL, Retries: 2, Sleep: (&recordingSleeper{}).sleep})
+			_, err := c.Run(context.Background(), wire.SmokeSpecs(1)[0])
+			var se *client.StatusError
+			if !errors.As(err, &se) || se.Code != tc.status {
+				t.Fatalf("error %v, want StatusError %d", err, tc.status)
+			}
+			if got := calls.Load(); got != tc.wantCalls {
+				t.Fatalf("%d requests reached the daemon, want %d", got, tc.wantCalls)
+			}
+		})
+	}
+}
+
+// TestRetryAfterHonored checks that a 429's Retry-After hint replaces
+// the exponential delay for the following attempt — and that an absurd
+// hint is clamped rather than obeyed.
+func TestRetryAfterHonored(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "7")
+			http.Error(w, "queue full", http.StatusTooManyRequests)
+		case 2:
+			w.Header().Set("Retry-After", "86400") // absurd: clamp, don't obey
+			http.Error(w, "queue full", http.StatusTooManyRequests)
+		default:
+			http.Error(w, "still full", http.StatusTooManyRequests)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	sleeper := &recordingSleeper{}
+	c := client.New(client.Config{BaseURL: ts.URL, Retries: 3, Backoff: 10 * time.Millisecond, Sleep: sleeper.sleep})
+	_, err := c.Run(context.Background(), wire.SmokeSpecs(1)[0])
+	if err == nil {
+		t.Fatal("persistent 429s should fail")
+	}
+	want := []time.Duration{
+		7 * time.Second,       // server hint
+		30 * time.Second,      // clamped absurd hint
+		40 * time.Millisecond, // no hint: exponential schedule, advanced twice
+	}
+	if len(sleeper.delays) != len(want) {
+		t.Fatalf("slept %v, want %v", sleeper.delays, want)
+	}
+	for i := range want {
+		if sleeper.delays[i] != want[i] {
+			t.Fatalf("delay %d was %v, want %v", i, sleeper.delays[i], want[i])
+		}
+	}
+}
+
+// TestContextCancelMidBackoff cancels the context during the
+// Retry-After wait itself and checks the loop stops without another
+// request.
+func TestContextCancelMidBackoff(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "5")
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+	}))
+	t.Cleanup(ts.Close)
+	ctx, cancel := context.WithCancel(context.Background())
+	c := client.New(client.Config{BaseURL: ts.URL, Retries: 10, Sleep: func(ctx context.Context, d time.Duration) error {
+		if d != 5*time.Second {
+			t.Errorf("mid-backoff delay %v, want the 5s hint", d)
+		}
+		cancel() // the user gives up while the client is waiting out the hint
+		return ctx.Err()
+	}})
+	_, err := c.Run(ctx, wire.SmokeSpecs(1)[0])
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want context.Canceled", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("%d requests after cancel, want 1", got)
 	}
 }
 

@@ -1,0 +1,118 @@
+// Package cluster scales the referee service past one node: a
+// coordinator consistent-hash-shards incoming specs across N refereed
+// backends, health-checks them, and fails over on backend death.
+//
+// The shape mirrors the source paper's shared-blackboard model — many
+// players, one referee tier — and the determinism contract is what
+// makes the cluster trivial to operate: any backend serves any spec
+// with a byte-identical result, so placement is purely a cache- and
+// load-locality decision, and failover needs no state transfer at all.
+// Consistent hashing is used for exactly that locality: a spec's
+// content address (wire.SpecCacheKey) always lands on the same
+// backend, so each backend's result cache concentrates on its shard of
+// the spec space, and when membership changes only the departed
+// node's share of keys moves.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// DefaultReplicas is the default number of virtual nodes per backend.
+// At 64 vnodes the max/mean load imbalance across a handful of
+// backends stays within a few tens of percent — fine for a cache tier
+// where misplacement costs a duplicate cache entry, not correctness.
+const DefaultReplicas = 64
+
+// point is one virtual node on the ring.
+type point struct {
+	hash    uint64
+	backend int // index into Ring.backends
+}
+
+// Ring is an immutable consistent-hash ring over a set of backends.
+// Build a new Ring when membership changes; lookups are lock-free.
+type Ring struct {
+	backends []string
+	points   []point // sorted by hash
+}
+
+// hash64 maps bytes to a ring position. SHA-256 (truncated) rather
+// than a fast non-cryptographic hash: ring placement happens once per
+// membership change and once per request key, and the flat SHA output
+// distribution is what the balance argument leans on.
+func hash64(b []byte) uint64 {
+	sum := sha256.Sum256(b)
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// NewRing builds a ring with the given backends, each appearing
+// replicas times as virtual nodes (replicas <= 0 selects
+// DefaultReplicas). Backend order does not matter: vnode positions
+// depend only on the backend name, so two coordinators configured with
+// the same set in any order agree on every placement.
+func NewRing(backends []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{
+		backends: append([]string(nil), backends...),
+		points:   make([]point, 0, len(backends)*replicas),
+	}
+	var buf [8]byte
+	for bi, b := range r.backends {
+		for v := 0; v < replicas; v++ {
+			binary.BigEndian.PutUint64(buf[:], uint64(v))
+			r.points = append(r.points, point{hash: hash64(append([]byte(b+"#"), buf[:]...)), backend: bi})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on name so equal-hash vnodes still order
+		// deterministically regardless of input order.
+		return r.backends[r.points[i].backend] < r.backends[r.points[j].backend]
+	})
+	return r
+}
+
+// Backends returns the ring's member names (in construction order).
+func (r *Ring) Backends() []string { return append([]string(nil), r.backends...) }
+
+// Owner returns the backend owning key: the first vnode clockwise from
+// the key's hash. Empty ring returns "".
+func (r *Ring) Owner(key []byte) string {
+	seq := r.Sequence(key)
+	if len(seq) == 0 {
+		return ""
+	}
+	return seq[0]
+}
+
+// Sequence returns the failover order for key: the owner, then each
+// distinct backend in clockwise vnode order. Every backend appears
+// exactly once, so walking the sequence until a live backend answers
+// visits the whole cluster in a key-deterministic order — and because
+// successor sets are what consistent hashing keeps stable, a dead
+// backend's keys spread over its ring successors instead of all
+// piling onto one node.
+func (r *Ring) Sequence(key []byte) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seq := make([]string, 0, len(r.backends))
+	seen := make(map[int]bool, len(r.backends))
+	for i := 0; i < len(r.points) && len(seq) < len(r.backends); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.backend] {
+			seen[p.backend] = true
+			seq = append(seq, r.backends[p.backend])
+		}
+	}
+	return seq
+}

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("spec-key-%04d", i))
+	}
+	return keys
+}
+
+// TestRingOrderIndependence: two coordinators configured with the same
+// backends in different order must agree on every placement.
+func TestRingOrderIndependence(t *testing.T) {
+	a := NewRing([]string{"n1:1", "n2:1", "n3:1"}, 0)
+	b := NewRing([]string{"n3:1", "n1:1", "n2:1"}, 0)
+	for _, key := range testKeys(256) {
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("owner of %q depends on configuration order", key)
+		}
+		sa, sb := a.Sequence(key), b.Sequence(key)
+		if fmt.Sprint(sa) != fmt.Sprint(sb) {
+			t.Fatalf("sequence of %q depends on configuration order: %v vs %v", key, sa, sb)
+		}
+	}
+}
+
+// TestRingConsistency is the defining property of consistent hashing:
+// removing one backend remaps only that backend's keys; every key
+// owned by a survivor keeps its owner.
+func TestRingConsistency(t *testing.T) {
+	full := NewRing([]string{"n1:1", "n2:1", "n3:1", "n4:1"}, 0)
+	without := NewRing([]string{"n1:1", "n2:1", "n4:1"}, 0) // n3 died
+	moved := 0
+	for _, key := range testKeys(1024) {
+		before := full.Owner(key)
+		after := without.Owner(key)
+		if before != "n3:1" {
+			if after != before {
+				t.Fatalf("key %q moved %s -> %s though its owner survived", key, before, after)
+			}
+			continue
+		}
+		moved++
+		// An orphaned key must land on its failover successor — the
+		// same backend Sequence already named next.
+		if want := full.Sequence(key)[1]; after != want {
+			t.Fatalf("orphaned key %q landed on %s, want ring successor %s", key, after, want)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("n3 owned no keys out of 1024; ring is degenerate")
+	}
+}
+
+// TestRingBalance: with the default vnode count no backend's share may
+// be wildly off the mean (the coordinator's placement is a locality
+// optimization, but a degenerate ring would still serialize the
+// cluster).
+func TestRingBalance(t *testing.T) {
+	backends := []string{"n1:1", "n2:1", "n3:1"}
+	r := NewRing(backends, 0)
+	counts := map[string]int{}
+	keys := testKeys(3000)
+	for _, key := range keys {
+		counts[r.Owner(key)]++
+	}
+	mean := float64(len(keys)) / float64(len(backends))
+	for _, b := range backends {
+		share := float64(counts[b])
+		if share < mean/2 || share > mean*2 {
+			t.Fatalf("backend %s owns %d of %d keys (mean %.0f); imbalance beyond 2x", b, counts[b], len(keys), mean)
+		}
+	}
+}
+
+// TestRingSequenceCoversAll: the failover order visits every backend
+// exactly once.
+func TestRingSequenceCoversAll(t *testing.T) {
+	backends := []string{"n1:1", "n2:1", "n3:1", "n4:1", "n5:1"}
+	r := NewRing(backends, 8)
+	for _, key := range testKeys(64) {
+		seq := r.Sequence(key)
+		if len(seq) != len(backends) {
+			t.Fatalf("sequence %v misses backends", seq)
+		}
+		seen := map[string]bool{}
+		for _, b := range seq {
+			if seen[b] {
+				t.Fatalf("sequence %v repeats %s", seq, b)
+			}
+			seen[b] = true
+		}
+	}
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := NewRing(nil, 0)
+	if got := r.Owner([]byte("x")); got != "" {
+		t.Fatalf("empty ring owner %q", got)
+	}
+	if seq := r.Sequence([]byte("x")); seq != nil {
+		t.Fatalf("empty ring sequence %v", seq)
+	}
+}

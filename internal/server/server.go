@@ -13,11 +13,20 @@
 //	POST /v1/batch   one batch-spec frame in, one batch-report frame out
 //	                 (stats and outcomes only — no transcripts)
 //	GET  /v1/healthz liveness plus the protocol registry
+//	GET  /v1/stats   operational counters: result-cache hits, misses,
+//	                 evictions, occupancy, and uptime
 //
 // Operational behavior lives here, deliberately apart from execution:
-// a semaphore bounds simultaneous executions (waiters queue until the
-// request context dies), every execution runs under a per-request
-// timeout, and each request emits one structured log line.
+// a semaphore bounds simultaneous executions (waiters queue until their
+// QueueTimeout expires — shed with 429 + Retry-After — or the request
+// context dies), every execution runs under a per-request timeout, and
+// each request emits one structured log line.
+//
+// When Config.CacheBytes is set, results are memoized in a
+// digest-keyed LRU: the key is the canonical spec encoding
+// (wire.SpecCacheKey), which by the determinism contract is a content
+// address for the result, so a hit serves stored bytes that are
+// byte-identical to a fresh execution's response.
 package server
 
 import (
@@ -30,9 +39,11 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/engine"
 	"repro/internal/wire"
 )
@@ -49,18 +60,40 @@ type Config struct {
 	MaxConcurrent int
 	// Timeout is the per-request execution budget. 0 means one minute.
 	Timeout time.Duration
+	// QueueTimeout bounds how long a request may wait for an execution
+	// slot. A request still queued when it expires is shed with 429 and
+	// a Retry-After hint, telling well-behaved clients (internal/client
+	// honors the header) to come back rather than pile onto a saturated
+	// daemon. 0 means wait as long as the request context allows.
+	QueueTimeout time.Duration
+	// CacheBytes is the result-cache byte budget. When > 0, successful
+	// executions are memoized under their spec's content address and
+	// identical specs are served from memory without re-executing.
+	// 0 disables memoization.
+	CacheBytes int64
 	// Logger receives one structured record per request. nil means
 	// slog.Default().
 	Logger *slog.Logger
 }
 
+// Cached result values are tagged with their richness: full entries
+// carry stats+outcome+transcript (populated by /v1/run and servable
+// everywhere), summary entries carry stats+outcome only (populated by
+// /v1/batch, where transcripts never materialize).
+const (
+	cacheSummary byte = 0
+	cacheFull    byte = 1
+)
+
 // Server handles the referee service endpoints. It is an http.Handler;
 // use Serve for a managed listener with graceful shutdown.
 type Server struct {
-	cfg Config
-	log *slog.Logger
-	sem chan struct{}
-	mux *http.ServeMux
+	cfg     Config
+	log     *slog.Logger
+	sem     chan struct{}
+	mux     *http.ServeMux
+	results *cache.LRU // nil when memoization is disabled
+	started time.Time
 }
 
 // New builds a Server from cfg, applying defaults for zero fields.
@@ -75,14 +108,19 @@ func New(cfg Config) *Server {
 		cfg.Logger = slog.Default()
 	}
 	s := &Server{
-		cfg: cfg,
-		log: cfg.Logger,
-		sem: make(chan struct{}, cfg.MaxConcurrent),
-		mux: http.NewServeMux(),
+		cfg:     cfg,
+		log:     cfg.Logger,
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	if cfg.CacheBytes > 0 {
+		s.results = cache.New(cfg.CacheBytes)
 	}
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s
 }
 
@@ -111,15 +149,43 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	)
 }
 
-// acquire claims an execution slot, queueing until one frees or ctx
-// dies. The returned release must be called iff ok.
-func (s *Server) acquire(ctx context.Context) (release func(), ok bool) {
+// acquire claims an execution slot, queueing until one frees, the
+// queue timeout expires, or ctx dies. On success it returns the
+// release func and status 0; otherwise release is nil and status is
+// the HTTP code to shed with: 429 (queue timeout — the daemon is
+// saturated, retry later) or 503 (the request died while queued).
+func (s *Server) acquire(ctx context.Context) (release func(), status int) {
+	var timeout <-chan time.Time
+	if s.cfg.QueueTimeout > 0 {
+		t := time.NewTimer(s.cfg.QueueTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
 	select {
 	case s.sem <- struct{}{}:
-		return func() { <-s.sem }, true
+		return func() { <-s.sem }, 0
+	case <-timeout:
+		return nil, http.StatusTooManyRequests
 	case <-ctx.Done():
-		return nil, false
+		return nil, http.StatusServiceUnavailable
 	}
+}
+
+// shed writes the queue-rejection response for a non-zero acquire
+// status. A 429 carries Retry-After: the queue just proved itself full
+// for a whole QueueTimeout, so a comparable wait (at least a second)
+// is the honest hint.
+func (s *Server) shed(w http.ResponseWriter, status int) {
+	if status == http.StatusTooManyRequests {
+		secs := int(s.cfg.QueueTimeout / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		fail(w, status, "execution queue full for %v; retry after %ds", s.cfg.QueueTimeout, secs)
+		return
+	}
+	fail(w, status, "canceled while queued for an execution slot")
 }
 
 // fail writes a plain-text error response.
@@ -168,9 +234,27 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, "invalid spec: %v", err)
 		return
 	}
-	release, ok := s.acquire(r.Context())
-	if !ok {
-		fail(w, http.StatusServiceUnavailable, "canceled while queued for an execution slot")
+	// Cache fast path: a full entry under this spec's content address
+	// is served without queueing for an execution slot at all — the
+	// stored bytes re-frame under this request's spec echo into exactly
+	// the response a fresh execution would produce.
+	var key string
+	if s.results != nil {
+		key = wire.SpecCacheKey(spec)
+		if val, ok := s.results.Get(key); ok && val[0] == cacheFull {
+			frame := wire.EncodeRunReportForSpec(spec, val[1:])
+			report, err := wire.DecodeRunReport(frame)
+			if err != nil {
+				fail(w, http.StatusInternalServerError, "corrupt cached result for %q: %v", spec.Label, err)
+				return
+			}
+			s.serveRun(w, r, frame, report, true)
+			return
+		}
+	}
+	release, errStatus := s.acquire(r.Context())
+	if errStatus != 0 {
+		s.shed(w, errStatus)
 		return
 	}
 	defer release()
@@ -181,18 +265,29 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		fail(w, execStatus(err), "execute %q: %v", spec.Label, err)
 		return
 	}
+	if s.results != nil {
+		s.results.Put(key, append([]byte{cacheFull}, wire.EncodeResultPayload(report)...))
+	}
+	s.serveRun(w, r, wire.EncodeRunReport(report), report, false)
+}
+
+// serveRun writes a /v1/run response from an encoded report frame and
+// its decoded form — one response path for the fresh and cached cases,
+// so both transports emit byte-identical frames by construction.
+func (s *Server) serveRun(w http.ResponseWriter, r *http.Request, frame []byte, report *wire.RunReport, cached bool) {
 	s.log.LogAttrs(r.Context(), slog.LevelInfo, "run",
-		slog.String("label", spec.Label),
-		slog.String("protocol", spec.Protocol),
+		slog.String("label", report.Spec.Label),
+		slog.String("protocol", report.Spec.Protocol),
 		slog.String("digest", report.Digest()),
 		slog.String("resilience", report.Stats.Faults.Resilience.String()),
+		slog.Bool("cached", cached),
 	)
 	if wantsJSON(r) {
 		writeJSON(w, wire.ReportToJSON(report, false))
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Write(wire.EncodeRunReport(report))
+	w.Write(frame)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -206,23 +301,60 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, "decode batch: %v", err)
 		return
 	}
-	release, ok := s.acquire(r.Context())
-	if !ok {
-		fail(w, http.StatusServiceUnavailable, "canceled while queued for an execution slot")
-		return
+	// Per-item cache lookup: items whose spec address is already cached
+	// (full or summary — a batch item only needs the stats+outcome
+	// prefix) are answered from memory; only the misses execute.
+	items := make([]wire.BatchItem, len(specs))
+	missSpecs := specs
+	missIdx := make([]int, 0, len(specs))
+	if s.results != nil {
+		missSpecs = missSpecs[:0:0]
+		for i, spec := range specs {
+			items[i].Label = spec.Label
+			if val, ok := s.results.Get(wire.SpecCacheKey(spec)); ok {
+				stats, outcome, err := wire.DecodeResultSummary(val[1:])
+				if err == nil {
+					items[i].Stats = stats
+					items[i].Outcome = outcome
+					continue
+				}
+			}
+			missSpecs = append(missSpecs, spec)
+			missIdx = append(missIdx, i)
+		}
 	}
-	defer release()
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
-	defer cancel()
-	// The batch runs on one slot: engine.RunBatch already parallelizes
-	// across jobs internally, so letting it also multiply against the
-	// request limiter would oversubscribe the host.
-	items := wire.ExecuteBatch(ctx, &engine.Engine{}, specs)
-	if err := ctx.Err(); err != nil {
-		fail(w, execStatus(err), "execute batch: %v", err)
-		return
+	hits := len(specs) - len(missSpecs)
+	if len(missSpecs) > 0 {
+		release, errStatus := s.acquire(r.Context())
+		if errStatus != 0 {
+			s.shed(w, errStatus)
+			return
+		}
+		defer release()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+		defer cancel()
+		// The batch runs on one slot: engine.RunBatch already parallelizes
+		// across jobs internally, so letting it also multiply against the
+		// request limiter would oversubscribe the host.
+		missItems := wire.ExecuteBatch(ctx, &engine.Engine{}, missSpecs)
+		if err := ctx.Err(); err != nil {
+			fail(w, execStatus(err), "execute batch: %v", err)
+			return
+		}
+		if s.results == nil {
+			items = missItems
+		} else {
+			for j, it := range missItems {
+				items[missIdx[j]] = it
+				if it.Err == "" {
+					val := append([]byte{cacheSummary}, wire.EncodeResultSummary(&it.Stats, it.Outcome)...)
+					s.results.PutIfAbsent(wire.SpecCacheKey(missSpecs[j]), val)
+				}
+			}
+		}
 	}
-	s.log.LogAttrs(r.Context(), slog.LevelInfo, "batch", slog.Int("specs", len(specs)))
+	s.log.LogAttrs(r.Context(), slog.LevelInfo, "batch",
+		slog.Int("specs", len(specs)), slog.Int("cached", hits))
 	if wantsJSON(r) {
 		writeJSON(w, wire.BatchToJSON(items))
 		return
@@ -240,6 +372,40 @@ type healthInfo struct {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, healthInfo{Status: "ok", WireVersion: wire.Version, Protocols: wire.Protocols()})
+}
+
+// CacheStats is the result-cache section of the stats response.
+type CacheStats struct {
+	Enabled bool `json:"enabled"`
+	cache.Stats
+	HitRate float64 `json:"hit_rate"`
+}
+
+// StatsInfo is the GET /v1/stats response body.
+type StatsInfo struct {
+	Status        string     `json:"status"`
+	UptimeSeconds float64    `json:"uptime_seconds"`
+	MaxConcurrent int        `json:"max_concurrent"`
+	Cache         CacheStats `json:"cache"`
+}
+
+// Stats snapshots the daemon's operational counters — the same body
+// GET /v1/stats serves.
+func (s *Server) Stats() StatsInfo {
+	info := StatsInfo{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		MaxConcurrent: s.cfg.MaxConcurrent,
+	}
+	if s.results != nil {
+		st := s.results.Stats()
+		info.Cache = CacheStats{Enabled: true, Stats: st, HitRate: st.HitRate()}
+	}
+	return info
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

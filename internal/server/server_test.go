@@ -250,7 +250,156 @@ func TestRunJSONResponse(t *testing.T) {
 	}
 }
 
-// TestBadRequests checks the daemon's error statuses: garbage frames
+// TestCacheHitServesIdenticalBytes runs the same spec twice against a
+// caching daemon (under two labels and worker counts, the two
+// result-neutral fields) and checks that the second response is served
+// from the cache yet byte-identical in every result-bearing way.
+func TestCacheHitServesIdenticalBytes(t *testing.T) {
+	ts, c := newTestServer(t, server.Config{CacheBytes: 1 << 20})
+	spec := wire.SmokeSpecs(1)[3] // mm-tworound
+	first, err := c.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respec := spec
+	respec.Label = "same-run-different-name"
+	respec.Workers = 8
+	second, err := c.Run(context.Background(), respec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Digest() != first.Digest() {
+		t.Fatal("cached transcript digest drifted")
+	}
+	if !bytes.Equal(wire.EncodeTranscript(second.Transcript), wire.EncodeTranscript(first.Transcript)) {
+		t.Fatal("cached transcript bytes drifted")
+	}
+	if second.Spec.Label != respec.Label {
+		t.Fatalf("cached response echoes label %q, want the request's %q", second.Spec.Label, respec.Label)
+	}
+	if second.Stats.TotalBits != first.Stats.TotalBits || second.Outcome != first.Outcome {
+		t.Fatal("cached stats/outcome drifted")
+	}
+	stats := fetchStats(t, ts.URL)
+	if stats.Cache.Hits != 1 || stats.Cache.Misses != 1 || stats.Cache.Entries != 1 {
+		t.Fatalf("cache counters %+v, want 1 hit / 1 miss / 1 entry", stats.Cache)
+	}
+}
+
+// TestBatchUsesCache checks both directions of batch memoization: a
+// /v1/run-populated full entry answers a batch item, and a batch-run
+// summary is itself cached for the next batch.
+func TestBatchUsesCache(t *testing.T) {
+	ts, c := newTestServer(t, server.Config{CacheBytes: 1 << 20})
+	specs := wire.SmokeSpecs(1)[:4]
+	if _, err := c.Run(context.Background(), specs[0]); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]wire.BatchItem, len(specs))
+	for i, spec := range specs {
+		local, err := wire.ExecuteSpec(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = wire.BatchItem{Label: spec.Label, Stats: local.Stats, Outcome: local.Outcome}
+	}
+	check := func(items []wire.BatchItem, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(items) != len(specs) {
+			t.Fatalf("%d items, want %d", len(items), len(specs))
+		}
+		for i := range items {
+			if items[i].Err != "" {
+				t.Fatalf("item %d: %s", i, items[i].Err)
+			}
+			if items[i].Label != want[i].Label ||
+				items[i].Stats.TotalBits != want[i].Stats.TotalBits ||
+				items[i].Outcome != want[i].Outcome {
+				t.Fatalf("item %d drifted: %+v", i, items[i])
+			}
+		}
+	}
+	check(c.RunBatch(context.Background(), specs))
+	st := fetchStats(t, ts.URL)
+	if st.Cache.Hits != 1 { // the run-populated full entry
+		t.Fatalf("first batch: %d hits, want 1 (from the /v1/run entry)", st.Cache.Hits)
+	}
+	check(c.RunBatch(context.Background(), specs))
+	st = fetchStats(t, ts.URL)
+	if st.Cache.Hits != 1+int64(len(specs)) {
+		t.Fatalf("second batch: %d hits, want %d (every item cached)", st.Cache.Hits, 1+len(specs))
+	}
+}
+
+func fetchStats(t *testing.T, base string) server.StatsInfo {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/stats status %d", resp.StatusCode)
+	}
+	var info server.StatsInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+// TestStatsDisabledCache checks the stats endpoint's shape when
+// memoization is off, through both raw HTTP and the typed client.
+func TestStatsDisabledCache(t *testing.T) {
+	ts, c := newTestServer(t, server.Config{})
+	st := fetchStats(t, ts.URL)
+	if st.Status != "ok" || st.Cache.Enabled {
+		t.Fatalf("stats %+v, want ok with cache disabled", st)
+	}
+	cs, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Status != "ok" || cs.Cache.Enabled || cs.MaxConcurrent != st.MaxConcurrent {
+		t.Fatalf("client stats %+v disagree with raw stats %+v", cs, st)
+	}
+}
+
+// TestQueueTimeoutSheds429WithRetryAfter saturates a one-slot daemon
+// with a deliberately slow run (full-probability stragglers at 10ms per
+// message, sequential, so ≥600ms), then checks a queued request is shed
+// with 429 and a Retry-After hint instead of waiting forever.
+func TestQueueTimeoutSheds429WithRetryAfter(t *testing.T) {
+	ts, c := newTestServer(t, server.Config{MaxConcurrent: 1, QueueTimeout: 100 * time.Millisecond})
+	slow := wire.SmokeSpecs(1)[0]
+	slow.Workers = 1
+	slow.Faults = wire.FaultSpec{Straggle: 1, DelayNS: int64(10 * time.Millisecond), Seed: 9}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Run(context.Background(), slow)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the slow run claim the only slot
+	resp, err := http.Post(ts.URL+"/v1/run", "application/octet-stream",
+		bytes.NewReader(wire.EncodeRunSpec(wire.SmokeSpecs(1)[3])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queued request got %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After %q, want \"1\"", ra)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("slow run failed: %v", err)
+	}
+}
+
 // and invalid specs are 400s (which the client must not retry), and
 // wrong methods are rejected.
 func TestBadRequests(t *testing.T) {

@@ -1,0 +1,92 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestSpecCacheKeyNormalizesResultNeutralFields: Label and Workers are
+// the two fields that cannot change a result; every result-bearing
+// field must change the key.
+func TestSpecCacheKeyNormalizesResultNeutralFields(t *testing.T) {
+	base := SmokeSpecs(1)[0]
+	key := SpecCacheKey(base)
+
+	relabeled := base
+	relabeled.Label = "some-other-name"
+	relabeled.Workers = 8
+	if SpecCacheKey(relabeled) != key {
+		t.Fatal("Label/Workers changed the cache key; they are result-neutral")
+	}
+
+	mutations := map[string]func(*RunSpec){
+		"protocol":   func(s *RunSpec) { s.Protocol = "mm-tworound" },
+		"graph kind": func(s *RunSpec) { s.Graph.Kind = "path" },
+		"graph n":    func(s *RunSpec) { s.Graph.N++ },
+		"graph p":    func(s *RunSpec) { s.Graph.P += 0.01 },
+		"graph seed": func(s *RunSpec) { s.Graph.Seed++ },
+		"coin seed":  func(s *RunSpec) { s.Seed++ },
+		"fault drop": func(s *RunSpec) { s.Faults.Drop = 0.5 },
+		"fault seed": func(s *RunSpec) { s.Faults.Seed++ },
+	}
+	for name, mutate := range mutations {
+		spec := base
+		mutate(&spec)
+		if SpecCacheKey(spec) == key {
+			t.Errorf("mutating %s left the cache key unchanged", name)
+		}
+	}
+}
+
+// TestCachedReportBytesIdentical is the memoization correctness
+// argument in executable form: re-framing a stored result payload under
+// the requesting spec's echo yields byte-for-byte the frame a fresh
+// encoding would produce.
+func TestCachedReportBytesIdentical(t *testing.T) {
+	spec := SmokeSpecs(2)[3] // mm-tworound
+	report, err := ExecuteSpec(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored := EncodeResultPayload(report)
+	if got, want := EncodeRunReportForSpec(spec, stored), EncodeRunReport(report); !bytes.Equal(got, want) {
+		t.Fatal("cached re-framing diverges from fresh encoding")
+	}
+	// And the re-framed bytes decode back to the same transcript digest.
+	decoded, err := DecodeRunReport(EncodeRunReportForSpec(spec, stored))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Digest() != report.Digest() {
+		t.Fatal("digest drifted through the cache round trip")
+	}
+}
+
+// TestResultSummaryPrefixDecode: a summary decodes from both the
+// summary form and as a prefix of the full result payload.
+func TestResultSummaryPrefixDecode(t *testing.T) {
+	spec := SmokeSpecs(1)[4] // mis-tworound
+	report, err := ExecuteSpec(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, payload := range map[string][]byte{
+		"summary": EncodeResultSummary(&report.Stats, report.Outcome),
+		"full":    EncodeResultPayload(report),
+	} {
+		stats, outcome, err := DecodeResultSummary(payload)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if stats.TotalBits != report.Stats.TotalBits {
+			t.Fatalf("%s: TotalBits %d != %d", name, stats.TotalBits, report.Stats.TotalBits)
+		}
+		if outcome != report.Outcome {
+			t.Fatalf("%s: outcome %+v != %+v", name, outcome, report.Outcome)
+		}
+	}
+	if _, _, err := DecodeResultSummary([]byte{0xff}); err == nil {
+		t.Fatal("corrupt result payload must error, not panic")
+	}
+}

@@ -1,0 +1,79 @@
+#!/bin/sh
+# bench-json: produce the committed BENCH_NNNN.json snapshot. Two
+# sections: the hot-path micro-benchmarks (go test -bench, name ->
+# ns/op and allocs/op) and a short loadgen run against a caching
+# refereed daemon (achieved RPS, latency percentiles, cache hit rate).
+# Numbers are machine-dependent snapshots for trend reading, not a CI
+# gate — the gate is the SLO verdict loadgen itself computes.
+#
+#   BENCH_OUT=BENCH_0006.json BENCH_RPS=100 BENCH_DURATION=5s \
+#       ./scripts/bench-json.sh
+set -eu
+
+OUT="${BENCH_OUT:-BENCH_0006.json}"
+RPS="${BENCH_RPS:-100}"
+DURATION="${BENCH_DURATION:-5s}"
+ADDR="${BENCH_ADDR:-127.0.0.1:8390}"
+BENCH_PAT='FieldPow|FieldInv|L0Update|L0Sample|AGMSketchVertex'
+BENCH_PKGS='./internal/field/ ./internal/l0/ ./internal/agm/'
+TMP="$(mktemp -d)"
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
+
+echo "bench-json: running micro-benchmarks ($BENCH_PAT)" >&2
+# shellcheck disable=SC2086
+go test -run='^$' -bench="$BENCH_PAT" -benchtime=100ms -benchmem $BENCH_PKGS >"$TMP/bench.txt"
+
+# "BenchmarkName-8  N  X ns/op  Y B/op  Z allocs/op" -> JSON entries.
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    ns = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op") ns = $(i - 1)
+        if ($(i) == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    if (out != "") out = out ",\n"
+    out = out sprintf("    \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs == "" ? "0" : allocs)
+}
+END { print out }
+' "$TMP/bench.txt" >"$TMP/bench.json"
+
+echo "bench-json: booting caching refereed on $ADDR for the loadgen pass" >&2
+go build -o "$TMP/refereed" ./cmd/refereed
+go build -o "$TMP/loadgen" ./cmd/loadgen
+"$TMP/refereed" -addr "$ADDR" -cache-bytes 33554432 >"$TMP/refereed.log" 2>&1 &
+DAEMON_PID=$!
+i=0
+until curl -sf "http://$ADDR/v1/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "bench-json: refereed did not come up on $ADDR" >&2
+        cat "$TMP/refereed.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+"$TMP/loadgen" -target "http://$ADDR" -rps "$RPS" -duration "$DURATION" \
+    -seed 6 -o "$TMP/loadgen.json" >&2
+
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+
+{
+    printf '{\n'
+    printf '  "id": "%s",\n' "$(basename "$OUT" .json)"
+    printf '  "generated_by": "scripts/bench-json.sh",\n'
+    printf '  "go_version": "%s",\n' "$(go env GOVERSION)"
+    printf '  "benchmarks": {\n'
+    cat "$TMP/bench.json"
+    printf '  },\n'
+    printf '  "loadgen": '
+    cat "$TMP/loadgen.json"
+    printf '}\n'
+} >"$OUT"
+
+echo "bench-json: wrote $OUT" >&2

@@ -1,0 +1,88 @@
+#!/bin/sh
+# cluster-smoke: end-to-end parity check for the referee cluster. Boots
+# three caching refereed backends and a coordinator over them, runs the
+# fixture sweep locally and through the coordinator, and byte-diffs the
+# outputs — the coordinator must be indistinguishable from a single
+# daemon. Then the chaos pass: the same sweep runs again while one
+# backend is killed mid-sweep; the coordinator must fail the orphaned
+# specs over to the survivors and the output must still diff clean.
+set -eu
+
+B1="${CLUSTER_B1:-127.0.0.1:8381}"
+B2="${CLUSTER_B2:-127.0.0.1:8382}"
+B3="${CLUSTER_B3:-127.0.0.1:8383}"
+COORD="${CLUSTER_COORD:-127.0.0.1:8380}"
+TMP="$(mktemp -d)"
+PIDS=""
+trap 'for p in $PIDS; do kill "$p" 2>/dev/null || true; done; rm -rf "$TMP"' EXIT INT TERM
+
+go build -o "$TMP/refereed" ./cmd/refereed
+go build -o "$TMP/sketchlab" ./cmd/sketchlab
+
+"$TMP/refereed" -addr "$B1" -cache-bytes 16777216 >"$TMP/b1.log" 2>&1 &
+B1_PID=$!
+"$TMP/refereed" -addr "$B2" -cache-bytes 16777216 >"$TMP/b2.log" 2>&1 &
+B2_PID=$!
+"$TMP/refereed" -addr "$B3" -cache-bytes 16777216 >"$TMP/b3.log" 2>&1 &
+B3_PID=$!
+PIDS="$B1_PID $B2_PID $B3_PID"
+
+"$TMP/refereed" -coordinator "$B1,$B2,$B3" -addr "$COORD" \
+    -health-interval 300ms >"$TMP/coord.log" 2>&1 &
+COORD_PID=$!
+PIDS="$PIDS $COORD_PID"
+
+wait_healthz() {
+    i=0
+    until curl -sf "http://$1/v1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 50 ]; then
+            echo "cluster-smoke: $2 did not come up on $1" >&2
+            cat "$TMP"/*.log >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+wait_healthz "$B1" backend1
+wait_healthz "$B2" backend2
+wait_healthz "$B3" backend3
+wait_healthz "$COORD" coordinator
+
+"$TMP/sketchlab" -sweep -workers 1 >"$TMP/local.txt"
+
+# Pass 1: healthy cluster. All 16 fixture specs go through the
+# coordinator; every transcript digest must match the local run.
+"$TMP/sketchlab" -remote "$COORD" -workers 8 >"$TMP/cluster.txt"
+if ! diff -u "$TMP/local.txt" "$TMP/cluster.txt"; then
+    echo "cluster-smoke: FAIL — cluster sweep diverges from local run" >&2
+    exit 1
+fi
+
+# Pass 2: chaos. Kill one backend shortly after the sweep starts — its
+# in-flight and still-queued specs must fail over to the two survivors
+# without changing a byte of output.
+(sleep 0.2 && kill "$B2_PID" 2>/dev/null) &
+KILLER_PID=$!
+"$TMP/sketchlab" -remote "$COORD" -workers 8 >"$TMP/chaos.txt"
+wait "$KILLER_PID" || true
+if ! diff -u "$TMP/local.txt" "$TMP/chaos.txt"; then
+    echo "cluster-smoke: FAIL — sweep diverges after mid-sweep backend kill" >&2
+    exit 1
+fi
+
+# The coordinator must have noticed the death: stats must list the dead
+# backend as not alive once the health loop has run.
+sleep 1
+STATS="$(curl -sf "http://$COORD/v1/stats")"
+if ! printf '%s' "$STATS" | grep -q '"alive": false'; then
+    echo "cluster-smoke: FAIL — coordinator stats never marked the killed backend down" >&2
+    printf '%s\n' "$STATS" >&2
+    exit 1
+fi
+
+# Graceful coordinator shutdown, same as remote-smoke does for the
+# daemon.
+kill -TERM "$COORD_PID"
+wait "$COORD_PID" || true
+echo "cluster-smoke: OK — cluster sweeps byte-identical to local, failover transparent"
