@@ -28,6 +28,7 @@ test:
 
 test-race:
 	go test -race ./internal/engine/... ./internal/cclique/... ./internal/faults/... \
+		./internal/matchproto/... ./internal/misproto/... ./internal/protocol/... \
 		./internal/wire/... ./internal/server/... ./internal/client/... \
 		./internal/cache/... ./internal/cluster/...
 
@@ -38,6 +39,7 @@ fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzTranscriptCorruption -fuzztime=30s ./internal/faults
 	go test -run='^$$' -fuzz=FuzzWireDecodeRunSpec -fuzztime=30s ./internal/wire
 	go test -run='^$$' -fuzz=FuzzWireDecodeTranscript -fuzztime=30s ./internal/wire
+	go test -run='^$$' -fuzz=FuzzWireDecodeRunStats -fuzztime=30s ./internal/wire
 
 # remote-smoke is the end-to-end service parity check CI runs: boot a
 # refereed daemon on a loopback port, run the fixture sweep locally at

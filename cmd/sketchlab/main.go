@@ -1,4 +1,4 @@
-// Command sketchlab runs the reproduction experiments E1–E19 (DESIGN.md)
+// Command sketchlab runs the reproduction experiments E1–E40 (DESIGN.md)
 // and renders their tables, and drives the fixture parity sweep either
 // in-process or against a refereed daemon.
 //
@@ -24,9 +24,10 @@
 // baseline; the flag only changes wall time.
 //
 // -faults adds a custom fault plan to the E20 resilience sweep, e.g.
-// "drop=0.1,corrupt=0.05,flip=4,straggle=0.01,delay=2ms". Faults are
-// label-derived from the seed, so faulted runs are equally deterministic
-// at every -workers value.
+// "drop=0.1,corrupt=0.05,flip=4,straggle=0.01,delay=2ms"
+// (fbdrop=P/fbcorrupt=P target the referee feedback lane of adaptive
+// protocols). Faults are label-derived from the seed, so faulted runs
+// are equally deterministic at every -workers value.
 //
 // -cpuprofile and -memprofile write pprof profiles of the selected
 // experiments (the heap profile is taken after the final run), for
@@ -64,7 +65,7 @@ func run() (ok bool) {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	format := flag.String("format", "text", "output format: text or md")
 	workers := flag.Int("workers", 0, "engine workers, >= 0 (0 = GOMAXPROCS); output is byte-identical for any value")
-	faultsFlag := flag.String("faults", "", "custom fault plan for the E20 sweep (drop=P,corrupt=P,flip=K,straggle=P,delay=D)")
+	faultsFlag := flag.String("faults", "", "custom fault plan for the E20 sweep (drop=P,corrupt=P,flip=K,straggle=P,delay=D,fbdrop=P,fbcorrupt=P)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (taken after the runs) to this file")
 	sweep := flag.Bool("sweep", false, "run the fixture parity sweep locally instead of experiments")
@@ -227,9 +228,9 @@ func runSweep(remote string, workers int, jsonOut bool) (ok bool) {
 				outcome += ":INVALID"
 			}
 		}
-		fmt.Printf("%-26s protocol=%-18s total_bits=%-8d max_msg_bits=%-6d outcome=%-16s resilience=%-8s digest=%s\n",
-			r.Spec.Label, r.Spec.Protocol, r.Stats.TotalBits, r.Stats.MaxMessageBits,
-			outcome, r.Stats.Faults.Resilience, r.Digest())
+		fmt.Printf("%-26s protocol=%-18s total_bits=%-8d fb_bits=%-6d max_msg_bits=%-6d outcome=%-16s resilience=%-8s digest=%s\n",
+			r.Spec.Label, r.Spec.Protocol, r.Stats.TotalBits, r.Stats.FeedbackBits,
+			r.Stats.MaxMessageBits, outcome, r.Stats.Faults.Resilience, r.Digest())
 	}
 	return true
 }

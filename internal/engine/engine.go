@@ -57,6 +57,31 @@ type Protocol[O any] interface {
 	Decode(n int, transcript *Transcript, coins *rng.PublicCoins) (O, error)
 }
 
+// Adaptive is the optional referee-feedback extension of Broadcaster: an
+// adaptive protocol's referee broadcasts a feedback message after each
+// round barrier, and later Broadcast calls read it from the sealed
+// transcript (Transcript.Feedback) instead of each player re-deriving the
+// shared referee state privately. This is the model's "extra round of
+// adaptivity" (the O(√n·polylog n) two-round MM/MIS upper bounds): the
+// downlink is free in the per-player communication measure, but it is
+// accounted separately in RunStats (FeedbackBits, RoundBits).
+//
+// The engine calls Feedback exactly once per round, single-threaded, after
+// the round has sealed and before the next round's broadcasts start — so
+// Feedback may freely read every sealed round and needs no locking. It
+// must be a pure function of (round, transcript, coins) for the
+// determinism contract to extend to adaptive protocols. Returning a nil
+// (or empty) writer means the referee is silent after that round; a
+// protocol that is silent after every round is indistinguishable — in
+// transcript bytes and in stats — from a non-adaptive one.
+type Adaptive interface {
+	Broadcaster
+	// Feedback computes the referee's broadcast after the given sealed
+	// round. The engine seals the result into the transcript's feedback
+	// lane (Transcript.SealFeedback).
+	Feedback(round int, transcript *Transcript, coins *rng.PublicCoins) (*bitio.Writer, error)
+}
+
 // Engine schedules protocol executions over a worker pool. The zero value
 // is ready to use and runs with GOMAXPROCS workers.
 type Engine struct {
@@ -146,6 +171,7 @@ func (e *Engine) Execute(ctx context.Context, p Broadcaster, g *graph.Graph, coi
 	}
 	reg := &registry{}
 	transcript := NewTranscript()
+	adaptive, _ := p.(Adaptive)
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -227,6 +253,27 @@ func (e *Engine) Execute(ctx context.Context, p Broadcaster, g *graph.Graph, coi
 		for _, w := range msgs {
 			bitio.Release(w)
 		}
+
+		// Referee feedback: computed single-threaded at the round barrier
+		// over the freshly sealed round, then sealed into the transcript's
+		// feedback lane so the next round's concurrent Broadcast calls can
+		// read it. Feedback bits are accounted separately from player bits
+		// — MaxMessageBits/TotalBits stay player-only communication.
+		feedbackBits := 0
+		var feedbackErr error
+		if adaptive != nil {
+			fb, err := adaptive.Feedback(round, transcript, coins)
+			if err != nil {
+				feedbackErr = fmt.Errorf("engine: feedback after round %d: %w", round, err)
+			} else {
+				if fb != nil {
+					feedbackBits = fb.Len()
+				}
+				transcript.SealFeedback(fb)
+				bitio.Release(fb)
+			}
+		}
+
 		stats.CompletedRounds++
 		stats.RoundMaxBits = append(stats.RoundMaxBits, roundMax)
 		stats.RoundTotalBits = append(stats.RoundTotalBits, roundTotal)
@@ -234,7 +281,16 @@ func (e *Engine) Execute(ctx context.Context, p Broadcaster, g *graph.Graph, coi
 		if roundMax > stats.MaxMessageBits {
 			stats.MaxMessageBits = roundMax
 		}
+		stats.RoundBits = append(stats.RoundBits, RoundStats{
+			PlayerBits:    roundTotal,
+			PlayerMaxBits: roundMax,
+			FeedbackBits:  feedbackBits,
+		})
+		stats.FeedbackBits += int64(feedbackBits)
 		stats.RoundWall = append(stats.RoundWall, time.Since(roundStart))
+		if feedbackErr != nil {
+			return finish(feedbackErr)
+		}
 	}
 	return finish(nil)
 }

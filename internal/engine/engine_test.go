@@ -19,11 +19,13 @@ import (
 )
 
 // sequentialTranscript is an independent reference executor: the plain
-// one-vertex-at-a-time loop the repo used before the engine existed. The
+// one-vertex-at-a-time loop the repo used before the engine existed,
+// extended with the referee's feedback step for adaptive protocols. The
 // golden tests compare every engine transcript bit against it.
 func sequentialTranscript(t *testing.T, p engine.Broadcaster, g *graph.Graph, coins *rng.PublicCoins) *engine.Transcript {
 	t.Helper()
 	views := core.Views(g)
+	adaptive, _ := p.(engine.Adaptive)
 	tr := engine.NewTranscript()
 	for round := 0; round < p.Rounds(); round++ {
 		msgs := make([]*bitio.Writer, len(views))
@@ -35,6 +37,14 @@ func sequentialTranscript(t *testing.T, p engine.Broadcaster, g *graph.Graph, co
 			msgs[v] = w
 		}
 		tr.SealRound(msgs)
+		if adaptive != nil {
+			fb, err := adaptive.Feedback(round, tr, coins)
+			if err != nil {
+				t.Fatalf("reference: feedback after round %d: %v", round, err)
+			}
+			tr.SealFeedback(fb)
+			bitio.Release(fb)
+		}
 	}
 	return tr
 }

@@ -162,13 +162,24 @@ type RunStats struct {
 
 	// MaxMessageBits is the worst-case single message length over all
 	// rounds and players — the model's communication cost measure.
+	// Player messages only; referee feedback is accounted separately.
 	MaxMessageBits int
 	// RoundMaxBits[r] is the worst-case message length within round r.
 	RoundMaxBits []int
 	// RoundTotalBits[r] is the sum of message lengths within round r.
 	RoundTotalBits []int64
-	// TotalBits is the sum of all message lengths.
+	// TotalBits is the sum of all (player) message lengths.
 	TotalBits int64
+	// RoundBits[r] splits round r's communication between the players'
+	// uplink and the referee's feedback downlink. The player fields
+	// duplicate RoundMaxBits/RoundTotalBits (which predate adaptivity and
+	// stay player-only for compatibility); the testing/quick property in
+	// quick_test.go pins the consistency of the two views.
+	RoundBits []RoundStats
+	// FeedbackBits is the total referee feedback over all rounds — zero
+	// for every non-adaptive protocol. Not included in TotalBits or
+	// MaxMessageBits: the model's per-player cost measure is the uplink.
+	FeedbackBits int64
 	// Hist buckets every message's bit length by powers of two.
 	Hist []HistBucket
 
@@ -192,6 +203,21 @@ type RunStats struct {
 	Faults FaultStats
 }
 
+// RoundStats is one round's bit accounting split by direction: what the
+// players sent up versus what the referee broadcast back down after the
+// round barrier (engine.Adaptive feedback). All fields are deterministic
+// — identical for every Workers setting.
+type RoundStats struct {
+	// PlayerBits is the sum of the round's player message lengths.
+	PlayerBits int64
+	// PlayerMaxBits is the round's longest single player message.
+	PlayerMaxBits int
+	// FeedbackBits is the length of the referee's feedback broadcast
+	// sealed after the round (0 when the protocol is non-adaptive or the
+	// referee stayed silent).
+	FeedbackBits int
+}
+
 // FaultStats accounts for channel faults injected by internal/faults and
 // the resilience verdict of the decode that ran over them. All fields are
 // re-derived from the public fault coins over the sealed transcript, so
@@ -208,6 +234,12 @@ type FaultStats struct {
 	FlippedBits int
 	// Straggled counts broadcasts that were artificially delayed.
 	Straggled int
+	// FeedbackDropped counts referee feedback broadcasts replaced by
+	// empty messages (adaptive protocols under a feedback-faulting plan).
+	FeedbackDropped int
+	// FeedbackCorrupted counts referee feedback broadcasts that had bits
+	// flipped (feedback drops take precedence, as for player messages).
+	FeedbackCorrupted int
 	// Resilience is the folded referee verdict for the run.
 	Resilience core.Resilience
 }
@@ -253,8 +285,17 @@ func WriteStats(w io.Writer, s *RunStats) error {
 		return err
 	}
 	for r := 0; r < s.CompletedRounds; r++ {
-		if _, err := fmt.Fprintf(w, "round %d: max=%d bits total=%d bits wall=%s\n",
-			r, s.RoundMaxBits[r], s.RoundTotalBits[r], s.RoundWall[r]); err != nil {
+		feedback := 0
+		if r < len(s.RoundBits) {
+			feedback = s.RoundBits[r].FeedbackBits
+		}
+		if _, err := fmt.Fprintf(w, "round %d: max=%d bits total=%d bits feedback=%d bits wall=%s\n",
+			r, s.RoundMaxBits[r], s.RoundTotalBits[r], feedback, s.RoundWall[r]); err != nil {
+			return err
+		}
+	}
+	if s.FeedbackBits > 0 {
+		if _, err := fmt.Fprintf(w, "referee feedback: total=%d bits\n", s.FeedbackBits); err != nil {
 			return err
 		}
 	}
@@ -280,9 +321,10 @@ func WriteStats(w io.Writer, s *RunStats) error {
 		return err
 	}
 	if s.Faults.Injected {
-		if _, err := fmt.Fprintf(w, "faults: dropped=%d corrupted=%d flipped-bits=%d straggled=%d resilience=%s\n",
+		if _, err := fmt.Fprintf(w, "faults: dropped=%d corrupted=%d flipped-bits=%d straggled=%d fb-dropped=%d fb-corrupted=%d resilience=%s\n",
 			s.Faults.Dropped, s.Faults.Corrupted, s.Faults.FlippedBits,
-			s.Faults.Straggled, s.Faults.Resilience); err != nil {
+			s.Faults.Straggled, s.Faults.FeedbackDropped, s.Faults.FeedbackCorrupted,
+			s.Faults.Resilience); err != nil {
 			return err
 		}
 	}

@@ -17,8 +17,17 @@ type message struct {
 // round appending to a recycled writer — can change a single bit of that
 // round. Message therefore always returns a reader over a stable snapshot,
 // which is what makes concurrent Broadcast calls in the next round safe.
+//
+// Besides the player lane, every sealed round has one referee feedback
+// slot (the adaptive model's downlink): SealRound opens it empty, and
+// SealFeedback — called single-threaded at the round barrier, before the
+// next round's broadcasts start — fills it. A non-adaptive protocol's
+// transcript simply has every feedback slot empty, which encodes
+// identically to a transcript recorded before feedback existed modulo
+// the wire version byte (see internal/wire).
 type Transcript struct {
-	rounds [][]message
+	rounds   [][]message
+	feedback []message // feedback[r] is the referee's broadcast after round r
 }
 
 // NewTranscript returns an empty transcript with no sealed rounds.
@@ -62,4 +71,41 @@ func (t *Transcript) SealRound(msgs []*bitio.Writer) {
 		sealed[v] = message{buf: buf, nbit: w.Len()}
 	}
 	t.rounds = append(t.rounds, sealed)
+	t.feedback = append(t.feedback, message{})
 }
+
+// SealFeedback records the referee's feedback broadcast for the most
+// recently sealed round, copying the writer's bits under the same
+// immutability contract as SealRound. A nil or empty writer leaves the
+// slot empty — the transcript of a silent or non-adaptive referee. The
+// engine calls this exactly once per round, single-threaded at the round
+// barrier; it panics if no round has been sealed or the slot is already
+// filled, because feedback written at any other time could race with the
+// next round's broadcasts.
+func (t *Transcript) SealFeedback(w *bitio.Writer) {
+	if len(t.feedback) == 0 {
+		panic("engine: SealFeedback before any SealRound")
+	}
+	last := len(t.feedback) - 1
+	if t.feedback[last].nbit != 0 {
+		panic("engine: feedback already sealed for the current round")
+	}
+	if w == nil || w.Len() == 0 {
+		return
+	}
+	buf := make([]byte, len(w.Bytes()))
+	copy(buf, w.Bytes())
+	t.feedback[last] = message{buf: buf, nbit: w.Len()}
+}
+
+// Feedback returns a fresh reader over the referee's feedback broadcast
+// sealed after the given round. An empty slot (non-adaptive protocol, or
+// a referee with nothing to say) yields an empty reader.
+func (t *Transcript) Feedback(round int) *bitio.Reader {
+	m := t.feedback[round]
+	return bitio.NewReader(m.buf, m.nbit)
+}
+
+// FeedbackBitLen returns the length in bits of the referee's feedback
+// broadcast sealed after the given round (0 for an empty slot).
+func (t *Transcript) FeedbackBitLen(round int) int { return t.feedback[round].nbit }

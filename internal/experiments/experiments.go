@@ -1,5 +1,5 @@
 // Package experiments produces every table in EXPERIMENTS.md: one
-// function per experiment E1–E12 of DESIGN.md, each returning a typed
+// function per experiment E1–E40 of DESIGN.md, each returning a typed
 // Table that cmd/sketchlab renders and bench_test.go regenerates.
 //
 // The paper (PODC'20, theory) has no numbered tables or measured figures;
@@ -194,6 +194,7 @@ func Registry() []struct {
 		{"E18", E18DegeneracyDensest},
 		{"E19", E19TriangleCounting},
 		{"E20", E20ResilienceSweep},
+		{"E40", E40RoundsVsCommunication},
 	}
 }
 

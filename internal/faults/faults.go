@@ -64,11 +64,25 @@ type Plan struct {
 	// StragglerDelay is the artificial delay of a straggling broadcast.
 	// Zero means the default of 1ms.
 	StragglerDelay time.Duration
+
+	// FeedbackDropProb and FeedbackCorruptProb extend the plan to the
+	// referee's per-round feedback broadcasts (engine.Adaptive). They
+	// follow the player-message conventions: a dropped feedback seals as
+	// an empty slot, a corrupted one has FlipBits bit positions flipped
+	// before sealing (drops take precedence), and decisions come from the
+	// labeled sub-streams fault/fb-drop/<round>/0 and
+	// fault/fb-corrupt/<round>/0 (fault/fb-flip/<round>/0 for positions).
+	// Both default to zero — feedback rounds untouched — so plans recorded
+	// before feedback existed reproduce their committed faulted
+	// transcripts bit for bit.
+	FeedbackDropProb    float64
+	FeedbackCorruptProb float64
 }
 
 // Active reports whether the plan injects any faults at all.
 func (p Plan) Active() bool {
-	return p.DropProb > 0 || p.CorruptProb > 0 || p.StragglerProb > 0
+	return p.DropProb > 0 || p.CorruptProb > 0 || p.StragglerProb > 0 ||
+		p.FeedbackDropProb > 0 || p.FeedbackCorruptProb > 0
 }
 
 func (p Plan) flipBits() int {
@@ -100,12 +114,19 @@ func (p Plan) String() string {
 	if p.StragglerProb > 0 {
 		parts = append(parts, fmt.Sprintf("straggle=%g,delay=%s", p.StragglerProb, p.stragglerDelay()))
 	}
+	if p.FeedbackDropProb > 0 {
+		parts = append(parts, fmt.Sprintf("fbdrop=%g", p.FeedbackDropProb))
+	}
+	if p.FeedbackCorruptProb > 0 {
+		parts = append(parts, fmt.Sprintf("fbcorrupt=%g", p.FeedbackCorruptProb))
+	}
 	return strings.Join(parts, ",")
 }
 
 // ParsePlan parses the sketchlab -faults flag syntax: a comma-separated
 // list of key=value pairs with keys drop, corrupt, flip, straggle, delay,
-// e.g. "drop=0.1,corrupt=0.05,flip=4,straggle=0.01,delay=2ms".
+// fbdrop, fbcorrupt,
+// e.g. "drop=0.1,corrupt=0.05,flip=4,straggle=0.01,delay=2ms,fbdrop=0.2".
 func ParsePlan(s string) (Plan, error) {
 	var p Plan
 	s = strings.TrimSpace(s)
@@ -118,7 +139,7 @@ func ParsePlan(s string) (Plan, error) {
 			return p, fmt.Errorf("faults: bad plan element %q (want key=value)", part)
 		}
 		switch key {
-		case "drop", "corrupt", "straggle":
+		case "drop", "corrupt", "straggle", "fbdrop", "fbcorrupt":
 			f, err := strconv.ParseFloat(val, 64)
 			if err != nil || f < 0 || f > 1 {
 				return p, fmt.Errorf("faults: bad probability %q for %s", val, key)
@@ -130,6 +151,10 @@ func ParsePlan(s string) (Plan, error) {
 				p.CorruptProb = f
 			case "straggle":
 				p.StragglerProb = f
+			case "fbdrop":
+				p.FeedbackDropProb = f
+			case "fbcorrupt":
+				p.FeedbackCorruptProb = f
 			}
 		case "flip":
 			k, err := strconv.Atoi(val)
@@ -165,8 +190,10 @@ func coin(coins *rng.PublicCoins, kind string, round, v int, prob float64) bool 
 
 // flipPositions returns the k bit positions (with replacement) flipped in
 // the round-r broadcast of vertex v, given its message length in bits.
-func flipPositions(coins *rng.PublicCoins, round, v, msgBits, k int) []int {
-	src := coins.Derive(fmt.Sprintf("fault/flip/%d/%d", round, v)).Source()
+// kind is "flip" for player messages and "fb-flip" for referee feedback,
+// keeping the two lanes on independent labeled streams.
+func flipPositions(coins *rng.PublicCoins, kind string, round, v, msgBits, k int) []int {
+	src := coins.Derive(fmt.Sprintf("fault/%s/%d/%d", kind, round, v)).Source()
 	pos := make([]int, k)
 	for i := range pos {
 		pos[i] = src.Intn(msgBits)
@@ -226,7 +253,36 @@ func (i *Injector) Broadcast(round int, view core.VertexView, t *engine.Transcri
 		return &bitio.Writer{}, nil
 	}
 	if w != nil && w.Len() > 0 && coin(i.coins, "corrupt", round, view.ID, i.plan.CorruptProb) {
-		for _, pos := range flipPositions(i.coins, round, view.ID, w.Len(), i.plan.flipBits()) {
+		for _, pos := range flipPositions(i.coins, "flip", round, view.ID, w.Len(), i.plan.flipBits()) {
+			w.FlipBit(pos)
+		}
+	}
+	return w, nil
+}
+
+// Feedback makes the Injector adaptive whenever its inner protocol is,
+// forwarding the referee's feedback and perturbing it under the plan's
+// feedback-fault knobs before the engine seals it — exactly the player
+// pipeline, one lane down. For a non-adaptive inner protocol the inner
+// feedback is nil; the fault coins are still consulted (a channel drops
+// frames without asking whether they were empty), which keeps
+// Plan.Evaluate a pure function of (coins, transcript) with no knowledge
+// of the protocol's adaptivity.
+func (i *Injector) Feedback(round int, t *engine.Transcript, coins *rng.PublicCoins) (*bitio.Writer, error) {
+	var w *bitio.Writer
+	if ap, ok := i.inner.(engine.Adaptive); ok {
+		var err error
+		w, err = ap.Feedback(round, t, coins)
+		if err != nil {
+			return w, err
+		}
+	}
+	if coin(i.coins, "fb-drop", round, 0, i.plan.FeedbackDropProb) {
+		bitio.Release(w)
+		return &bitio.Writer{}, nil
+	}
+	if w != nil && w.Len() > 0 && coin(i.coins, "fb-corrupt", round, 0, i.plan.FeedbackCorruptProb) {
+		for _, pos := range flipPositions(i.coins, "fb-flip", round, 0, w.Len(), i.plan.flipBits()) {
 			w.FlipBit(pos)
 		}
 	}
@@ -236,15 +292,20 @@ func (i *Injector) Broadcast(round int, view core.VertexView, t *engine.Transcri
 // Record is the deterministic account of which faults a plan injected
 // into a sealed transcript, re-derived from the public fault coins.
 type Record struct {
-	Dropped     int
-	Corrupted   int
-	FlippedBits int
-	Straggled   int
+	Dropped           int
+	Corrupted         int
+	FlippedBits       int
+	Straggled         int
+	FeedbackDropped   int
+	FeedbackCorrupted int
 }
 
 // Clean reports whether no message content was damaged (stragglers do not
 // count: they only delay, never alter bits).
-func (r Record) Clean() bool { return r.Dropped == 0 && r.Corrupted == 0 }
+func (r Record) Clean() bool {
+	return r.Dropped == 0 && r.Corrupted == 0 &&
+		r.FeedbackDropped == 0 && r.FeedbackCorrupted == 0
+}
 
 // Evaluate re-derives the fault record over the sealed rounds of a
 // transcript. Because every decision is label-derived, this reproduces
@@ -271,6 +332,20 @@ func (p Plan) Evaluate(faultCoins *rng.PublicCoins, t *engine.Transcript, n int)
 				rec.Corrupted++
 				rec.FlippedBits += p.flipBits()
 			}
+		}
+		// The referee's feedback lane mirrors the player conventions:
+		// drops count whenever the coin fired (a dropped feedback seals
+		// empty, exactly as the Injector left it), corruption only where
+		// the sealed feedback has bits to flip — so the record matches the
+		// Injector's actions without knowing whether the protocol was
+		// adaptive at all.
+		if coin(faultCoins, "fb-drop", round, 0, p.FeedbackDropProb) {
+			rec.FeedbackDropped++
+			continue
+		}
+		if t.FeedbackBitLen(round) > 0 && coin(faultCoins, "fb-corrupt", round, 0, p.FeedbackCorruptProb) {
+			rec.FeedbackCorrupted++
+			rec.FlippedBits += p.flipBits()
 		}
 	}
 	return rec

@@ -47,6 +47,12 @@ func sequentialFaulted(t *testing.T, p engine.Broadcaster, g *graph.Graph, plan 
 			msgs[v] = w
 		}
 		tr.SealRound(msgs)
+		fb, err := inj.Feedback(round, tr, coins)
+		if err != nil {
+			t.Fatalf("reference feedback after round %d: %v", round, err)
+		}
+		tr.SealFeedback(fb)
+		bitio.Release(fb)
 	}
 	return tr
 }

@@ -58,11 +58,13 @@ func RunWithTranscript[O any](ctx context.Context, e *engine.Engine, p engine.Pr
 
 	rec := plan.Evaluate(faultCoins, transcript, g.N())
 	stats.Faults = engine.FaultStats{
-		Injected:    plan.Active(),
-		Dropped:     rec.Dropped,
-		Corrupted:   rec.Corrupted,
-		FlippedBits: rec.FlippedBits,
-		Straggled:   rec.Straggled,
+		Injected:          plan.Active(),
+		Dropped:           rec.Dropped,
+		Corrupted:         rec.Corrupted,
+		FlippedBits:       rec.FlippedBits,
+		Straggled:         rec.Straggled,
+		FeedbackDropped:   rec.FeedbackDropped,
+		FeedbackCorrupted: rec.FeedbackCorrupted,
 	}
 
 	res := engine.Result[O]{Stats: *stats}

@@ -3,11 +3,11 @@ package matchproto
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"repro/internal/bitio"
 	"repro/internal/cclique"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/rng"
 )
@@ -17,35 +17,32 @@ import (
 // (Section 1.1: "if one allows only one extra round of sketching, then
 // both problems admit adaptive sketches of size O(n^{1/2})").
 //
-// Round 1: every vertex broadcasts ~√n random incident edges. All parties
-// deterministically compute the greedy matching M₁ of the round-1 graph.
-// Round 2: every vertex still unmatched broadcasts its edges to other
-// unmatched vertices (capped at Cap). The referee augments M₁ greedily
-// with the round-2 edges. Filtering makes the residual graph sparse, so
-// round-2 messages stay near √n as well; the cap is a safety valve whose
-// violations surface as (measured) failures, never as silent wrong
-// answers beyond non-maximality.
+// Round 1: every vertex broadcasts ~√n random incident edges. The referee
+// computes the greedy matching M₁ of the round-1 graph and broadcasts it
+// back as its feedback message (engine.Adaptive) — the adaptive model's
+// downlink, which replaces every party privately re-deriving M₁ from the
+// full transcript.
+// Round 2: every vertex still unmatched under the fed-back M₁ broadcasts
+// its edges to other unmatched vertices (capped at Cap). The referee
+// augments M₁ greedily with the round-2 edges. Filtering makes the
+// residual graph sparse, so round-2 messages stay near √n as well; the
+// cap is a safety valve whose violations surface as (measured) failures,
+// never as silent wrong answers beyond non-maximality.
+//
+// The struct is stateless: the shared round-1 derivation that used to be
+// a mutex-guarded memo now travels through the transcript's sealed
+// feedback lane, computed once, single-threaded, at the round barrier.
 type TwoRound struct {
 	// SamplesPerVertex is the round-1 budget in edges; 0 selects ⌈√n⌉.
 	SamplesPerVertex int
 	// Cap bounds round-2 reports in edges; 0 selects ⌈4·√n·log2(n+1)⌉.
 	Cap int
-
-	// memo caches the shared round-1 matching for the current transcript:
-	// every party computes the identical value, so the simulator derives
-	// it once. The mutex makes the memo safe under the concurrent
-	// execution engine; the cached value is a pure function of the
-	// transcript and coins, so locking cannot change any bit.
-	memo struct {
-		sync.Mutex
-		transcript *cclique.Transcript
-		m1         []graph.Edge
-		matched    []bool
-		r1bad      int // round-1 vertices with damaged sketches
-	}
 }
 
-var _ cclique.Protocol[[]graph.Edge] = (*TwoRound)(nil)
+var (
+	_ cclique.Protocol[[]graph.Edge] = (*TwoRound)(nil)
+	_ engine.Adaptive                = (*TwoRound)(nil)
+)
 
 // NewTwoRound returns the protocol with default budgets.
 func NewTwoRound() *TwoRound { return &TwoRound{} }
@@ -70,23 +67,13 @@ func (p *TwoRound) capEdges(n int) int {
 	return int(math.Ceil(4 * math.Sqrt(float64(n)) * math.Log2(float64(n)+1)))
 }
 
-// round1Matching reconstructs the canonical greedy matching of the
-// round-1 broadcasts; every party computes the identical result. Parsing
-// is tolerant so that a faulted round-1 transcript (dropped or corrupted
-// sketches) never aborts the run: damaged sketches contribute what they
-// can and are counted in the memoized r1bad, which DecodeResilient folds
+// round1Matching computes the canonical greedy matching of the round-1
+// broadcasts — the referee-side derivation behind the feedback message.
+// Parsing is tolerant so that a faulted round-1 transcript (dropped or
+// corrupted sketches) never aborts the run: damaged sketches contribute
+// what they can and are counted in r1bad, which DecodeResilient folds
 // into its verdict. On clean transcripts tolerance changes nothing.
-func (p *TwoRound) round1Matching(n int, transcript *cclique.Transcript, coins *rng.PublicCoins) ([]graph.Edge, []bool, error) {
-	m1, matched, _ := p.round1MatchingDamage(n, transcript, coins)
-	return m1, matched, nil
-}
-
-func (p *TwoRound) round1MatchingDamage(n int, transcript *cclique.Transcript, coins *rng.PublicCoins) ([]graph.Edge, []bool, int) {
-	p.memo.Lock()
-	defer p.memo.Unlock()
-	if p.memo.transcript == transcript {
-		return p.memo.m1, p.memo.matched, p.memo.r1bad
-	}
+func (p *TwoRound) round1Matching(n int, transcript *cclique.Transcript, coins *rng.PublicCoins) ([]graph.Edge, int) {
 	sketches := make([]*bitio.Reader, n)
 	for v := 0; v < n; v++ {
 		sketches[v] = transcript.Message(0, v)
@@ -97,27 +84,91 @@ func (p *TwoRound) round1MatchingDamage(n int, transcript *cclique.Transcript, c
 	for i, j := range order {
 		shuffled[i] = edges[j]
 	}
-	m1 := graph.GreedyMaximalMatchingEdgeOrder(n, shuffled)
-	matched := make([]bool, n)
-	for _, e := range m1 {
-		matched[e.U] = true
-		matched[e.V] = true
-	}
-	p.memo.transcript = transcript
-	p.memo.m1, p.memo.matched, p.memo.r1bad = m1, matched, r1bad
-	return m1, matched, r1bad
+	return graph.GreedyMaximalMatchingEdgeOrder(n, shuffled), r1bad
 }
 
-// Broadcast implements cclique.Protocol.
+// Feedback implements engine.Adaptive: after round 1 seals, the referee
+// broadcasts M₁ as an edge list (count, then both endpoints at id width,
+// in greedy order). After the final round the referee is silent.
+func (p *TwoRound) Feedback(round int, transcript *cclique.Transcript, coins *rng.PublicCoins) (*bitio.Writer, error) {
+	if round != 0 {
+		return nil, nil
+	}
+	n := transcript.Players(0)
+	m1, _ := p.round1Matching(n, transcript, coins)
+	w := bitio.NewPooledWriter()
+	idWidth := bitio.UintWidth(n)
+	w.WriteUvarint(uint64(len(m1)))
+	for _, e := range m1 {
+		w.WriteUint(uint64(e.U), idWidth)
+		w.WriteUint(uint64(e.V), idWidth)
+	}
+	return w, nil
+}
+
+// edgeListsEqual reports element-wise equality of two edge lists.
+func edgeListsEqual(a, b []graph.Edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// readMatchingFeedback parses the round-1 feedback broadcast back into
+// the fed-back edge list and the matched-vertex mask every party derives
+// from it. Parsing is tolerant (truncation stops, out-of-range entries
+// are skipped) so that a faulted feedback message degrades the run
+// instead of aborting it; ok reports whether every declared entry parsed
+// cleanly. On the referee's own clean feedback the edges round-trip
+// exactly.
+func readMatchingFeedback(n int, r *bitio.Reader) (edges []graph.Edge, matched []bool, ok bool) {
+	matched = make([]bool, n)
+	ok = true
+	if r == nil {
+		return nil, matched, false
+	}
+	k, err := r.ReadUvarint()
+	if err != nil {
+		return nil, matched, false
+	}
+	idWidth := bitio.UintWidth(n)
+	for i := uint64(0); i < k; i++ {
+		u, err := r.ReadUint(idWidth)
+		if err != nil {
+			return edges, matched, false
+		}
+		v, err := r.ReadUint(idWidth)
+		if err != nil {
+			return edges, matched, false
+		}
+		if int(u) >= n || int(v) >= n || u == v {
+			ok = false
+			continue
+		}
+		edges = append(edges, graph.NewEdge(int(u), int(v)))
+		matched[u] = true
+		matched[v] = true
+	}
+	if r.Remaining() != 0 {
+		ok = false
+	}
+	return edges, matched, ok
+}
+
+// Broadcast implements cclique.Protocol. Round-2 players read M₁ from
+// the referee's sealed feedback (Transcript.Feedback) rather than
+// re-deriving it from the full round-1 transcript.
 func (p *TwoRound) Broadcast(round int, view core.VertexView, transcript *cclique.Transcript, coins *rng.PublicCoins) (*bitio.Writer, error) {
 	switch round {
 	case 0:
 		return sampleSketch(view, p.samples(view.N), coins), nil
 	case 1:
-		_, matched, err := p.round1Matching(view.N, transcript, coins)
-		if err != nil {
-			return nil, err
-		}
+		_, matched, _ := readMatchingFeedback(view.N, transcript.Feedback(0))
 		w := bitio.NewPooledWriter()
 		if matched[view.ID] {
 			w.WriteUvarint(0)
@@ -148,12 +199,13 @@ func (p *TwoRound) Broadcast(round int, view core.VertexView, transcript *ccliqu
 	}
 }
 
-// Decode implements cclique.Protocol.
+// Decode implements cclique.Protocol. The referee interprets round-2
+// reports against the M₁ it broadcast as feedback — the sealed feedback
+// is what the players actually acted on, so decoding against it keeps
+// referee and players consistent even over a damaged feedback channel.
 func (p *TwoRound) Decode(n int, transcript *cclique.Transcript, coins *rng.PublicCoins) ([]graph.Edge, error) {
-	m1, matched, err := p.round1Matching(n, transcript, coins)
-	if err != nil {
-		return nil, err
-	}
+	fed, matched, _ := readMatchingFeedback(n, transcript.Feedback(0))
+	m1 := graph.GreedyMaximalMatchingEdgeOrder(n, fed)
 	idWidth := bitio.UintWidth(n)
 	var residualEdges []graph.Edge
 	seen := make(map[graph.Edge]bool)
@@ -186,10 +238,12 @@ func (p *TwoRound) Decode(n int, transcript *cclique.Transcript, coins *rng.Publ
 // transcripts, satisfying faults.ResilientProtocol. The referee augments
 // M₁ with whatever round-2 material parses, and classifies the run:
 //
-//   - ok: every message of both rounds parsed cleanly and no residual
-//     list was at the cap — the output carries the protocol's guarantee
-//     (a maximal matching whenever the cap was not binding);
-//   - degraded: some sketches were missing/garbled (skipped) or a
+//   - ok: every message of both rounds parsed cleanly, the feedback
+//     matched the referee's own recomputation, and no residual list was
+//     at the cap — the output carries the protocol's guarantee (a maximal
+//     matching whenever the cap was not binding);
+//   - degraded: some sketches were missing/garbled (skipped), the sealed
+//     feedback diverged from the recomputed M₁ (a damaged downlink), or a
 //     residual list hit the cap (possible truncation, so maximality may
 //     be lost); the output is still a valid greedy matching of the
 //     surviving reports;
@@ -199,7 +253,14 @@ func (p *TwoRound) Decode(n int, transcript *cclique.Transcript, coins *rng.Publ
 // from message contents alone; faults.Run's channel-record folding
 // covers that case, so a faulted run is never reported ok end to end.
 func (p *TwoRound) DecodeResilient(n int, transcript *cclique.Transcript, coins *rng.PublicCoins) ([]graph.Edge, core.Resilience, error) {
-	m1, matched, r1bad := p.round1MatchingDamage(n, transcript, coins)
+	// Decode against the sealed feedback (what the players saw), but
+	// recompute the true M₁ from round 1 to both count damaged sketches
+	// and detect a perturbed downlink: the referee knows exactly what it
+	// broadcast, so any divergence is detected damage.
+	fed, matched, fbOK := readMatchingFeedback(n, transcript.Feedback(0))
+	trueM1, r1bad := p.round1Matching(n, transcript, coins)
+	fbDamaged := !fbOK || !edgeListsEqual(fed, trueM1)
+	m1 := graph.GreedyMaximalMatchingEdgeOrder(n, fed)
 	idWidth := bitio.UintWidth(n)
 	capEdges := p.capEdges(n)
 	r2bad, capHits := 0, 0
@@ -254,7 +315,7 @@ func (p *TwoRound) DecodeResilient(n int, transcript *cclique.Transcript, coins 
 	switch {
 	case 2*r1bad > n || 2*r2bad > n:
 		return out, core.ResilienceFailed, nil
-	case r1bad > 0 || r2bad > 0 || capHits > 0:
+	case r1bad > 0 || r2bad > 0 || capHits > 0 || fbDamaged:
 		return out, core.ResilienceDegraded, nil
 	default:
 		return out, core.ResilienceOK, nil

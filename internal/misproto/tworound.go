@@ -3,11 +3,11 @@ package misproto
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"repro/internal/bitio"
 	"repro/internal/cclique"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/rng"
 )
@@ -15,13 +15,15 @@ import (
 // TwoRound is the adaptive two-round MIS protocol (Ghaffari et al. [35]
 // flavor). All parties share a public random rank order π.
 //
-// Round 1: every vertex broadcasts ~√n random neighbors. Everyone
+// Round 1: every vertex broadcasts ~√n random neighbors. The referee
 // computes the candidate set S₁ = greedy MIS of the sampled graph in π
-// order. S₁ dominates every vertex in the sampled graph (so every vertex
+// order and broadcasts it back as its feedback message (engine.Adaptive).
+// S₁ dominates every vertex in the sampled graph (so every vertex
 // outside S₁ has an S₁-neighbor in G), but S₁ can contain adjacent pairs
 // whose edge the samples missed.
 //
-// Round 2: each vertex v, consulting its full neighborhood:
+// Round 2: each vertex v, reading S₁ from the sealed feedback and
+// consulting its full neighborhood:
 //   - if v ∈ S₁ and some true neighbor u ∈ S₁ has smaller rank, v raises
 //     a conflict bit and broadcasts its S₁-neighbor list. Every conflict
 //     edge inside S₁ has its larger-rank endpoint raising the bit, so the
@@ -34,30 +36,22 @@ import (
 // graph on S₁, then extends F in rank order with undominated non-S₁
 // vertices using the reported edges. Only cap overflows can cost
 // correctness; those failures are measured, never silently ignored.
+//
+// The struct is stateless: the shared round-1 derivation that used to be
+// a mutex-guarded memo now travels through the transcript's sealed
+// feedback lane (the rank permutation itself is public-coin material
+// every party re-derives locally).
 type TwoRound struct {
 	// SamplesPerVertex is the round-1 budget in neighbors; 0 = ⌈√n⌉.
 	SamplesPerVertex int
 	// Cap bounds each round-2 list in entries; 0 = ⌈2·√n·log2(n+1)⌉.
 	Cap int
-
-	// memo caches the shared round-1 derivation for the current
-	// transcript: in a real deployment each party computes it once; the
-	// simulator would otherwise recompute it per player. The mutex makes
-	// the memo safe under the concurrent execution engine; the cached
-	// value is a pure function of the transcript and coins, so locking
-	// cannot change any bit.
-	memo struct {
-		sync.Mutex
-		transcript *cclique.Transcript
-		rank       []int
-		pos        []int // pos[v] = rank position of v (inverse of rank)
-		s1         []int
-		inS1       []bool
-		r1bad      int // round-1 vertices with damaged sketches
-	}
 }
 
-var _ cclique.Protocol[[]int] = (*TwoRound)(nil)
+var (
+	_ cclique.Protocol[[]int] = (*TwoRound)(nil)
+	_ engine.Adaptive         = (*TwoRound)(nil)
+)
 
 // NewTwoRound returns the protocol with default budgets.
 func NewTwoRound() *TwoRound { return &TwoRound{} }
@@ -82,55 +76,98 @@ func (p *TwoRound) listCap(n int) int {
 	return int(math.Ceil(2 * math.Sqrt(float64(n)) * math.Log2(float64(n)+1)))
 }
 
-// candidateSet computes (rank, S₁, membership) from round-1 broadcasts;
-// identical at every party, memoized per transcript. Parsing is tolerant
-// so a faulted round-1 transcript never aborts the run: damaged sketches
-// contribute what they can and are counted in the memoized r1bad, which
-// DecodeResilient folds into its verdict. Clean transcripts are parsed
-// identically to the strict reader.
-func (p *TwoRound) candidateSet(n int, transcript *cclique.Transcript, coins *rng.PublicCoins) ([]int, []int, []int, []bool, error) {
-	rank, pos, s1, inS1, _ := p.candidateSetDamage(n, transcript, coins)
-	return rank, pos, s1, inS1, nil
+// sharedRank re-derives the public rank permutation and its inverse
+// (pos[v] = rank position of v). Pure public-coin material: every party
+// and the referee compute the identical permutation locally.
+func sharedRank(n int, coins *rng.PublicCoins) (rank, pos []int) {
+	rank = coins.Derive("mis-rank").Source().Perm(n)
+	pos = make([]int, n)
+	for i, v := range rank {
+		pos[v] = i
+	}
+	return rank, pos
 }
 
-func (p *TwoRound) candidateSetDamage(n int, transcript *cclique.Transcript, coins *rng.PublicCoins) ([]int, []int, []int, []bool, int) {
-	p.memo.Lock()
-	defer p.memo.Unlock()
-	if p.memo.transcript == transcript {
-		return p.memo.rank, p.memo.pos, p.memo.s1, p.memo.inS1, p.memo.r1bad
-	}
+// candidateSet computes S₁ from the round-1 broadcasts — the referee-side
+// derivation behind the feedback message. Parsing is tolerant so a
+// faulted round-1 transcript never aborts the run: damaged sketches
+// contribute what they can and are counted in r1bad, which
+// DecodeResilient folds into its verdict. Clean transcripts are parsed
+// identically to the strict reader.
+func (p *TwoRound) candidateSet(n int, transcript *cclique.Transcript, rank []int) (s1 []int, r1bad int) {
 	sketches := make([]*bitio.Reader, n)
 	for v := 0; v < n; v++ {
 		sketches[v] = transcript.Message(0, v)
 	}
 	sampled, r1bad := readSampledGraphTolerant(n, sketches)
-	rank := coins.Derive("mis-rank").Source().Perm(n)
-	s1 := graph.GreedyMIS(sampled, rank)
-	inS1 := make([]bool, n)
-	for _, v := range s1 {
-		inS1[v] = true
-	}
-	// The inverse permutation is shared by every round-2 broadcast;
-	// memoizing it here turns n per-vertex O(n) builds into one.
-	pos := make([]int, n)
-	for i, v := range rank {
-		pos[v] = i
-	}
-	p.memo.transcript = transcript
-	p.memo.rank, p.memo.pos, p.memo.s1, p.memo.inS1, p.memo.r1bad = rank, pos, s1, inS1, r1bad
-	return rank, pos, s1, inS1, r1bad
+	return graph.GreedyMIS(sampled, rank), r1bad
 }
 
-// Broadcast implements cclique.Protocol.
+// Feedback implements engine.Adaptive: after round 1 seals, the referee
+// broadcasts S₁ as a vertex list (count, then ids at id width, in greedy
+// rank order). After the final round the referee is silent.
+func (p *TwoRound) Feedback(round int, transcript *cclique.Transcript, coins *rng.PublicCoins) (*bitio.Writer, error) {
+	if round != 0 {
+		return nil, nil
+	}
+	n := transcript.Players(0)
+	rank, _ := sharedRank(n, coins)
+	s1, _ := p.candidateSet(n, transcript, rank)
+	w := bitio.NewPooledWriter()
+	idWidth := bitio.UintWidth(n)
+	w.WriteUvarint(uint64(len(s1)))
+	for _, v := range s1 {
+		w.WriteUint(uint64(v), idWidth)
+	}
+	return w, nil
+}
+
+// readCandidateFeedback parses the round-1 feedback broadcast back into
+// the fed-back candidate list and membership mask. Parsing is tolerant
+// (truncation stops, out-of-range or duplicate entries are skipped) so a
+// faulted feedback message degrades the run instead of aborting it; ok
+// reports whether every declared entry parsed cleanly. On the referee's
+// own clean feedback the list round-trips exactly.
+func readCandidateFeedback(n int, r *bitio.Reader) (s1 []int, inS1 []bool, ok bool) {
+	inS1 = make([]bool, n)
+	ok = true
+	if r == nil {
+		return nil, inS1, false
+	}
+	k, err := r.ReadUvarint()
+	if err != nil {
+		return nil, inS1, false
+	}
+	idWidth := bitio.UintWidth(n)
+	for i := uint64(0); i < k; i++ {
+		u, err := r.ReadUint(idWidth)
+		if err != nil {
+			return s1, inS1, false
+		}
+		if int(u) >= n || inS1[u] {
+			ok = false
+			continue
+		}
+		inS1[u] = true
+		s1 = append(s1, int(u))
+	}
+	if r.Remaining() != 0 {
+		ok = false
+	}
+	return s1, inS1, ok
+}
+
+// Broadcast implements cclique.Protocol. Round-2 players read S₁ from
+// the referee's sealed feedback (Transcript.Feedback) and re-derive the
+// public rank order locally, rather than re-deriving S₁ from the full
+// round-1 transcript.
 func (p *TwoRound) Broadcast(round int, view core.VertexView, transcript *cclique.Transcript, coins *rng.PublicCoins) (*bitio.Writer, error) {
 	switch round {
 	case 0:
 		return sampleSketch(view, p.samples(view.N), coins), nil
 	case 1:
-		_, pos, _, inS1, err := p.candidateSet(view.N, transcript, coins)
-		if err != nil {
-			return nil, err
-		}
+		_, pos := sharedRank(view.N, coins)
+		_, inS1, _ := readCandidateFeedback(view.N, transcript.Feedback(0))
 		limit := p.listCap(view.N)
 		idWidth := bitio.UintWidth(view.N)
 		src := coins.Derive("mis-cap").DeriveIndex(view.ID).Source()
@@ -183,12 +220,13 @@ func (p *TwoRound) Broadcast(round int, view core.VertexView, transcript *ccliqu
 	}
 }
 
-// Decode implements cclique.Protocol.
+// Decode implements cclique.Protocol. The referee interprets round-2
+// reports against the S₁ it broadcast as feedback — the sealed feedback
+// is what the players actually acted on, so decoding against it keeps
+// referee and players consistent even over a damaged feedback channel.
 func (p *TwoRound) Decode(n int, transcript *cclique.Transcript, coins *rng.PublicCoins) ([]int, error) {
-	rank, _, s1, inS1, err := p.candidateSet(n, transcript, coins)
-	if err != nil {
-		return nil, err
-	}
+	rank, _ := sharedRank(n, coins)
+	s1, inS1, _ := readCandidateFeedback(n, transcript.Feedback(0))
 	idWidth := bitio.UintWidth(n)
 	dominators := make([][]int, n)
 	residual := make([][]int, n)
@@ -213,8 +251,10 @@ func (p *TwoRound) Decode(n int, transcript *cclique.Transcript, coins *rng.Publ
 
 	for v := 0; v < n; v++ {
 		r := transcript.Message(1, v)
+		var err error
 		if inS1[v] {
-			conflict, err := r.ReadBit()
+			var conflict bool
+			conflict, err = r.ReadBit()
 			if err != nil {
 				return nil, fmt.Errorf("misproto: round-2 message %d: %w", v, err)
 			}
@@ -303,18 +343,25 @@ func assembleMIS(n int, rank, s1 []int, inS1 []bool, dominators, residual [][]in
 // transcripts, satisfying faults.ResilientProtocol. Damaged round-1
 // sketches shrink the sampled graph (possibly inflating S₁); damaged
 // round-2 messages are skipped, costing their conflict reports and
-// domination witnesses. Verdicts mirror matchproto.TwoRound:
+// domination witnesses; a sealed feedback that diverges from the
+// referee's own recomputed S₁ is a detected downlink fault. Verdicts
+// mirror matchproto.TwoRound:
 //
-//   - ok: every message of both rounds parsed cleanly and no list was at
-//     the cap — the output carries the protocol's usual guarantee;
-//   - degraded: some sketches were missing/garbled or a list hit the cap
-//     (possible truncation), so independence or maximality may be lost;
+//   - ok: every message of both rounds parsed cleanly, the feedback
+//     matched the recomputation, and no list was at the cap — the output
+//     carries the protocol's usual guarantee;
+//   - degraded: some sketches were missing/garbled, the downlink was
+//     damaged, or a list hit the cap (possible truncation), so
+//     independence or maximality may be lost;
 //   - failed: more than half the vertices were damaged in either round.
 //
 // In-range bit flips forging plausible IDs are undetectable from message
 // contents alone; faults.Run's channel-record folding covers that case.
 func (p *TwoRound) DecodeResilient(n int, transcript *cclique.Transcript, coins *rng.PublicCoins) ([]int, core.Resilience, error) {
-	rank, _, s1, inS1, r1bad := p.candidateSetDamage(n, transcript, coins)
+	rank, _ := sharedRank(n, coins)
+	s1, inS1, fbOK := readCandidateFeedback(n, transcript.Feedback(0))
+	trueS1, r1bad := p.candidateSet(n, transcript, rank)
+	fbDamaged := !fbOK || !intListsEqual(s1, trueS1)
 	idWidth := bitio.UintWidth(n)
 	limit := p.listCap(n)
 	dominators := make([][]int, n)
@@ -383,9 +430,22 @@ func (p *TwoRound) DecodeResilient(n int, transcript *cclique.Transcript, coins 
 	switch {
 	case 2*r1bad > n || 2*r2bad > n:
 		return out, core.ResilienceFailed, nil
-	case r1bad > 0 || r2bad > 0 || capHits > 0:
+	case r1bad > 0 || r2bad > 0 || capHits > 0 || fbDamaged:
 		return out, core.ResilienceDegraded, nil
 	default:
 		return out, core.ResilienceOK, nil
 	}
+}
+
+// intListsEqual reports element-wise equality of two int lists.
+func intListsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

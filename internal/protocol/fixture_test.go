@@ -22,6 +22,8 @@ import (
 	_ "repro/internal/degeneracy"
 	_ "repro/internal/densest"
 	_ "repro/internal/equality"
+	_ "repro/internal/matchproto"
+	_ "repro/internal/misproto"
 	_ "repro/internal/mst"
 	_ "repro/internal/sparsify"
 	_ "repro/internal/triangles"
@@ -86,6 +88,142 @@ func TestGoldenFixtureTranscripts(t *testing.T) {
 				compareTranscriptLines(t, fmt.Sprintf("%s workers=%d", fc.label, workers), got, want)
 			}
 		})
+	}
+}
+
+// twoRoundFixtureCases pins the adaptive two-round protocols through
+// their registry builders. The fixtures were recorded from the
+// pre-migration tree (private memo-locked driver loops inside matchproto
+// and misproto), so they are the byte-level contract the migration onto
+// the engine's referee-feedback path must preserve: every player message
+// of both rounds AND the decoded outcome, at Workers ∈ {1, 2, 8}. Graph
+// and coin seeds match the corresponding wire.SmokeSpecs entries.
+func twoRoundFixtureCases() []fixtureCase {
+	return []fixtureCase{
+		{label: "mm-tworound", protocol: "mm-tworound",
+			g: gen.Gnp(50, 0.3, rng.NewSource(13)), coins: rng.NewPublicCoins(14)},
+		{label: "mis-tworound", protocol: "mis-tworound",
+			g: gen.Gnp(50, 0.25, rng.NewSource(15)), coins: rng.NewPublicCoins(16)},
+	}
+}
+
+// TestGoldenTwoRoundFixtures asserts byte-for-byte equality of the
+// two-round protocols' player transcripts plus their decoded outcomes
+// against the committed pre-migration fixtures, for Workers ∈ {1, 2, 8}.
+// Only player messages are pinned here — the post-migration transcripts
+// additionally carry a referee feedback lane, pinned separately by
+// TestGoldenTwoRoundFeedback.
+func TestGoldenTwoRoundFixtures(t *testing.T) {
+	for _, fc := range twoRoundFixtureCases() {
+		fc := fc
+		t.Run(fc.label, func(t *testing.T) {
+			path := filepath.Join("testdata", fc.label+".golden")
+			if *updateFixtures {
+				tr, out := execOutcomeFixture(t, fc, 1)
+				lines := append(flattenTranscript(t, tr, fc.g.N()), outcomeLine(out))
+				writeFixtureLines(t, path, lines)
+			}
+			want := readTranscriptFixture(t, path)
+			for _, workers := range []int{1, 2, 8} {
+				tr, out := execOutcomeFixture(t, fc, workers)
+				got := append(flattenTranscript(t, tr, fc.g.N()), outcomeLine(out))
+				compareTranscriptLines(t, fmt.Sprintf("%s workers=%d", fc.label, workers), got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenTwoRoundFeedback pins the post-migration referee feedback of
+// the adaptive two-round protocols, byte for byte at Workers ∈ {1, 2, 8},
+// against sidecar fixtures (<label>.feedback, "round nbit hex" lines).
+// The sidecars were recorded when the feedback lane was introduced; the
+// player goldens above stay untouched pre-migration bytes. Structure is
+// asserted too: the referee speaks after round 1 (non-empty feedback) and
+// is silent after the final round.
+func TestGoldenTwoRoundFeedback(t *testing.T) {
+	for _, fc := range twoRoundFixtureCases() {
+		fc := fc
+		t.Run(fc.label, func(t *testing.T) {
+			path := filepath.Join("testdata", fc.label+".feedback")
+			if *updateFixtures {
+				writeFixtureLines(t, path, flattenFeedback(t, execFixture(t, fc, 1)))
+			}
+			want := readTranscriptFixture(t, path)
+			for _, workers := range []int{1, 2, 8} {
+				tr := execFixture(t, fc, workers)
+				if tr.FeedbackBitLen(0) == 0 {
+					t.Fatalf("workers=%d: no referee feedback after round 1", workers)
+				}
+				if tr.FeedbackBitLen(1) != 0 {
+					t.Fatalf("workers=%d: referee spoke after the final round", workers)
+				}
+				got := flattenFeedback(t, tr)
+				compareTranscriptLines(t, fmt.Sprintf("%s feedback workers=%d", fc.label, workers), got, want)
+			}
+		})
+	}
+}
+
+// flattenFeedback renders one "round nbit hex" line per round of the
+// transcript's referee feedback lane (same bit packing as player lines).
+func flattenFeedback(t *testing.T, tr *engine.Transcript) []string {
+	t.Helper()
+	var out []string
+	for round := 0; round < tr.Rounds(); round++ {
+		nbit := tr.FeedbackBitLen(round)
+		buf := make([]byte, (nbit+7)/8)
+		if nbit > 0 {
+			r := tr.Feedback(round)
+			for i := 0; i < nbit; i++ {
+				b, err := r.ReadBit()
+				if err != nil {
+					t.Fatalf("feedback round %d bit %d: %v", round, i, err)
+				}
+				if b {
+					buf[i/8] |= 1 << uint(i%8)
+				}
+			}
+		}
+		out = append(out, fmt.Sprintf("%d %d %s", round, nbit, hex.EncodeToString(buf)))
+	}
+	return out
+}
+
+// outcomeLine renders a decoded Outcome as one canonical fixture line.
+func outcomeLine(o protocol.Outcome) string {
+	return fmt.Sprintf("outcome %s %d %g %t %t", o.Kind, o.Size, o.Value, o.Checked, o.Valid)
+}
+
+func execOutcomeFixture(t *testing.T, fc fixtureCase, workers int) (*engine.Transcript, protocol.Outcome) {
+	t.Helper()
+	p, err := protocol.Build(fc.protocol, fc.g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &engine.Engine{Workers: workers, ShardSize: 3}
+	res, tr, err := engine.RunWithTranscript(context.Background(), eng, p, fc.g, fc.coins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, res.Output
+}
+
+func writeFixtureLines(t *testing.T, path string, lines []string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for _, line := range lines {
+		fmt.Fprintln(w, line)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
 	}
 }
 

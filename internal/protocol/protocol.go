@@ -83,11 +83,32 @@ type resilientDecoder[T any] interface {
 	DecodeResilient(n int, t *engine.Transcript, coins *rng.PublicCoins) (T, core.Resilience, error)
 }
 
+// adaptiveFeedback is engine.Adaptive's extra method, declared
+// structurally (like resilientDecoder) so the check works against any
+// inner protocol type. A test in protocol_test asserts the interfaces
+// stay in sync.
+type adaptiveFeedback interface {
+	Feedback(round int, t *engine.Transcript, coins *rng.PublicCoins) (*bitio.Writer, error)
+}
+
 func (a *adapted[T]) Name() string { return a.inner.Name() }
 func (a *adapted[T]) Rounds() int  { return a.inner.Rounds() }
 
 func (a *adapted[T]) Broadcast(round int, view core.VertexView, t *engine.Transcript, coins *rng.PublicCoins) (*bitio.Writer, error) {
 	return a.inner.Broadcast(round, view, t, coins)
+}
+
+// Feedback forwards the inner protocol's referee feedback when it is
+// adaptive. For a non-adaptive inner protocol it returns a nil writer,
+// which the engine seals as an empty feedback slot — bit-identical (and
+// stats-identical) to not implementing engine.Adaptive at all, so the
+// unconditional forwarding method is digest-neutral for every wrapped
+// one-round protocol.
+func (a *adapted[T]) Feedback(round int, t *engine.Transcript, coins *rng.PublicCoins) (*bitio.Writer, error) {
+	if ap, ok := a.inner.(adaptiveFeedback); ok {
+		return ap.Feedback(round, t, coins)
+	}
+	return nil, nil
 }
 
 func (a *adapted[T]) Decode(n int, t *engine.Transcript, coins *rng.PublicCoins) (Outcome, error) {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/bitio"
@@ -32,15 +33,20 @@ func goldenFixturePaths(t *testing.T) []string {
 		}
 		paths = append(paths, matches...)
 	}
-	if len(paths) < 16 {
-		t.Fatalf("found only %d golden fixtures, expected the 5 engine + 3 faults + 8 protocol ones", len(paths))
+	if len(paths) < 20 {
+		t.Fatalf("found only %d golden fixtures, expected the 5 engine + 5 faults + 10 protocol ones", len(paths))
 	}
 	return paths
 }
 
 // readFixtureTranscript rebuilds an engine.Transcript from a golden file
 // of "round vertex nbit hex" lines (bits packed LSB-first, exactly
-// bitio.Writer's layout).
+// bitio.Writer's layout). Trailer lines that do not start with a digit
+// (the protocol fixtures append an "outcome ..." line) are skipped. When
+// a sidecar "<base>.feedback" file exists next to the golden, its
+// "round nbit hex" lines are sealed as the rounds' referee feedback; the
+// player goldens themselves never carry feedback, preserving their
+// pre-migration bytes.
 func readFixtureTranscript(t *testing.T, path string) *engine.Transcript {
 	t.Helper()
 	f, err := os.Open(path)
@@ -48,47 +54,87 @@ func readFixtureTranscript(t *testing.T, path string) *engine.Transcript {
 		t.Fatal(err)
 	}
 	defer f.Close()
+	feedback := readFixtureFeedback(t, strings.TrimSuffix(path, ".golden")+".feedback")
 	tr := engine.NewTranscript()
 	var msgs []*bitio.Writer
 	current := 0
 	flush := func() {
 		if msgs != nil {
 			tr.SealRound(msgs)
+			tr.SealFeedback(feedback[current])
 			msgs = nil
 		}
 	}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<22)
 	for sc.Scan() {
+		line := sc.Text()
+		if len(line) == 0 || line[0] < '0' || line[0] > '9' {
+			continue
+		}
 		var round, vertex, nbit int
 		var hexBits string
-		n, err := fmt.Sscanf(sc.Text(), "%d %d %d %s", &round, &vertex, &nbit, &hexBits)
+		n, err := fmt.Sscanf(line, "%d %d %d %s", &round, &vertex, &nbit, &hexBits)
 		if err != nil && n < 3 {
-			t.Fatalf("%s: malformed line %q: %v", path, sc.Text(), err)
+			t.Fatalf("%s: malformed line %q: %v", path, line, err)
 		}
 		if round != current {
 			flush()
 			current = round
 		}
-		if nbit == 0 {
-			msgs = append(msgs, nil)
-			continue
-		}
-		buf, err := hex.DecodeString(hexBits)
-		if err != nil {
-			t.Fatalf("%s: bad hex in %q: %v", path, sc.Text(), err)
-		}
-		w := &bitio.Writer{}
-		for i, rem := 0, nbit; rem > 0; i, rem = i+1, rem-8 {
-			w.WriteUint(uint64(buf[i]), min(rem, 8))
-		}
-		msgs = append(msgs, w)
+		msgs = append(msgs, fixtureMessage(t, path, line, nbit, hexBits))
 	}
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
 	}
 	flush()
 	return tr
+}
+
+// fixtureMessage unpacks one fixture line's hex-packed bits into a
+// writer; nil for empty messages.
+func fixtureMessage(t *testing.T, path, line string, nbit int, hexBits string) *bitio.Writer {
+	t.Helper()
+	if nbit == 0 {
+		return nil
+	}
+	buf, err := hex.DecodeString(hexBits)
+	if err != nil {
+		t.Fatalf("%s: bad hex in %q: %v", path, line, err)
+	}
+	w := &bitio.Writer{}
+	for i, rem := 0, nbit; rem > 0; i, rem = i+1, rem-8 {
+		w.WriteUint(uint64(buf[i]), min(rem, 8))
+	}
+	return w
+}
+
+// readFixtureFeedback loads a feedback sidecar ("round nbit hex" lines)
+// into a per-round map; an absent sidecar is an empty map (the
+// non-adaptive case).
+func readFixtureFeedback(t *testing.T, path string) map[int]*bitio.Writer {
+	t.Helper()
+	out := map[int]*bitio.Writer{}
+	f, err := os.Open(path)
+	if err != nil {
+		return out
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<22)
+	for sc.Scan() {
+		var round, nbit int
+		var hexBits string
+		n, err := fmt.Sscanf(sc.Text(), "%d %d %s", &round, &nbit, &hexBits)
+		if err != nil && n < 2 {
+			t.Fatalf("%s: malformed feedback line %q: %v", path, sc.Text(), err)
+		}
+		out[round] = fixtureMessage(t, path, sc.Text(), nbit, hexBits)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
 }
 
 // TestGoldenFixtureWireRoundTrip asserts decode(encode(t)) is
@@ -158,7 +204,10 @@ func smokeFixturePath(t *testing.T, spec RunSpec) string {
 	if spec.Faults != (FaultSpec{}) {
 		return filepath.Join("..", "faults", "testdata", spec.Label+".golden")
 	}
-	for _, dir := range []string{"engine", "protocol"} {
+	// protocol/testdata takes precedence: for the adaptive two-round
+	// protocols it holds the same player bytes as engine/testdata plus
+	// the feedback sidecar recorded at the migration.
+	for _, dir := range []string{"protocol", "engine"} {
 		path := filepath.Join("..", dir, "testdata", spec.Label+".golden")
 		if _, err := os.Stat(path); err == nil {
 			return path

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"testing"
+
+	"repro/internal/engine"
 )
 
 // FuzzWireDecodeRunSpec asserts the RunSpec decoder never panics on
@@ -36,10 +38,13 @@ func FuzzWireDecodeTranscript(f *testing.F) {
 	// float rescaling counts, two speaking players); the heavyweight
 	// transcripts (mst-weight, agm-cut-sparsifier) are left out to keep
 	// the fuzz iteration fast.
+	// mm-tworound and fb-corrupt-mis-tworound carry non-empty referee
+	// feedback, seeding the decoder's feedback lane (wire version 2).
 	seeds := SmokeSpecs(2)[:2:2]
 	for _, spec := range SmokeSpecs(2) {
 		switch spec.Label {
-		case "palette-sparsification", "triangle-count", "equality-public-coin":
+		case "palette-sparsification", "triangle-count", "equality-public-coin",
+			"mm-tworound", "fb-corrupt-mis-tworound":
 			seeds = append(seeds, spec)
 		}
 	}
@@ -52,6 +57,10 @@ func FuzzWireDecodeTranscript(f *testing.F) {
 	}
 	f.Add(EncodeTranscript(nil))
 	f.Add(appendFrame(kindTranscript, []byte{1, 1, 3, 0xff}))
+	// One round, one empty player message, then a feedback field declaring
+	// 3 bits with a non-canonical padding byte: exercises the feedback
+	// decoder's rejection paths directly.
+	f.Add(appendFrame(kindTranscript, []byte{1, 1, 0, 3, 0xff}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := DecodeTranscript(data)
 		if err != nil {
@@ -59,6 +68,38 @@ func FuzzWireDecodeTranscript(f *testing.F) {
 		}
 		if !bytes.Equal(EncodeTranscript(tr), data) {
 			t.Fatalf("accepted non-canonical transcript encoding: %x", data)
+		}
+	})
+}
+
+// FuzzWireDecodeRunStats asserts the run-stats decoder never panics on
+// arbitrary input and that accepted frames are canonical, covering the
+// version-2 additions (per-round player/feedback bit accounting and the
+// feedback fault counters).
+func FuzzWireDecodeRunStats(f *testing.F) {
+	for _, spec := range []string{"mm-tworound", "agm-forest", "fb-corrupt-mis-tworound"} {
+		for _, s := range SmokeSpecs(2) {
+			if s.Label != spec {
+				continue
+			}
+			report, err := ExecuteSpec(context.Background(), s)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(EncodeRunStats(&report.Stats))
+		}
+	}
+	f.Add(EncodeRunStats(testStats()))
+	f.Add(EncodeRunStats(&engine.RunStats{}))
+	f.Add([]byte{})
+	f.Add(appendFrame(kindRunStats, nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeRunStats(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeRunStats(s), data) {
+			t.Fatalf("accepted non-canonical run-stats encoding: %x", data)
 		}
 	})
 }

@@ -53,5 +53,14 @@ func SmokeSpecs(workers int) []RunSpec {
 			Graph: GraphSpec{Kind: "gnp", N: 40, P: 0.25, Seed: 43}, Seed: 44, Workers: workers},
 		{Label: "equality-public-coin", Protocol: "equality-public-coin",
 			Graph: GraphSpec{Kind: "gnp", N: 40, P: 0.3, Seed: 45}, Seed: 46, Workers: workers},
+		// Adaptive downlink faults: the referee's feedback is damaged while
+		// the player uplink stays clean, exercising the engine's feedback
+		// lane end to end (fixtures under internal/faults/testdata).
+		{Label: "fb-dropped-mm-tworound", Protocol: "mm-tworound",
+			Graph: GraphSpec{Kind: "gnp", N: 48, P: 0.2, Seed: 7}, Seed: 101, Workers: workers,
+			Faults: FaultSpec{FbDrop: 1, Seed: faultSeed}},
+		{Label: "fb-corrupt-mis-tworound", Protocol: "mis-tworound",
+			Graph: GraphSpec{Kind: "gnp", N: 48, P: 0.2, Seed: 7}, Seed: 101, Workers: workers,
+			Faults: FaultSpec{FbCorrupt: 1, Flip: 3, Seed: faultSeed}},
 	}
 }

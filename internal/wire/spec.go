@@ -125,29 +125,38 @@ type FaultSpec struct {
 	Flip     int     `json:"flip,omitempty"`
 	Straggle float64 `json:"straggle,omitempty"`
 	DelayNS  int64   `json:"delay_ns,omitempty"`
-	Seed     uint64  `json:"seed,omitempty"`
+	// FbDrop and FbCorrupt damage the referee's feedback downlink of
+	// adaptive protocols (engine.Adaptive); both are no-ops on the empty
+	// feedback of non-adaptive runs.
+	FbDrop    float64 `json:"fb_drop,omitempty"`
+	FbCorrupt float64 `json:"fb_corrupt,omitempty"`
+	Seed      uint64  `json:"seed,omitempty"`
 }
 
 // Plan converts the spec to the faults package's plan.
 func (f FaultSpec) Plan() faults.Plan {
 	return faults.Plan{
-		DropProb:       f.Drop,
-		CorruptProb:    f.Corrupt,
-		FlipBits:       f.Flip,
-		StragglerProb:  f.Straggle,
-		StragglerDelay: time.Duration(f.DelayNS),
+		DropProb:            f.Drop,
+		CorruptProb:         f.Corrupt,
+		FlipBits:            f.Flip,
+		StragglerProb:       f.Straggle,
+		StragglerDelay:      time.Duration(f.DelayNS),
+		FeedbackDropProb:    f.FbDrop,
+		FeedbackCorruptProb: f.FbCorrupt,
 	}
 }
 
 // FaultSpecFor converts a fault plan plus fault-coin seed to wire form.
 func FaultSpecFor(p faults.Plan, seed uint64) FaultSpec {
 	return FaultSpec{
-		Drop:     p.DropProb,
-		Corrupt:  p.CorruptProb,
-		Flip:     p.FlipBits,
-		Straggle: p.StragglerProb,
-		DelayNS:  int64(p.StragglerDelay),
-		Seed:     seed,
+		Drop:      p.DropProb,
+		Corrupt:   p.CorruptProb,
+		Flip:      p.FlipBits,
+		Straggle:  p.StragglerProb,
+		DelayNS:   int64(p.StragglerDelay),
+		FbDrop:    p.FeedbackDropProb,
+		FbCorrupt: p.FeedbackCorruptProb,
+		Seed:      seed,
 	}
 }
 
@@ -189,7 +198,8 @@ func (s RunSpec) Validate() error {
 	for _, pr := range []struct {
 		name string
 		v    float64
-	}{{"drop", p.Drop}, {"corrupt", p.Corrupt}, {"straggle", p.Straggle}} {
+	}{{"drop", p.Drop}, {"corrupt", p.Corrupt}, {"straggle", p.Straggle},
+		{"fb-drop", p.FbDrop}, {"fb-corrupt", p.FbCorrupt}} {
 		if pr.v < 0 || pr.v > 1 || pr.v != pr.v {
 			return fmt.Errorf("wire: fault %s probability %g outside [0,1]", pr.name, pr.v)
 		}
@@ -227,6 +237,8 @@ func appendRunSpecPayload(e *enc, s RunSpec) {
 	e.uint(s.Faults.Flip)
 	e.f64(s.Faults.Straggle)
 	e.uvarint(uint64(s.Faults.DelayNS))
+	e.f64(s.Faults.FbDrop)
+	e.f64(s.Faults.FbCorrupt)
 	e.u64(s.Faults.Seed)
 }
 
@@ -266,6 +278,8 @@ func decodeRunSpecPayload(d *dec) RunSpec {
 	if s.Faults.DelayNS < 0 {
 		d.fail("fault delay overflows")
 	}
+	s.Faults.FbDrop = d.f64()
+	s.Faults.FbCorrupt = d.f64()
 	s.Faults.Seed = d.u64()
 	return s
 }

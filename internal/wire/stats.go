@@ -41,7 +41,14 @@ func appendRunStatsPayload(e *enc, s *engine.RunStats) {
 	for _, v := range s.RoundTotalBits {
 		e.uvarint(uint64(v))
 	}
+	e.uint(len(s.RoundBits))
+	for _, r := range s.RoundBits {
+		e.uvarint(uint64(r.PlayerBits))
+		e.uint(r.PlayerMaxBits)
+		e.uint(r.FeedbackBits)
+	}
 	e.uvarint(uint64(s.TotalBits))
+	e.uvarint(uint64(s.FeedbackBits))
 	e.uint(len(s.Hist))
 	for _, b := range s.Hist {
 		e.uint(b.Lo)
@@ -64,6 +71,8 @@ func appendRunStatsPayload(e *enc, s *engine.RunStats) {
 	e.uint(s.Faults.Corrupted)
 	e.uint(s.Faults.FlippedBits)
 	e.uint(s.Faults.Straggled)
+	e.uint(s.Faults.FeedbackDropped)
+	e.uint(s.Faults.FeedbackCorrupted)
 	e.uint(int(s.Faults.Resilience))
 }
 
@@ -105,7 +114,16 @@ func decodeRunStatsPayload(d *dec) *engine.RunStats {
 			s.RoundTotalBits[i] = int64(d.uvarint())
 		}
 	}
+	if n := d.length("round bits", 3); n > 0 {
+		s.RoundBits = make([]engine.RoundStats, n)
+		for i := range s.RoundBits {
+			s.RoundBits[i].PlayerBits = int64(d.uvarint())
+			s.RoundBits[i].PlayerMaxBits = d.int("round player max bits")
+			s.RoundBits[i].FeedbackBits = d.int("round feedback bits")
+		}
+	}
 	s.TotalBits = int64(d.uvarint())
+	s.FeedbackBits = int64(d.uvarint())
 	if n := d.length("histogram bucket", 3); n > 0 {
 		s.Hist = make([]engine.HistBucket, n)
 		for i := range s.Hist {
@@ -132,6 +150,8 @@ func decodeRunStatsPayload(d *dec) *engine.RunStats {
 	s.Faults.Corrupted = d.int("corrupted")
 	s.Faults.FlippedBits = d.int("flipped bits")
 	s.Faults.Straggled = d.int("straggled")
+	s.Faults.FeedbackDropped = d.int("feedback dropped")
+	s.Faults.FeedbackCorrupted = d.int("feedback corrupted")
 	s.Faults.Resilience = core.Resilience(d.int("resilience"))
 	return s
 }
@@ -152,7 +172,9 @@ type StatsJSON struct {
 	MaxMessageBits  int              `json:"max_message_bits"`
 	RoundMaxBits    []int            `json:"round_max_bits,omitempty"`
 	RoundTotalBits  []int64          `json:"round_total_bits,omitempty"`
+	RoundBits       []RoundBitsJSON  `json:"round_bits,omitempty"`
 	TotalBits       int64            `json:"total_bits"`
+	FeedbackBits    int64            `json:"feedback_bits,omitempty"`
 	Hist            []HistBucketJSON `json:"hist,omitempty"`
 	RoundWallNS     []int64          `json:"round_wall_ns,omitempty"`
 	ShardWall       TimerJSON        `json:"shard_wall"`
@@ -161,6 +183,14 @@ type StatsJSON struct {
 	TotalWallNS     int64            `json:"total_wall_ns"`
 	PeakInFlight    int              `json:"peak_in_flight"`
 	Faults          FaultStatsJSON   `json:"faults"`
+}
+
+// RoundBitsJSON is the JSON form of engine.RoundStats: one round's
+// player uplink totals plus the referee's feedback downlink length.
+type RoundBitsJSON struct {
+	PlayerBits    int64 `json:"player_bits"`
+	PlayerMaxBits int   `json:"player_max_bits"`
+	FeedbackBits  int   `json:"feedback_bits"`
 }
 
 // HistBucketJSON is one message-length histogram bucket: Count messages
@@ -180,12 +210,14 @@ type TimerJSON struct {
 
 // FaultStatsJSON is the JSON form of engine.FaultStats.
 type FaultStatsJSON struct {
-	Injected    bool   `json:"injected"`
-	Dropped     int    `json:"dropped"`
-	Corrupted   int    `json:"corrupted"`
-	FlippedBits int    `json:"flipped_bits"`
-	Straggled   int    `json:"straggled"`
-	Resilience  string `json:"resilience"`
+	Injected          bool   `json:"injected"`
+	Dropped           int    `json:"dropped"`
+	Corrupted         int    `json:"corrupted"`
+	FlippedBits       int    `json:"flipped_bits"`
+	Straggled         int    `json:"straggled"`
+	FeedbackDropped   int    `json:"feedback_dropped,omitempty"`
+	FeedbackCorrupted int    `json:"feedback_corrupted,omitempty"`
+	Resilience        string `json:"resilience"`
 }
 
 // StatsToJSON converts run stats to their JSON form.
@@ -204,6 +236,7 @@ func StatsToJSON(s *engine.RunStats) StatsJSON {
 		RoundMaxBits:    s.RoundMaxBits,
 		RoundTotalBits:  s.RoundTotalBits,
 		TotalBits:       s.TotalBits,
+		FeedbackBits:    s.FeedbackBits,
 		ShardWall: TimerJSON{
 			Count:   s.ShardWall.Count,
 			TotalNS: int64(s.ShardWall.Total),
@@ -214,13 +247,22 @@ func StatsToJSON(s *engine.RunStats) StatsJSON {
 		TotalWallNS:     int64(s.TotalWall),
 		PeakInFlight:    s.PeakInFlight,
 		Faults: FaultStatsJSON{
-			Injected:    s.Faults.Injected,
-			Dropped:     s.Faults.Dropped,
-			Corrupted:   s.Faults.Corrupted,
-			FlippedBits: s.Faults.FlippedBits,
-			Straggled:   s.Faults.Straggled,
-			Resilience:  s.Faults.Resilience.String(),
+			Injected:          s.Faults.Injected,
+			Dropped:           s.Faults.Dropped,
+			Corrupted:         s.Faults.Corrupted,
+			FlippedBits:       s.Faults.FlippedBits,
+			Straggled:         s.Faults.Straggled,
+			FeedbackDropped:   s.Faults.FeedbackDropped,
+			FeedbackCorrupted: s.Faults.FeedbackCorrupted,
+			Resilience:        s.Faults.Resilience.String(),
 		},
+	}
+	for _, r := range s.RoundBits {
+		out.RoundBits = append(out.RoundBits, RoundBitsJSON{
+			PlayerBits:    r.PlayerBits,
+			PlayerMaxBits: r.PlayerMaxBits,
+			FeedbackBits:  r.FeedbackBits,
+		})
 	}
 	for _, b := range s.Hist {
 		out.Hist = append(out.Hist, HistBucketJSON{Lo: b.Lo, Hi: b.Hi, Count: b.Count})
@@ -249,6 +291,7 @@ func StatsFromJSON(j StatsJSON) (*engine.RunStats, error) {
 		RoundMaxBits:    j.RoundMaxBits,
 		RoundTotalBits:  j.RoundTotalBits,
 		TotalBits:       j.TotalBits,
+		FeedbackBits:    j.FeedbackBits,
 		ShardWall: engine.TimerStats{
 			Count: j.ShardWall.Count,
 			Total: time.Duration(j.ShardWall.TotalNS),
@@ -258,6 +301,13 @@ func StatsFromJSON(j StatsJSON) (*engine.RunStats, error) {
 		DecodeWall:    time.Duration(j.DecodeWallNS),
 		TotalWall:     time.Duration(j.TotalWallNS),
 		PeakInFlight:  j.PeakInFlight,
+	}
+	for _, rb := range j.RoundBits {
+		s.RoundBits = append(s.RoundBits, engine.RoundStats{
+			PlayerBits:    rb.PlayerBits,
+			PlayerMaxBits: rb.PlayerMaxBits,
+			FeedbackBits:  rb.FeedbackBits,
+		})
 	}
 	for _, b := range j.Hist {
 		s.Hist = append(s.Hist, engine.HistBucket{Lo: b.Lo, Hi: b.Hi, Count: b.Count})
@@ -270,12 +320,14 @@ func StatsFromJSON(j StatsJSON) (*engine.RunStats, error) {
 		return nil, err
 	}
 	s.Faults = engine.FaultStats{
-		Injected:    j.Faults.Injected,
-		Dropped:     j.Faults.Dropped,
-		Corrupted:   j.Faults.Corrupted,
-		FlippedBits: j.Faults.FlippedBits,
-		Straggled:   j.Faults.Straggled,
-		Resilience:  r,
+		Injected:          j.Faults.Injected,
+		Dropped:           j.Faults.Dropped,
+		Corrupted:         j.Faults.Corrupted,
+		FlippedBits:       j.Faults.FlippedBits,
+		Straggled:         j.Faults.Straggled,
+		FeedbackDropped:   j.Faults.FeedbackDropped,
+		FeedbackCorrupted: j.Faults.FeedbackCorrupted,
+		Resilience:        r,
 	}
 	return s, nil
 }

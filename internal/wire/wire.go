@@ -16,7 +16,7 @@
 // Every encoded object is one frame:
 //
 //	offset 0: magic "RSKW" (4 bytes)
-//	offset 4: format version (1 byte, currently 1)
+//	offset 4: format version (1 byte, currently 2)
 //	offset 5: payload kind (1 byte: run-spec, transcript, run-stats, ...)
 //	offset 6: payload length (uvarint)
 //	then exactly that many payload bytes (no trailing data)
@@ -27,6 +27,19 @@
 // errors, enforced by the FuzzWireDecode* targets — and they never
 // allocate more than the input length can justify, so a short hostile
 // frame cannot balloon memory.
+//
+// Digest compatibility. Version 2 added the referee feedback lane
+// (engine.Adaptive) to the transcript payload: after each round's player
+// messages the payload carries the round's feedback bit-length and packed
+// bits. TranscriptDigest hashes the canonical encoding, so digests are
+// comparable only between builds speaking the same wire version — exactly
+// the guarantee the version byte already enforces for the frames
+// themselves. Within version 2, a non-adaptive protocol's rounds carry
+// zero-length feedback, which the engine seals for every round
+// unconditionally; a transcript with all-empty feedback is therefore
+// byte-identical (and digest-identical) to the same player messages
+// produced by a build that predates the protocol turning adaptive only if
+// both speak version 2 — version 1 frames are rejected, never reencoded.
 package wire
 
 import (
@@ -42,8 +55,11 @@ import (
 
 // Version is the wire format version this build speaks. Decoders reject
 // every other version outright: cross-version negotiation is a
-// non-goal — the client and daemon ship from the same tree.
-const Version = 1
+// non-goal — the client and daemon ship from the same tree. Version 2
+// extended the transcript payload with the per-round referee feedback
+// lane and the run-stats payload with per-round player/feedback bit
+// accounting.
+const Version = 2
 
 // magic identifies referee-service frames.
 var magic = [4]byte{'R', 'S', 'K', 'W'}
@@ -285,9 +301,11 @@ func (d *dec) done() error {
 }
 
 // EncodeTranscript serializes a sealed transcript as one canonical frame:
-// round count, then per round the player count and per player the
-// bit-length plus the packed bits (LSB-first, exactly bitio.Writer's
-// layout, final byte zero-padded).
+// round count, then per round the player count, per player the bit-length
+// plus the packed bits (LSB-first, exactly bitio.Writer's layout, final
+// byte zero-padded), and finally the round's referee feedback bit-length
+// plus packed bits (empty — a lone zero — for every round of a
+// non-adaptive protocol).
 func EncodeTranscript(t *engine.Transcript) []byte {
 	var e enc
 	appendTranscriptPayload(&e, t)
@@ -299,6 +317,13 @@ func appendTranscriptPayload(e *enc, t *engine.Transcript) {
 		e.uint(0)
 		return
 	}
+	packBits := func(r *bitio.Reader, nbit int) {
+		for rem := nbit; rem > 0; rem -= 8 {
+			w := min(rem, 8)
+			b, _ := r.ReadUint(w)
+			e.byte(byte(b))
+		}
+	}
 	e.uint(t.Rounds())
 	for round := 0; round < t.Rounds(); round++ {
 		players := t.Players(round)
@@ -306,12 +331,12 @@ func appendTranscriptPayload(e *enc, t *engine.Transcript) {
 		for v := 0; v < players; v++ {
 			nbit := t.BitLen(round, v)
 			e.uint(nbit)
-			r := t.Message(round, v)
-			for rem := nbit; rem > 0; rem -= 8 {
-				w := min(rem, 8)
-				b, _ := r.ReadUint(w)
-				e.byte(byte(b))
-			}
+			packBits(t.Message(round, v), nbit)
+		}
+		fbBits := t.FeedbackBitLen(round)
+		e.uint(fbBits)
+		if fbBits > 0 {
+			packBits(t.Feedback(round), fbBits)
 		}
 	}
 }
@@ -336,37 +361,45 @@ func DecodeTranscript(data []byte) (*engine.Transcript, error) {
 
 func decodeTranscriptPayload(d *dec) *engine.Transcript {
 	t := engine.NewTranscript()
+	readMessage := func(round, v int, what string) *bitio.Writer {
+		nbit := d.int(what + " bit-length")
+		if d.err != nil {
+			return nil
+		}
+		nb := (nbit + 7) / 8
+		buf := d.raw(nb, what+" bits")
+		if d.err != nil {
+			return nil
+		}
+		if rem := nbit % 8; rem != 0 && buf[nb-1]>>uint(rem) != 0 {
+			d.fail("non-canonical padding bits in round %d %s %d", round, what, v)
+			return nil
+		}
+		if nbit == 0 {
+			return nil
+		}
+		w := &bitio.Writer{}
+		for i, rem := 0, nbit; rem > 0; i, rem = i+1, rem-8 {
+			w.WriteUint(uint64(buf[i]), min(rem, 8))
+		}
+		return w
+	}
 	rounds := d.length("round", 1)
 	for round := 0; round < rounds; round++ {
 		players := d.length("player", 1)
 		msgs := make([]*bitio.Writer, players)
 		for v := 0; v < players; v++ {
-			nbit := d.int("message bit-length")
+			msgs[v] = readMessage(round, v, "message")
 			if d.err != nil {
 				return t
 			}
-			nb := (nbit + 7) / 8
-			buf := d.raw(nb, "message bits")
-			if d.err != nil {
-				return t
-			}
-			if rem := nbit % 8; rem != 0 && buf[nb-1]>>uint(rem) != 0 {
-				d.fail("non-canonical padding bits in round %d player %d", round, v)
-				return t
-			}
-			if nbit == 0 {
-				continue
-			}
-			w := &bitio.Writer{}
-			for i, rem := 0, nbit; rem > 0; i, rem = i+1, rem-8 {
-				w.WriteUint(uint64(buf[i]), min(rem, 8))
-			}
-			msgs[v] = w
 		}
+		fb := readMessage(round, 0, "feedback")
 		if d.err != nil {
 			return t
 		}
 		t.SealRound(msgs)
+		t.SealFeedback(fb)
 	}
 	return t
 }

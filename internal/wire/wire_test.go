@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -27,7 +28,12 @@ func testStats() *engine.RunStats {
 		MaxMessageBits:  1234,
 		RoundMaxBits:    []int{1234, 900},
 		RoundTotalBits:  []int64{40000, 31000},
-		TotalBits:       71000,
+		RoundBits: []engine.RoundStats{
+			{PlayerBits: 40000, PlayerMaxBits: 1234, FeedbackBits: 297},
+			{PlayerBits: 31000, PlayerMaxBits: 900, FeedbackBits: 0},
+		},
+		TotalBits:    71000,
+		FeedbackBits: 297,
 		Hist:            []engine.HistBucket{{Lo: 0, Hi: 1, Count: 4}, {Lo: 512, Hi: 1024, Count: 96}},
 		RoundWall:       []time.Duration{time.Millisecond, 2 * time.Millisecond},
 		ShardWall:       engine.TimerStats{Count: 34, Total: 3 * time.Millisecond, Max: time.Millisecond},
@@ -37,6 +43,7 @@ func testStats() *engine.RunStats {
 		PeakInFlight:    8,
 		Faults: engine.FaultStats{
 			Injected: true, Dropped: 3, Corrupted: 2, FlippedBits: 6, Straggled: 5,
+			FeedbackDropped: 1, FeedbackCorrupted: 1,
 			Resilience: core.ResilienceDegraded,
 		},
 	}
@@ -73,7 +80,7 @@ func TestRunSpecRoundTrip(t *testing.T) {
 		Graph:    GraphSpec{Kind: "gnp", N: 50, M: 2, R: 3, T: 4, P: 0.3, Seed: 13},
 		Seed:     14,
 		Workers:  8,
-		Faults:   FaultSpec{Drop: 0.15, Corrupt: 0.1, Flip: 3, Straggle: 0.2, DelayNS: 100_000, Seed: 202},
+		Faults:   FaultSpec{Drop: 0.15, Corrupt: 0.1, Flip: 3, Straggle: 0.2, DelayNS: 100_000, FbDrop: 0.5, FbCorrupt: 0.25, Seed: 202},
 	}
 	got, err := DecodeRunSpec(EncodeRunSpec(spec))
 	if err != nil {
@@ -156,7 +163,7 @@ func TestCrossVersionRejected(t *testing.T) {
 	if err == nil {
 		t.Fatal("future-version frame accepted")
 	}
-	if !strings.Contains(err.Error(), "unsupported wire version") || !strings.Contains(err.Error(), "speaks version 1") {
+	if !strings.Contains(err.Error(), "unsupported wire version") || !strings.Contains(err.Error(), fmt.Sprintf("speaks version %d", Version)) {
 		t.Fatalf("unclear cross-version error: %v", err)
 	}
 }
@@ -195,9 +202,10 @@ func TestNonCanonicalPaddingRejected(t *testing.T) {
 	w.WriteUint(0b101, 3)
 	tr.SealRound([]*bitio.Writer{w})
 	data := EncodeTranscript(tr)
-	// The single message's packed byte is the last payload byte; set one
-	// of its five padding bits.
-	data[len(data)-1] |= 1 << 6
+	// The single message's packed byte sits just before the round's
+	// trailing feedback length (zero, one byte); set one of the message's
+	// five padding bits.
+	data[len(data)-2] |= 1 << 6
 	if _, err := DecodeTranscript(data); err == nil || !strings.Contains(err.Error(), "padding") {
 		t.Fatalf("non-canonical padding not rejected: %v", err)
 	}
