@@ -3,18 +3,34 @@
 .PHONY: all check test test-race lint-registry fuzz-smoke remote-smoke cluster-smoke bench bench-smoke bench-baseline bench-json experiments experiments-full examples lint
 
 # The hot-path micro-benchmarks: field exponentiation/inversion, ℓ₀
-# sketch updates, and the per-vertex AGM sketching cost. bench-smoke and
-# the informational CI job share this selection with bench/baseline.txt.
-BENCH_HOT := FieldPow|FieldInv|L0Update|L0Sample|AGMSketchVertex
+# sketch updates (scalar and banked — L0Update also matches
+# L0UpdateBlock, FieldPow also matches FieldPowBlock), the columnar bank
+# cycle, and the per-vertex AGM sketching cost. bench-smoke and the
+# informational CI job share this selection with bench/baseline.txt.
+BENCH_HOT := FieldPow|FieldInv|L0Update|L0Sample|BankUpdate|AGMSketchVertex
 BENCH_HOT_PKGS := ./internal/field/ ./internal/l0/ ./internal/agm/
+
+# The engine-level block-vs-scalar pair the bench guard watches; the
+# ratio between the two is machine-independent enough to gate on.
+BENCH_ENGINE := EngineBlockN1k|EngineScalarN1k
 
 all: check
 
 # check is the default gate: build + vet + tests, then the race detector
 # over the concurrency-bearing packages (engine scheduler, the cclique
 # protocols it drives in parallel, and the fault injector that perturbs
-# them from inside the worker pool), then the registry drift guard.
-check: test test-race lint-registry
+# them from inside the worker pool), then the registry drift guard, then
+# the block-vs-scalar performance guard (the allocation-regression tests
+# — TestUpdateBlockZeroAlloc, TestBlockKernelsZeroAlloc — already run
+# inside `test`).
+check: test test-race lint-registry bench-guard
+
+# bench-guard fails when the columnar block path regresses by more than
+# 10% relative to the scalar path, compared against the block/scalar
+# ratio recorded in bench/baseline.txt. Ratios, not absolute ns/op, so
+# the gate holds across machines.
+bench-guard:
+	./scripts/bench-guard.sh
 
 # lint-registry fails when the protocol registry drifts: a package
 # implementing the Sketch contract without self-registering, a
@@ -71,6 +87,7 @@ bench-smoke:
 bench-baseline:
 	mkdir -p bench
 	go test -run='^$$' -bench='$(BENCH_HOT)' -benchtime=100ms -count=5 -benchmem $(BENCH_HOT_PKGS) | tee bench/baseline.txt
+	go test -run='^$$' -bench='$(BENCH_ENGINE)' -benchtime=1x -count=5 -benchmem . | tee -a bench/baseline.txt
 
 # bench-json refreshes the committed BENCH_NNNN.json snapshot: the
 # hot-path micro-benchmarks plus a short loadgen run against a caching

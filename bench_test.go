@@ -125,10 +125,20 @@ func BenchmarkE20ResilienceSweep(b *testing.B) {
 // contract makes the two transcripts bit-identical, so this measures pure
 // scheduling win. Numbers are recorded in EXPERIMENTS.md § Engine.
 func benchEngineBroadcast(b *testing.B, n, workers int) {
+	benchEngineBroadcastMode(b, n, workers, false)
+}
+
+// benchEngineBroadcastMode additionally selects the execution path:
+// disableBlock forces the per-vertex scalar loop via Engine.DisableBlock,
+// so the block-vs-scalar pairs below measure the columnar win on
+// bit-identical transcripts. The unsuffixed Sequential/Parallel
+// benchmarks run whatever the default path is (block, since PR 8) —
+// they are the headline numbers recorded in EXPERIMENTS.md § Engine.
+func benchEngineBroadcastMode(b *testing.B, n, workers int, disableBlock bool) {
 	b.Helper()
 	g := gen.Gnp(n, 8/float64(n), rng.NewSource(7))
 	p := &cclique.OneRound[[]graph.Edge]{P: agm.NewSpanningForest(agm.Config{})}
-	eng := &engine.Engine{Workers: workers}
+	eng := &engine.Engine{Workers: workers, DisableBlock: disableBlock}
 	coins := rng.NewPublicCoins(9)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -146,3 +156,15 @@ func BenchmarkEngineParallelN1k(b *testing.B) { benchEngineBroadcast(b, 1000, 0)
 func BenchmarkEngineSequentialN10k(b *testing.B) { benchEngineBroadcast(b, 10000, 1) }
 
 func BenchmarkEngineParallelN10k(b *testing.B) { benchEngineBroadcast(b, 10000, 0) }
+
+// Block-vs-scalar pairs: identical load and transcripts, only the
+// execution path differs. The bench guard (scripts/bench-guard.sh, run
+// by make check) compares the N1k pair's ratio against bench/baseline.txt
+// and fails on a >10% relative regression of the block path.
+func BenchmarkEngineBlockN1k(b *testing.B) { benchEngineBroadcastMode(b, 1000, 1, false) }
+
+func BenchmarkEngineScalarN1k(b *testing.B) { benchEngineBroadcastMode(b, 1000, 1, true) }
+
+func BenchmarkEngineBlockN10k(b *testing.B) { benchEngineBroadcastMode(b, 10000, 1, false) }
+
+func BenchmarkEngineScalarN10k(b *testing.B) { benchEngineBroadcastMode(b, 10000, 1, true) }

@@ -1,0 +1,186 @@
+package agm
+
+// Columnar sketching for the AGM protocols: core.BlockSketcher
+// implementations that compute a whole shard of per-vertex messages
+// through the l0.Bank fast path. Per-vertex costs the scalar path pays
+// once per (vertex, spec) — sketch state setup, per-update term
+// derivation, byte-at-a-time serialization growth — are amortized across
+// a block of lanes:
+//
+//   - each vertex's ±1 incidence updates are gathered once per block and
+//     replayed against every spec through Spec.UpdateBlock,
+//   - messages are written into ownership-transferring writers
+//     (bitio.NewOwnedWriter) pre-grown to the encoding's exact fixed
+//     size, so serialization never reallocates and sealing steals the
+//     buffer instead of copying it.
+//
+// The bits are identical to the scalar Sketch path's (block_test.go
+// proves it per protocol; wire/block_parity_test.go proves whole
+// transcripts and digests match across every registered protocol), so
+// block execution is invisible to referees, checksums, and fault plans.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bitio"
+	"repro/internal/core"
+	"repro/internal/l0"
+	"repro/internal/rng"
+)
+
+var (
+	_ core.BlockSketcher = (*ForestProtocol)(nil)
+	_ core.BlockSketcher = (*ComponentsProtocol)(nil)
+	_ core.BlockSketcher = (*SkeletonProtocol)(nil)
+)
+
+// blockLanes is the number of vertices banked per chunk. Large enough to
+// amortize the per-spec bank reset and keep the spec's pow-table rows
+// cache-hot across lanes, small enough that the bank's working set
+// (3 slices × lanes × ~30 levels × 8 bytes ≈ 1 MB) stays in L2.
+const blockLanes = 128
+
+// blockArena is the reusable scratch of one SketchBlock call: the bank,
+// the gathered update list, and the per-lane checksum accumulators.
+type blockArena struct {
+	bank *l0.Bank
+	upd  l0.BlockUpdates
+	cs   []uint32
+}
+
+var arenaPool = sync.Pool{New: func() any { return &blockArena{bank: l0.NewBank()} }}
+
+// gather collects every vertex's incidence updates — the same
+// (index, delta) stream writeIncidenceStack feeds Spec.Update, with the
+// ±1 encoded as a sign flag — once per chunk.
+func (a *blockArena) gather(n int, chunk []core.VertexView) {
+	a.upd.Reset()
+	for i, view := range chunk {
+		for _, u := range view.Neighbors {
+			a.upd.Add(i, edgeIndex(n, view.ID, u), view.ID > u)
+		}
+	}
+}
+
+// writeStack appends one sampler stack to every lane's writer, exactly
+// mirroring writeIncidenceStack per lane: specs in order, each spec's
+// cells in level order. With withChecksum the per-lane stack checksums
+// accumulate into a.cs (reset here), matching foldChecksum over
+// Sketch.Checksum by l0.Bank.LaneChecksum's construction.
+func (a *blockArena) writeStack(ws []*bitio.Writer, sps []l0.Spec, withChecksum bool) {
+	if withChecksum {
+		if cap(a.cs) < len(ws) {
+			a.cs = make([]uint32, len(ws))
+		} else {
+			a.cs = a.cs[:len(ws)]
+		}
+		clear(a.cs)
+	}
+	for _, sp := range sps {
+		a.bank.Reset(sp.Levels(), len(ws))
+		sp.UpdateBlock(a.bank, &a.upd)
+		for lane, w := range ws {
+			a.bank.WriteLane(w, lane)
+			if withChecksum {
+				a.cs[lane] = foldChecksum(a.cs[lane], a.bank.LaneChecksum(lane))
+			}
+		}
+	}
+}
+
+// stackBits returns the fixed serialized size of one sampler stack.
+func stackBits(sps []l0.Spec) int {
+	bits := 0
+	for _, sp := range sps {
+		bits += sp.Levels() * 3 * 61
+	}
+	return bits
+}
+
+// newOwnedBlock fills ws with ownership-transferring writers pre-grown
+// to the encoding's fixed size, so every subsequent write lands in
+// already-reserved capacity.
+func newOwnedBlock(ws []*bitio.Writer, msgBits int) {
+	for i := range ws {
+		w := bitio.NewOwnedWriter()
+		w.Grow(msgBits)
+		ws[i] = w
+	}
+}
+
+// SketchBlock implements core.BlockSketcher for the spanning forest:
+// per chunk of blockLanes vertices, gather the incidence updates once,
+// then stream the primary stack (and under BackupReps the checksums and
+// backup stack) through the bank into pre-grown owned writers.
+func (p *ForestProtocol) SketchBlock(views []core.VertexView, coins *rng.PublicCoins, out []*bitio.Writer) (int, error) {
+	if len(views) == 0 {
+		return 0, nil
+	}
+	n := views[0].N
+	cfg := p.cfg.withDefaults(n)
+	primary := specs(n, cfg, coins)
+	var backup []l0.Spec
+	msgBits := stackBits(primary)
+	if cfg.BackupReps > 0 {
+		backup = backupSpecs(n, cfg, coins)
+		msgBits += 32 + stackBits(backup) + 32
+	}
+	a := arenaPool.Get().(*blockArena)
+	defer arenaPool.Put(a)
+	for lo := 0; lo < len(views); lo += blockLanes {
+		hi := min(lo+blockLanes, len(views))
+		ws := out[lo:hi]
+		newOwnedBlock(ws, msgBits)
+		a.gather(n, views[lo:hi])
+		if cfg.BackupReps > 0 {
+			a.writeStack(ws, primary, true)
+			for i, w := range ws {
+				w.WriteUint(uint64(a.cs[i]), 32)
+			}
+			a.writeStack(ws, backup, true)
+			for i, w := range ws {
+				w.WriteUint(uint64(a.cs[i]), 32)
+			}
+		} else {
+			a.writeStack(ws, primary, false)
+		}
+	}
+	return 0, nil
+}
+
+// SketchBlock implements core.BlockSketcher by delegating to the forest
+// sketch, exactly as the scalar Sketch does.
+func (p *ComponentsProtocol) SketchBlock(views []core.VertexView, coins *rng.PublicCoins, out []*bitio.Writer) (int, error) {
+	return p.forest.SketchBlock(views, coins, out)
+}
+
+// SketchBlock implements core.BlockSketcher for the k-forest skeleton:
+// the K groups' stacks stream through the bank in group order, matching
+// the scalar Sketch's encoding lane for lane.
+func (p *SkeletonProtocol) SketchBlock(views []core.VertexView, coins *rng.PublicCoins, out []*bitio.Writer) (int, error) {
+	if len(views) == 0 {
+		return 0, nil
+	}
+	if p.K < 1 {
+		return 0, fmt.Errorf("agm: skeleton needs K >= 1, got %d", p.K)
+	}
+	n := views[0].N
+	_, groups := p.groupSpecs(n, coins)
+	msgBits := 0
+	for _, sps := range groups {
+		msgBits += stackBits(sps)
+	}
+	a := arenaPool.Get().(*blockArena)
+	defer arenaPool.Put(a)
+	for lo := 0; lo < len(views); lo += blockLanes {
+		hi := min(lo+blockLanes, len(views))
+		ws := out[lo:hi]
+		newOwnedBlock(ws, msgBits)
+		a.gather(n, views[lo:hi])
+		for _, sps := range groups {
+			a.writeStack(ws, sps, false)
+		}
+	}
+	return 0, nil
+}

@@ -1,0 +1,102 @@
+package agm
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bitio"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+// blockSketcherProtocols enumerates the AGM protocols with a columnar
+// path, paired with their scalar Sketch for equivalence checking.
+func blockSketcherProtocols() map[string]interface {
+	Sketch(core.VertexView, *rng.PublicCoins) (*bitio.Writer, error)
+	SketchBlock([]core.VertexView, *rng.PublicCoins, []*bitio.Writer) (int, error)
+} {
+	return map[string]interface {
+		Sketch(core.VertexView, *rng.PublicCoins) (*bitio.Writer, error)
+		SketchBlock([]core.VertexView, *rng.PublicCoins, []*bitio.Writer) (int, error)
+	}{
+		"forest":        NewSpanningForest(Config{Rounds: 4, Reps: 2}),
+		"forest-backup": NewSpanningForest(Config{Rounds: 4, Reps: 2, BackupReps: 1}),
+		"components":    NewComponentCount(Config{Rounds: 4, Reps: 2}),
+		"skeleton":      NewSkeleton(2, Config{Rounds: 3, Reps: 2}),
+	}
+}
+
+// TestSketchBlockMatchesSketch proves the columnar path emits exactly
+// the scalar path's bits for every AGM block sketcher, at a block size
+// that exercises both full and partial blockLanes chunks.
+func TestSketchBlockMatchesSketch(t *testing.T) {
+	const n = 150 // > blockLanes, not a multiple of it
+	g := gen.Gnp(n, 0.05, rng.NewSource(21))
+	views := core.Views(g)
+	coins := rng.NewPublicCoins(33)
+	for name, p := range blockSketcherProtocols() {
+		t.Run(name, func(t *testing.T) {
+			out := make([]*bitio.Writer, len(views))
+			if bad, err := p.SketchBlock(views, coins, out); err != nil {
+				t.Fatalf("SketchBlock failed at view %d: %v", bad, err)
+			}
+			for v, view := range views {
+				want, err := p.Sketch(view, coins)
+				if err != nil {
+					t.Fatalf("vertex %d scalar sketch: %v", v, err)
+				}
+				if out[v] == nil {
+					t.Fatalf("vertex %d: block path left a nil writer", v)
+				}
+				if out[v].Len() != want.Len() {
+					t.Fatalf("vertex %d: block %d bits, scalar %d bits", v, out[v].Len(), want.Len())
+				}
+				if !bytes.Equal(out[v].Bytes(), want.Bytes()) {
+					t.Fatalf("vertex %d: block and scalar sketch bytes differ", v)
+				}
+				bitio.Release(want)
+			}
+		})
+	}
+}
+
+// TestSketchBlockSubslices proves arbitrary shard boundaries do not
+// change any bit: sketching views in two uneven sub-blocks matches the
+// single whole-range call vertex for vertex.
+func TestSketchBlockSubslices(t *testing.T) {
+	const n = 90
+	g := gen.Gnp(n, 0.08, rng.NewSource(27))
+	views := core.Views(g)
+	coins := rng.NewPublicCoins(35)
+	p := NewSpanningForest(Config{Rounds: 4, Reps: 2, BackupReps: 1})
+
+	whole := make([]*bitio.Writer, n)
+	if _, err := p.SketchBlock(views, coins, whole); err != nil {
+		t.Fatal(err)
+	}
+	split := make([]*bitio.Writer, n)
+	cut := 37
+	if _, err := p.SketchBlock(views[:cut], coins, split[:cut]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.SketchBlock(views[cut:], coins, split[cut:]); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		if !bytes.Equal(whole[v].Bytes(), split[v].Bytes()) {
+			t.Fatalf("vertex %d: shard boundary at %d changed the sketch", v, cut)
+		}
+	}
+}
+
+// TestSkeletonSketchBlockValidation mirrors the scalar K validation.
+func TestSkeletonSketchBlockValidation(t *testing.T) {
+	g := gen.Gnp(10, 0.3, rng.NewSource(1))
+	views := core.Views(g)
+	p := NewSkeleton(0, Config{})
+	out := make([]*bitio.Writer, len(views))
+	if _, err := p.SketchBlock(views, rng.NewPublicCoins(1), out); err == nil {
+		t.Fatal("SketchBlock accepted K = 0")
+	}
+}

@@ -26,6 +26,10 @@ type Writer struct {
 	// pooled marks writers drawn from the scratch pool (pool.go), so
 	// Release recycles exactly those and is a no-op for plain values.
 	pooled bool
+	// owned marks writers whose buffer the producer relinquishes at seal
+	// time (NewOwnedWriter/Detach): the engine's transcript may steal it
+	// instead of copying. Plain and pooled writers are never stolen from.
+	owned bool
 }
 
 // Len returns the number of bits written so far.
@@ -33,7 +37,56 @@ func (w *Writer) Len() int { return w.nbit }
 
 // Bytes returns the written bits packed into bytes (final byte zero-padded).
 // The returned slice aliases the writer's internal buffer.
-func (w *Writer) Bytes() []byte { return w.buf }
+func (w *Writer) Bytes() []byte { return w.buf[:(w.nbit+7)/8] }
+
+// grow extends the buffer's length to at least need bytes, in one step.
+// Revealed bytes are always zero: fresh allocations come zeroed, and
+// re-sliced spare capacity (left dirty by Reset) is cleared explicitly, so
+// the invariant "every byte at or past the bit frontier is zero" — which
+// WriteBit/WriteUint rely on when OR-ing into partial bytes — holds no
+// matter how the buffer got here.
+func (w *Writer) grow(need int) {
+	n := len(w.buf)
+	if need <= n {
+		return
+	}
+	if need <= cap(w.buf) {
+		w.buf = w.buf[:need]
+		clear(w.buf[n:need])
+		return
+	}
+	newCap := 2 * cap(w.buf)
+	if newCap < need {
+		newCap = need
+	}
+	buf := make([]byte, need, newCap)
+	copy(buf, w.buf)
+	w.buf = buf
+}
+
+// Grow pre-extends the buffer to hold `width` more bits beyond the current
+// frontier, without writing any. A producer that knows its exact message
+// size calls Grow once and every subsequent Write* appends without a
+// growth check — the block sketching path's zero-realloc contract.
+func (w *Writer) Grow(width int) {
+	if width < 0 {
+		panic(fmt.Sprintf("bitio: invalid Grow width %d", width))
+	}
+	w.grow((w.nbit + width + 7) / 8)
+}
+
+// WriteZeros appends `width` zero bits in O(growth) time: the buffer is
+// bulk-extended (grow guarantees revealed bytes are zero) and only the bit
+// counter advances. Sketch serializers use it for the long all-zero cell
+// runs above a sketch's touched levels, where the bits are known to be
+// zero without looking at them.
+func (w *Writer) WriteZeros(width int) {
+	if width < 0 {
+		panic(fmt.Sprintf("bitio: invalid width %d", width))
+	}
+	w.grow((w.nbit + width + 7) / 8)
+	w.nbit += width
+}
 
 // WriteBit appends a single bit.
 func (w *Writer) WriteBit(b bool) {
@@ -56,11 +109,8 @@ func (w *Writer) WriteUint(v uint64, width int) {
 	if width < 64 {
 		v &= (1 << uint(width)) - 1
 	}
-	// Grow the buffer to hold the new bits.
-	need := (w.nbit + width + 7) / 8
-	for len(w.buf) < need {
-		w.buf = append(w.buf, 0)
-	}
+	// Grow the buffer to hold the new bits (no-op after a precise Grow).
+	w.grow((w.nbit + width + 7) / 8)
 	off := uint(w.nbit % 8)
 	idx := w.nbit / 8
 	w.nbit += width

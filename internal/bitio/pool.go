@@ -39,8 +39,8 @@ func Release(w *Writer) {
 }
 
 // Reset empties the writer, keeping its buffer capacity for reuse. The
-// retained bytes need no scrubbing: Writer only ever grows by appending
-// explicit zero bytes, so stale capacity contents can never reach Bytes().
+// retained bytes need no scrubbing here: growth (grow) zeroes every byte
+// it reveals, so stale capacity contents can never reach Bytes().
 func (w *Writer) Reset() {
 	w.buf = w.buf[:0]
 	w.nbit = 0

@@ -94,6 +94,25 @@ func (a *OneRound[O]) Broadcast(_ int, view core.VertexView, _ *Transcript, coin
 	return a.P.Sketch(view, coins)
 }
 
+// BroadcastBlock implements engine.BlockBroadcaster: when the wrapped
+// protocol is a core.BlockSketcher the whole block goes through its
+// columnar path; otherwise it falls back to per-view Sketch calls, which
+// is byte-identical to the engine's own scalar loop. Either way the
+// per-vertex and block executions produce the same transcript bits.
+func (a *OneRound[O]) BroadcastBlock(_ int, views []core.VertexView, _ *Transcript, coins *rng.PublicCoins, out []*bitio.Writer) (int, error) {
+	if bs, ok := a.P.(core.BlockSketcher); ok {
+		return bs.SketchBlock(views, coins, out)
+	}
+	for i, view := range views {
+		w, err := a.P.Sketch(view, coins)
+		if err != nil {
+			return i, err
+		}
+		out[i] = w
+	}
+	return 0, nil
+}
+
 // Decode implements Protocol.
 func (a *OneRound[O]) Decode(n int, transcript *Transcript, coins *rng.PublicCoins) (O, error) {
 	readers := make([]*bitio.Reader, n)

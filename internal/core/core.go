@@ -47,6 +47,18 @@ type Protocol[O any] interface {
 	Decode(n int, sketches []*bitio.Reader, coins *rng.PublicCoins) (O, error)
 }
 
+// BlockSketcher is the optional columnar fast path of a Protocol: a
+// sketcher that can compute the messages of a whole block of players in
+// one call, amortizing spec construction and sketch state across the
+// block. out[i] must receive exactly the bits Sketch(views[i], coins)
+// would produce — block execution is a speed lever, never a semantic
+// one. On error it returns the index within views of the failing player.
+// The engine layer (engine.BlockBroadcaster via cclique.OneRound)
+// forwards shard-sized view slices here when the block path is enabled.
+type BlockSketcher interface {
+	SketchBlock(views []VertexView, coins *rng.PublicCoins, out []*bitio.Writer) (int, error)
+}
+
 // Resilience classifies a referee's confidence in a decode that may have
 // run over dropped or corrupted sketches (DESIGN.md § fault model).
 //

@@ -92,6 +92,12 @@ type Engine struct {
 	// worker as one unit; <= 0 selects a size that yields ~8 shards per
 	// worker for load balance. ShardSize never changes results.
 	ShardSize int
+	// DisableBlock forces the per-vertex Broadcast path even for
+	// protocols implementing BlockBroadcaster, overriding the
+	// process-wide SetBlockExecution toggle for this engine. Like
+	// Workers and ShardSize it never changes results, only speed —
+	// the benchmarks use it to measure the scalar path.
+	DisableBlock bool
 }
 
 // workerCount resolves the effective worker count.
@@ -172,6 +178,7 @@ func (e *Engine) Execute(ctx context.Context, p Broadcaster, g *graph.Graph, coi
 	reg := &registry{}
 	transcript := NewTranscript()
 	adaptive, _ := p.(Adaptive)
+	block := e.blockFor(p)
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -197,6 +204,26 @@ func (e *Engine) Execute(ctx context.Context, p Broadcaster, g *graph.Graph, coi
 				defer wg.Done()
 				for sh := range jobs {
 					shardStart := time.Now()
+					if block != nil {
+						// Columnar fast path: the whole shard in one call.
+						// Transcript bytes are identical to the per-vertex
+						// loop below by the BlockBroadcaster contract.
+						if ctx.Err() != nil {
+							reg.shardWall.Record(time.Since(shardStart))
+							continue
+						}
+						reg.inFlight.Enter()
+						bad, err := block.BroadcastBlock(round, views[sh.lo:sh.hi], transcript, coins, msgs[sh.lo:sh.hi])
+						reg.inFlight.Exit()
+						if err != nil {
+							firstErr.record(round, sh.lo+bad, err)
+							cancel()
+						} else {
+							reg.broadcasts.Add(int64(sh.hi - sh.lo))
+						}
+						reg.shardWall.Record(time.Since(shardStart))
+						continue
+					}
 					for v := sh.lo; v < sh.hi; v++ {
 						if ctx.Err() != nil {
 							break

@@ -79,9 +79,9 @@ func TestQuickRoundBitsInvariants(t *testing.T) {
 		}},
 	}
 	prop := func(seed uint64, nRaw uint8, pRaw uint16, workersRaw uint8) bool {
-		n := 8 + int(nRaw)%48                      // 8..55 vertices
-		p := 0.05 + float64(pRaw%1000)/1000.0*0.4  // density 0.05..0.45
-		workers := 1 + int(workersRaw)%8           // 1..8 workers
+		n := 8 + int(nRaw)%48                     // 8..55 vertices
+		p := 0.05 + float64(pRaw%1000)/1000.0*0.4 // density 0.05..0.45
+		workers := 1 + int(workersRaw)%8          // 1..8 workers
 		g := gen.Gnp(n, p, rng.NewSource(seed))
 		coins := rng.NewPublicCoins(seed ^ 0x9e3779b97f4a7c15)
 		for _, v := range variants {

@@ -66,6 +66,14 @@ func (t *Transcript) SealRound(msgs []*bitio.Writer) {
 		if w == nil || w.Len() == 0 {
 			continue
 		}
+		if w.Owned() {
+			// Ownership-transferring writer (block path): steal the
+			// buffer instead of copying. Detach severs the writer from
+			// the bits, so the immutability guarantee holds identically.
+			buf, nbit := w.Detach()
+			sealed[v] = message{buf: buf, nbit: nbit}
+			continue
+		}
 		buf := make([]byte, len(w.Bytes()))
 		copy(buf, w.Bytes())
 		sealed[v] = message{buf: buf, nbit: w.Len()}
@@ -91,6 +99,11 @@ func (t *Transcript) SealFeedback(w *bitio.Writer) {
 		panic("engine: feedback already sealed for the current round")
 	}
 	if w == nil || w.Len() == 0 {
+		return
+	}
+	if w.Owned() {
+		buf, nbit := w.Detach()
+		t.feedback[last] = message{buf: buf, nbit: nbit}
 		return
 	}
 	buf := make([]byte, len(w.Bytes()))

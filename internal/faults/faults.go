@@ -260,6 +260,54 @@ func (i *Injector) Broadcast(round int, view core.VertexView, t *engine.Transcri
 	return w, nil
 }
 
+// BroadcastBlock keeps the injector on the engine's columnar fast path:
+// the inner protocol computes the whole block (through its own block
+// path when it has one), then the plan's faults are applied message by
+// message. Every fault decision is label-derived from (round, view.ID)
+// alone, so the faulted transcript is bit-identical to the scalar
+// Broadcast path's — block boundaries cannot shift any coin stream.
+// Straggler sleeps happen before the inner computation, preserving the
+// scalar path's "delay then broadcast" ordering per message.
+func (i *Injector) BroadcastBlock(round int, views []core.VertexView, t *engine.Transcript, coins *rng.PublicCoins, out []*bitio.Writer) (int, error) {
+	for _, view := range views {
+		if coin(i.coins, "straggle", round, view.ID, i.plan.StragglerProb) {
+			timer := time.NewTimer(i.plan.stragglerDelay())
+			select {
+			case <-timer.C:
+			case <-i.done:
+				timer.Stop()
+			}
+		}
+	}
+	if bb, ok := i.inner.(engine.BlockBroadcaster); ok {
+		if bad, err := bb.BroadcastBlock(round, views, t, coins, out); err != nil {
+			return bad, err
+		}
+	} else {
+		for idx, view := range views {
+			w, err := i.inner.Broadcast(round, view, t, coins)
+			if err != nil {
+				return idx, err
+			}
+			out[idx] = w
+		}
+	}
+	for idx, view := range views {
+		w := out[idx]
+		if coin(i.coins, "drop", round, view.ID, i.plan.DropProb) {
+			bitio.Release(w)
+			out[idx] = &bitio.Writer{}
+			continue
+		}
+		if w != nil && w.Len() > 0 && coin(i.coins, "corrupt", round, view.ID, i.plan.CorruptProb) {
+			for _, pos := range flipPositions(i.coins, "flip", round, view.ID, w.Len(), i.plan.flipBits()) {
+				w.FlipBit(pos)
+			}
+		}
+	}
+	return 0, nil
+}
+
 // Feedback makes the Injector adaptive whenever its inner protocol is,
 // forwarding the referee's feedback and perturbing it under the plan's
 // feedback-fault knobs before the engine seals it — exactly the player

@@ -69,3 +69,32 @@ func (f *Family) Level(x uint64, maxLevel int) int {
 	}
 	return l
 }
+
+// LevelBlock computes Level for every element of xs into out (equal
+// lengths), hoisting the coefficient loads out of the loop for the
+// pairwise families the ℓ₀-samplers use. Results are identical to
+// per-element Level calls; only the cost differs. Allocation-free.
+func (f *Family) LevelBlock(xs []uint64, maxLevel int, out []int32) {
+	if len(xs) != len(out) {
+		panic("hashing: LevelBlock length mismatch")
+	}
+	if len(f.coeffs) != 2 {
+		for i, x := range xs {
+			out[i] = int32(f.Level(x, maxLevel))
+		}
+		return
+	}
+	// Degree-1 Horner, fused: h = c0 + c1·Reduce(x).
+	c0, c1 := f.coeffs[0], f.coeffs[1]
+	for i, x := range xs {
+		h := uint64(field.Add(field.Mul(c1, field.Reduce(x)), c0))
+		l := 61 - bits.Len64(h+1)
+		if l > maxLevel {
+			l = maxLevel
+		}
+		if l < 1 {
+			l = 0
+		}
+		out[i] = int32(l)
+	}
+}

@@ -176,3 +176,26 @@ func BenchmarkHashK8(b *testing.B) {
 		_ = f.Hash(uint64(i))
 	}
 }
+
+// TestLevelBlockMatchesLevel proves the batched level computation is
+// identical to per-element Level calls, for the pairwise fast path and
+// the general fallback, across the clamp edge cases.
+func TestLevelBlockMatchesLevel(t *testing.T) {
+	for _, k := range []int{1, 2, 3} {
+		f := New(k, rng.NewSource(uint64(100+k)))
+		xs := make([]uint64, 500)
+		src := rng.NewSource(7)
+		for i := range xs {
+			xs[i] = src.Uint64() >> uint(i%50)
+		}
+		for _, maxLevel := range []int{0, 1, 5, 28, 60} {
+			out := make([]int32, len(xs))
+			f.LevelBlock(xs, maxLevel, out)
+			for i, x := range xs {
+				if want := f.Level(x, maxLevel); int(out[i]) != want {
+					t.Fatalf("k=%d maxLevel=%d: LevelBlock(%d) = %d, want %d", k, maxLevel, x, out[i], want)
+				}
+			}
+		}
+	}
+}

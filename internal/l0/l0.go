@@ -349,27 +349,36 @@ func (sp Spec) ReadSketchTolerant(r *bitio.Reader) (sk *Sketch, valid bool, err 
 	return sk, valid, nil
 }
 
+// checksumOffset and checksumPrime are the FNV-1a parameters of the
+// sketch checksum, shared between the per-cell Sketch form and the
+// columnar Bank form (bank.go) so the two serializations stay
+// checksum-compatible by construction.
+const (
+	checksumOffset = 0xcbf29ce484222325
+	checksumPrime  = 0x00000100000001b3
+)
+
+// checksumMix folds one field element (as 8 little-endian bytes) into a
+// running FNV-1a state.
+func checksumMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= checksumPrime
+		v >>= 8
+	}
+	return h
+}
+
 // Checksum digests the sketch's cells into 32 bits (an FNV-1a-style fold
 // over the canonical field elements). Resilient encodings append it after
 // a sketch stack so the referee can detect in-range bit flips that a
 // plain range check cannot.
 func (sk *Sketch) Checksum() uint32 {
-	const (
-		offset = 0xcbf29ce484222325
-		prime  = 0x00000100000001b3
-	)
-	h := uint64(offset)
-	mix := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= v & 0xff
-			h *= prime
-			v >>= 8
-		}
-	}
+	h := uint64(checksumOffset)
 	for i := range sk.cells {
-		mix(uint64(sk.cells[i].valSum))
-		mix(uint64(sk.cells[i].idxSum))
-		mix(uint64(sk.cells[i].fpSum))
+		h = checksumMix(h, uint64(sk.cells[i].valSum))
+		h = checksumMix(h, uint64(sk.cells[i].idxSum))
+		h = checksumMix(h, uint64(sk.cells[i].fpSum))
 	}
 	return uint32(h) ^ uint32(h>>32)
 }

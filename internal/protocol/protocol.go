@@ -98,6 +98,25 @@ func (a *adapted[T]) Broadcast(round int, view core.VertexView, t *engine.Transc
 	return a.inner.Broadcast(round, view, t, coins)
 }
 
+// BroadcastBlock forwards the inner protocol's columnar path when it has
+// one (cclique.OneRound always does) and otherwise falls back to
+// per-view Broadcast calls — byte-identical to the engine's own scalar
+// loop, so adapting a protocol never changes which bits a block
+// execution produces.
+func (a *adapted[T]) BroadcastBlock(round int, views []core.VertexView, t *engine.Transcript, coins *rng.PublicCoins, out []*bitio.Writer) (int, error) {
+	if bb, ok := a.inner.(engine.BlockBroadcaster); ok {
+		return bb.BroadcastBlock(round, views, t, coins, out)
+	}
+	for i, view := range views {
+		w, err := a.inner.Broadcast(round, view, t, coins)
+		if err != nil {
+			return i, err
+		}
+		out[i] = w
+	}
+	return 0, nil
+}
+
 // Feedback forwards the inner protocol's referee feedback when it is
 // adaptive. For a non-adaptive inner protocol it returns a nil writer,
 // which the engine seals as an empty feedback slot — bit-identical (and

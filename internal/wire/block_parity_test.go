@@ -1,0 +1,54 @@
+package wire
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestBlockExecutionParity is the tentpole equivalence gate for columnar
+// execution: every smoke spec — all registered protocols, including the
+// faulted and feedback-faulted runs — produces the identical transcript
+// digest, outcome, and bit accounting with the block path on and off, at
+// Workers ∈ {1, 2, 8}. Because the smoke specs are also pinned against
+// the committed golden fixtures (smoke parity + fixture round-trip
+// tests), passing here means the block path reproduces the committed
+// bytes, not merely that the two paths agree on something new.
+//
+// Subtests share the process-wide block toggle, so none of this runs in
+// parallel and the toggle is restored on exit.
+func TestBlockExecutionParity(t *testing.T) {
+	was := engine.BlockExecutionEnabled()
+	defer engine.SetBlockExecution(was)
+
+	for _, workers := range []int{1, 2, 8} {
+		for _, spec := range SmokeSpecs(workers) {
+			engine.SetBlockExecution(false)
+			scalar, err := ExecuteSpec(context.Background(), spec)
+			if err != nil {
+				t.Fatalf("workers=%d %s: scalar run: %v", workers, spec.Label, err)
+			}
+			engine.SetBlockExecution(true)
+			block, err := ExecuteSpec(context.Background(), spec)
+			if err != nil {
+				t.Fatalf("workers=%d %s: block run: %v", workers, spec.Label, err)
+			}
+			if got, want := block.Digest(), scalar.Digest(); got != want {
+				t.Errorf("workers=%d %s: block digest %s, scalar %s", workers, spec.Label, got, want)
+			}
+			if got, want := block.Outcome, scalar.Outcome; got != want {
+				t.Errorf("workers=%d %s: block outcome %+v, scalar %+v", workers, spec.Label, got, want)
+			}
+			if got, want := block.Stats.TotalBits, scalar.Stats.TotalBits; got != want {
+				t.Errorf("workers=%d %s: block TotalBits %d, scalar %d", workers, spec.Label, got, want)
+			}
+			if got, want := block.Stats.MaxMessageBits, scalar.Stats.MaxMessageBits; got != want {
+				t.Errorf("workers=%d %s: block MaxMessageBits %d, scalar %d", workers, spec.Label, got, want)
+			}
+			if got, want := block.Stats.FeedbackBits, scalar.Stats.FeedbackBits; got != want {
+				t.Errorf("workers=%d %s: block FeedbackBits %d, scalar %d", workers, spec.Label, got, want)
+			}
+		}
+	}
+}

@@ -32,15 +32,15 @@ func testStats() *engine.RunStats {
 			{PlayerBits: 40000, PlayerMaxBits: 1234, FeedbackBits: 297},
 			{PlayerBits: 31000, PlayerMaxBits: 900, FeedbackBits: 0},
 		},
-		TotalBits:    71000,
-		FeedbackBits: 297,
-		Hist:            []engine.HistBucket{{Lo: 0, Hi: 1, Count: 4}, {Lo: 512, Hi: 1024, Count: 96}},
-		RoundWall:       []time.Duration{time.Millisecond, 2 * time.Millisecond},
-		ShardWall:       engine.TimerStats{Count: 34, Total: 3 * time.Millisecond, Max: time.Millisecond},
-		BroadcastWall:   3 * time.Millisecond,
-		DecodeWall:      time.Millisecond,
-		TotalWall:       4 * time.Millisecond,
-		PeakInFlight:    8,
+		TotalBits:     71000,
+		FeedbackBits:  297,
+		Hist:          []engine.HistBucket{{Lo: 0, Hi: 1, Count: 4}, {Lo: 512, Hi: 1024, Count: 96}},
+		RoundWall:     []time.Duration{time.Millisecond, 2 * time.Millisecond},
+		ShardWall:     engine.TimerStats{Count: 34, Total: 3 * time.Millisecond, Max: time.Millisecond},
+		BroadcastWall: 3 * time.Millisecond,
+		DecodeWall:    time.Millisecond,
+		TotalWall:     4 * time.Millisecond,
+		PeakInFlight:  8,
 		Faults: engine.FaultStats{
 			Injected: true, Dropped: 3, Corrupted: 2, FlippedBits: 6, Straggled: 5,
 			FeedbackDropped: 1, FeedbackCorrupted: 1,
