@@ -5,10 +5,12 @@
 # The hot-path micro-benchmarks: field exponentiation/inversion, ℓ₀
 # sketch updates (scalar and banked — L0Update also matches
 # L0UpdateBlock, FieldPow also matches FieldPowBlock), the columnar bank
-# cycle, and the per-vertex AGM sketching cost. bench-smoke and the
-# informational CI job share this selection with bench/baseline.txt.
-BENCH_HOT := FieldPow|FieldInv|L0Update|L0Sample|BankUpdate|AGMSketchVertex
-BENCH_HOT_PKGS := ./internal/field/ ./internal/l0/ ./internal/agm/
+# cycle, the per-vertex AGM sketching cost, and the dynamic-stream batch
+# apply (DynStreamApply matches both the Scalar and Block variants).
+# bench-smoke and the informational CI job share this selection with
+# bench/baseline.txt.
+BENCH_HOT := FieldPow|FieldInv|L0Update|L0Sample|BankUpdate|AGMSketchVertex|DynStreamApply
+BENCH_HOT_PKGS := ./internal/field/ ./internal/l0/ ./internal/agm/ ./internal/dynstream/
 
 # The engine-level block-vs-scalar pair the bench guard watches; the
 # ratio between the two is machine-independent enough to gate on.
@@ -46,7 +48,7 @@ test-race:
 	go test -race ./internal/engine/... ./internal/cclique/... ./internal/faults/... \
 		./internal/matchproto/... ./internal/misproto/... ./internal/protocol/... \
 		./internal/wire/... ./internal/server/... ./internal/client/... \
-		./internal/cache/... ./internal/cluster/...
+		./internal/cache/... ./internal/cluster/... ./internal/dynstream/...
 
 # fuzz-smoke gives each fuzz target a short budget — the same smoke CI
 # runs (.github/workflows/ci.yml).
@@ -56,6 +58,7 @@ fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzWireDecodeRunSpec -fuzztime=30s ./internal/wire
 	go test -run='^$$' -fuzz=FuzzWireDecodeTranscript -fuzztime=30s ./internal/wire
 	go test -run='^$$' -fuzz=FuzzWireDecodeRunStats -fuzztime=30s ./internal/wire
+	go test -run='^$$' -fuzz=FuzzDynStreamDecode -fuzztime=30s ./internal/dynstream
 
 # remote-smoke is the end-to-end service parity check CI runs: boot a
 # refereed daemon on a loopback port, run the fixture sweep locally at

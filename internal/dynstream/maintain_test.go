@@ -1,0 +1,145 @@
+package dynstream
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestEpochParity is the subsystem's acceptance proof: for every
+// generated pattern, the incrementally maintained sketch state is
+// byte-identical to a from-scratch sketch of the materialized graph at
+// every epoch boundary, at Workers ∈ {1, 2, 8}, on both the scalar and
+// the columnar block path.
+func TestEpochParity(t *testing.T) {
+	coins := rng.NewPublicCoins(91)
+	for _, spec := range allSpecs(31) {
+		s, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs := Samplers(s.N(), 3, coins)
+		for _, workers := range []int{1, 2, 8} {
+			for _, block := range []bool{false, true} {
+				name := fmt.Sprintf("%s/workers=%d/block=%v", spec.Pattern, workers, block)
+				t.Run(name, func(t *testing.T) {
+					run := Process(s, specs, Options{Workers: workers, Block: block})
+					if len(run.Checkpoints) != s.Epochs() {
+						t.Fatalf("%d checkpoints, want %d", len(run.Checkpoints), s.Epochs())
+					}
+					if err := VerifyEpochParity(run, specs); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCheckpointsAgreeAcrossStrategies pins the stronger cross-strategy
+// invariant directly: every (workers, block) combination produces the
+// same digest and the same per-vertex checksums at every epoch.
+func TestCheckpointsAgreeAcrossStrategies(t *testing.T) {
+	coins := rng.NewPublicCoins(92)
+	s, err := Generate(churnSpec(37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := Samplers(s.N(), 2, coins)
+	ref := Process(s, specs, Options{Workers: 1, Block: false})
+	for _, workers := range []int{2, 8} {
+		for _, block := range []bool{false, true} {
+			run := Process(s, specs, Options{Workers: workers, Block: block})
+			for e := range ref.Checkpoints {
+				want, got := ref.At(e), run.At(e)
+				if want.Digest() != got.Digest() {
+					t.Fatalf("workers=%d block=%v epoch %d: digest diverges", workers, block, e)
+				}
+				for v := 0; v < s.N(); v++ {
+					if want.Checksum(v) != got.Checksum(v) {
+						t.Fatalf("workers=%d block=%v epoch %d vertex %d: checksum diverges", workers, block, e, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNetZeroCheckpointsAreEmpty pins the delete path end to end: after
+// a fill-drain stream every lane has returned to net zero, so the final
+// checkpoint must equal the sketch of the empty graph — all-zero cells,
+// byte for byte.
+func TestNetZeroCheckpointsAreEmpty(t *testing.T) {
+	coins := rng.NewPublicCoins(93)
+	s, err := Generate(fillDrainSpec(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := Samplers(s.N(), 2, coins)
+	for _, block := range []bool{false, true} {
+		run := Process(s, specs, Options{Workers: 4, Block: block})
+		final := run.At(s.Epochs() - 1)
+		empty := NewMaintainer(s.N(), specs, Options{}).Checkpoint()
+		if final.Digest() != empty.Digest() {
+			t.Fatalf("block=%v: net-zero checkpoint is not the empty-graph sketch", block)
+		}
+		for v := 0; v < s.N(); v++ {
+			r := final.Vertex(v)
+			for r.Remaining() > 0 {
+				b, err := r.ReadBit()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if b {
+					t.Fatalf("block=%v: vertex %d has a nonzero bit after net-zero stream", block, v)
+				}
+			}
+		}
+	}
+}
+
+// TestCheckpointImmutability pins that a checkpoint is a snapshot:
+// applying more ops to the maintainer must not change an already-taken
+// checkpoint.
+func TestCheckpointImmutability(t *testing.T) {
+	coins := rng.NewPublicCoins(94)
+	s, err := Generate(churnSpec(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := Samplers(s.N(), 2, coins)
+	m := NewMaintainer(s.N(), specs, Options{Block: true})
+	m.ApplyBatch(s.EpochOps(0))
+	c := m.Checkpoint()
+	digest := c.Digest()
+	if c.Ops != s.OpsPerEpoch() {
+		t.Fatalf("checkpoint covers %d ops, want %d", c.Ops, s.OpsPerEpoch())
+	}
+	m.ApplyBatch(s.EpochOps(1))
+	if c.Digest() != digest {
+		t.Fatal("checkpoint mutated by later ApplyBatch")
+	}
+}
+
+// TestDecodedStreamDrivesMaintainer closes the codec→maintainer loop: a
+// decoded stream processes to the same checkpoints as the original.
+func TestDecodedStreamDrivesMaintainer(t *testing.T) {
+	coins := rng.NewPublicCoins(95)
+	s, err := Generate(blinkSpec(47))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeStream(EncodeStream(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := Samplers(s.N(), 2, coins)
+	a := Process(s, specs, Options{Block: true})
+	b := Process(decoded, specs, Options{Block: true})
+	for e := range a.Checkpoints {
+		if a.At(e).Digest() != b.At(e).Digest() {
+			t.Fatalf("epoch %d: decoded stream diverges from original", e)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package dynstream
+
+// Wire registration: the semi-streaming (1+ε) maximum matching — the
+// registry's first multi-pass protocol — self-registers for wire
+// execution at the default slack. The verifier compares the output
+// against the exact blossom optimum of the true input graph: valid means
+// a vertex-disjoint edge set of g with |M| ≥ (1−ε)·|M*|.
+
+import (
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/protocol"
+)
+
+// IsApproxMaximumMatching reports whether out is a matching of g of size
+// at least (1−eps) times the maximum matching size.
+func IsApproxMaximumMatching(g *graph.Graph, out []graph.Edge, eps float64) bool {
+	if !graph.IsMatching(g, out) {
+		return false
+	}
+	opt := len(graph.MaximumMatching(g))
+	return float64(len(out))+1e-9 >= (1-eps)*float64(opt)
+}
+
+func init() {
+	protocol.Register("semistream-matching", func(g *graph.Graph) engine.Protocol[protocol.Outcome] {
+		p := NewSemiStream(DefaultEps)
+		return protocol.Adapt[[]graph.Edge](p, protocol.EdgesOutcome(g, func(g *graph.Graph, out []graph.Edge) bool {
+			return IsApproxMaximumMatching(g, out, p.EpsOf())
+		}))
+	})
+}

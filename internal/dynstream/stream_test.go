@@ -1,0 +1,195 @@
+package dynstream
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func churnSpec(seed uint64) Spec {
+	return Spec{N: 40, Epochs: 4, OpsPerEpoch: 50, Pattern: PatternChurn,
+		TargetEdges: 80, Churn: 0.3, Seed: seed}
+}
+
+func fillDrainSpec(seed uint64) Spec {
+	return Spec{N: 40, Epochs: 4, OpsPerEpoch: 50, Pattern: PatternFillDrain, Seed: seed}
+}
+
+func blinkSpec(seed uint64) Spec {
+	return Spec{N: 40, Epochs: 4, OpsPerEpoch: 50, Pattern: PatternBlink, Seed: seed}
+}
+
+func allSpecs(seed uint64) []Spec {
+	return []Spec{churnSpec(seed), fillDrainSpec(seed), blinkSpec(seed)}
+}
+
+// TestGenerateDeterministic pins the generator as a pure function of its
+// spec: two generations agree op for op, and a different seed diverges.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, spec := range allSpecs(7) {
+		a, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Pattern, err)
+		}
+		b, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Ops()) != spec.Epochs*spec.OpsPerEpoch {
+			t.Fatalf("%s: %d ops, want %d", spec.Pattern, len(a.Ops()), spec.Epochs*spec.OpsPerEpoch)
+		}
+		for i := range a.Ops() {
+			if a.Ops()[i] != b.Ops()[i] {
+				t.Fatalf("%s: op %d differs between identical generations", spec.Pattern, i)
+			}
+		}
+		other := spec
+		other.Seed++
+		c, err := Generate(other)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := true
+		for i := range a.Ops() {
+			if a.Ops()[i] != c.Ops()[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: seed change left the stream identical", spec.Pattern)
+		}
+	}
+}
+
+// TestStreamLegality replays every generated stream and asserts the
+// simple-graph evolution invariant the maintainer relies on.
+func TestStreamLegality(t *testing.T) {
+	for _, spec := range allSpecs(11) {
+		s, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		present := make(map[graph.Edge]bool)
+		for i, op := range s.Ops() {
+			if op.U == op.V || op.U < 0 || op.V < 0 || op.U >= spec.N || op.V >= spec.N {
+				t.Fatalf("%s: op %d endpoints (%d,%d) invalid", spec.Pattern, i, op.U, op.V)
+			}
+			e := op.Edge()
+			if op.Insert == present[e] {
+				t.Fatalf("%s: op %d violates evolution invariant", spec.Pattern, i)
+			}
+			present[e] = op.Insert
+		}
+	}
+}
+
+// TestPatternShapes pins each pattern's defining property.
+func TestPatternShapes(t *testing.T) {
+	churn, err := Generate(churnSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := churn.FinalGraph().M(); m < churnSpec(3).TargetEdges/2 {
+		t.Errorf("churn: final graph has %d edges, expected near target %d", m, churnSpec(3).TargetEdges)
+	}
+	fd, err := Generate(fillDrainSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := fd.FinalGraph().M(); m != 0 {
+		t.Errorf("fill-drain: final graph has %d edges, want net zero", m)
+	}
+	if m := fd.GraphAt(1).M(); m != 100 {
+		t.Errorf("fill-drain: mid-stream graph has %d edges, want 100", m)
+	}
+	blink, err := Generate(blinkSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < blink.Epochs(); e++ {
+		if m := blink.GraphAt(e).M(); m != 0 {
+			t.Errorf("blink: epoch %d graph has %d edges, want net zero", e, m)
+		}
+	}
+}
+
+// TestSpecValidate pins the rejection paths.
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{N: 1, Epochs: 1, OpsPerEpoch: 1, Pattern: PatternChurn, TargetEdges: 1},
+		{N: 10, Epochs: 0, OpsPerEpoch: 1, Pattern: PatternChurn, TargetEdges: 1},
+		{N: 10, Epochs: 1, OpsPerEpoch: 1, Pattern: "nope"},
+		{N: 10, Epochs: 1, OpsPerEpoch: 1, Pattern: PatternChurn, TargetEdges: 0},
+		{N: 10, Epochs: 1, OpsPerEpoch: 1, Pattern: PatternChurn, TargetEdges: 40},
+		{N: 10, Epochs: 1, OpsPerEpoch: 1, Pattern: PatternChurn, TargetEdges: 5, Churn: 1.5},
+		{N: 10, Epochs: 1, OpsPerEpoch: 3, Pattern: PatternFillDrain},
+		{N: 10, Epochs: 1, OpsPerEpoch: 100, Pattern: PatternFillDrain},
+		{N: 10, Epochs: 3, OpsPerEpoch: 3, Pattern: PatternBlink},
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("spec %d: Validate accepted %+v", i, spec)
+		}
+		if _, err := Generate(spec); err == nil {
+			t.Errorf("spec %d: Generate accepted %+v", i, spec)
+		}
+	}
+}
+
+// TestCodecRoundTrip pins Encode∘Decode = identity and the canonical
+// re-encoding property for every pattern.
+func TestCodecRoundTrip(t *testing.T) {
+	for _, spec := range allSpecs(19) {
+		s, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := EncodeStream(s)
+		got, err := DecodeStream(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", spec.Pattern, err)
+		}
+		if got.N() != s.N() || got.OpsPerEpoch() != s.OpsPerEpoch() || got.Len() != s.Len() {
+			t.Fatalf("%s: decoded geometry differs", spec.Pattern)
+		}
+		for i := range s.Ops() {
+			if got.Ops()[i] != s.Ops()[i] {
+				t.Fatalf("%s: op %d differs after round trip", spec.Pattern, i)
+			}
+		}
+		if !bytes.Equal(EncodeStream(got), data) {
+			t.Fatalf("%s: re-encoding is not canonical", spec.Pattern)
+		}
+	}
+}
+
+// TestDecodeRejectsIllegalStreams covers the decoder's validation: the
+// codec only accepts legal simple-graph evolutions.
+func TestDecodeRejectsIllegalStreams(t *testing.T) {
+	s, err := Generate(churnSpec(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := EncodeStream(s)
+	if _, err := DecodeStream(data[:len(data)-3]); err == nil {
+		t.Error("decode accepted a truncated stream")
+	}
+	if _, err := DecodeStream(nil); err == nil {
+		t.Error("decode accepted an empty stream")
+	}
+	// A delete-before-insert stream is illegal even though it parses.
+	illegal := &Stream{n: 10, opsPerEpoch: 1, ops: []Op{{Insert: false, U: 0, V: 1}}}
+	if _, err := DecodeStream(EncodeStream(illegal)); err == nil {
+		t.Error("decode accepted a delete of an absent edge")
+	}
+	loop := &Stream{n: 10, opsPerEpoch: 1, ops: []Op{{Insert: true, U: 3, V: 3}}}
+	if _, err := DecodeStream(EncodeStream(loop)); err == nil {
+		t.Error("decode accepted a self-loop")
+	}
+	double := &Stream{n: 10, opsPerEpoch: 2, ops: []Op{{Insert: true, U: 0, V: 1}, {Insert: true, U: 1, V: 0}}}
+	if _, err := DecodeStream(EncodeStream(double)); err == nil {
+		t.Error("decode accepted a double insert")
+	}
+}

@@ -195,6 +195,7 @@ func Registry() []struct {
 		{"E19", E19TriangleCounting},
 		{"E20", E20ResilienceSweep},
 		{"E40", E40RoundsVsCommunication},
+		{"E50", E50DynamicMatching},
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/dynstream"
 	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/rng"
 
 	// Register the migrated protocols so Build resolves them.
+	// (dynstream above registers semistream-matching from its init too.)
 	_ "repro/internal/agm"
 	_ "repro/internal/coloring"
 	_ "repro/internal/degeneracy"
@@ -156,6 +158,83 @@ func TestGoldenTwoRoundFeedback(t *testing.T) {
 				}
 				if tr.FeedbackBitLen(1) != 0 {
 					t.Fatalf("workers=%d: referee spoke after the final round", workers)
+				}
+				got := flattenFeedback(t, tr)
+				compareTranscriptLines(t, fmt.Sprintf("%s feedback workers=%d", fc.label, workers), got, want)
+			}
+		})
+	}
+}
+
+// semiStreamFixtureCases pins the multi-pass semi-streaming matching
+// protocol: once on a static Gnp graph and once on the final epoch of a
+// dyn-churn dynamic stream (the same graph wire.BuildGraph materializes
+// for the "semistream-matching-dyn" smoke spec). Graph and coin seeds
+// match the corresponding wire.SmokeSpecs entries.
+func semiStreamFixtureCases() []fixtureCase {
+	dyn, err := dynstream.Generate(dynstream.Spec{
+		N: 40, Epochs: 4, OpsPerEpoch: 50,
+		Pattern: dynstream.PatternChurn, TargetEdges: 80, Churn: 0.3, Seed: 49,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return []fixtureCase{
+		{label: "semistream-matching", protocol: "semistream-matching",
+			g: gen.Gnp(40, 0.25, rng.NewSource(47)), coins: rng.NewPublicCoins(48)},
+		{label: "semistream-matching-dyn", protocol: "semistream-matching",
+			g: dyn.FinalGraph(), coins: rng.NewPublicCoins(50)},
+	}
+}
+
+// TestGoldenSemiStreamFixtures pins the multi-pass protocol's player
+// transcripts and decoded outcomes byte for byte at Workers ∈ {1, 2, 8}.
+// Unlike the two-round fixtures these span 2⌈1/ε⌉+2 passes, so they are
+// the regression anchor for the engine's multi-round feedback scheduling
+// as much as for the protocol itself.
+func TestGoldenSemiStreamFixtures(t *testing.T) {
+	for _, fc := range semiStreamFixtureCases() {
+		fc := fc
+		t.Run(fc.label, func(t *testing.T) {
+			path := filepath.Join("testdata", fc.label+".golden")
+			if *updateFixtures {
+				tr, out := execOutcomeFixture(t, fc, 1)
+				lines := append(flattenTranscript(t, tr, fc.g.N()), outcomeLine(out))
+				writeFixtureLines(t, path, lines)
+			}
+			want := readTranscriptFixture(t, path)
+			for _, workers := range []int{1, 2, 8} {
+				tr, out := execOutcomeFixture(t, fc, workers)
+				got := append(flattenTranscript(t, tr, fc.g.N()), outcomeLine(out))
+				compareTranscriptLines(t, fmt.Sprintf("%s workers=%d", fc.label, workers), got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenSemiStreamFeedback pins the referee's per-pass feedback of
+// the semi-streaming protocol against sidecar fixtures. Structurally the
+// referee speaks after every pass except the last (it feeds the running
+// matching and active-vertex set forward), unlike the two-round
+// protocols where it speaks exactly once.
+func TestGoldenSemiStreamFeedback(t *testing.T) {
+	for _, fc := range semiStreamFixtureCases() {
+		fc := fc
+		t.Run(fc.label, func(t *testing.T) {
+			path := filepath.Join("testdata", fc.label+".feedback")
+			if *updateFixtures {
+				writeFixtureLines(t, path, flattenFeedback(t, execFixture(t, fc, 1)))
+			}
+			want := readTranscriptFixture(t, path)
+			for _, workers := range []int{1, 2, 8} {
+				tr := execFixture(t, fc, workers)
+				for round := 0; round < tr.Rounds()-1; round++ {
+					if tr.FeedbackBitLen(round) == 0 {
+						t.Fatalf("workers=%d: no referee feedback after pass %d", workers, round)
+					}
+				}
+				if tr.FeedbackBitLen(tr.Rounds()-1) != 0 {
+					t.Fatalf("workers=%d: referee spoke after the final pass", workers)
 				}
 				got := flattenFeedback(t, tr)
 				compareTranscriptLines(t, fmt.Sprintf("%s feedback workers=%d", fc.label, workers), got, want)

@@ -12,6 +12,7 @@ import (
 	_ "repro/internal/coloring"
 	_ "repro/internal/degeneracy"
 	_ "repro/internal/densest"
+	_ "repro/internal/dynstream"
 	_ "repro/internal/equality"
 	_ "repro/internal/matchproto"
 	_ "repro/internal/misproto"

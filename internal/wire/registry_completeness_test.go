@@ -14,9 +14,22 @@ import (
 // qualifier, so they do not match.
 var sketchSignature = regexp.MustCompile(`Sketch\(view core\.VertexView`)
 
+// broadcastSignature matches a concrete implementation of the multi-round
+// coordinator-clique contract — a Broadcast method taking the round and a
+// vertex view. This is how the adaptive two-round and multi-pass
+// semi-streaming protocols enter the engine, so a package can be a
+// protocol package without ever matching sketchSignature.
+var broadcastSignature = regexp.MustCompile(`\) Broadcast\(round int, view core\.VertexView`)
+
 // registerCall extracts the names a register.go passes to
 // protocol.Register / protocol.RegisterSketcher.
 var registerCall = regexp.MustCompile(`protocol\.Register(?:Sketcher)?(?:\[[^\]]*\])?\(\s*"([^"]+)"`)
+
+// protocolInfra lists packages that implement the Sketch or Broadcast
+// contract as infrastructure rather than as a protocol: the registry's
+// own adapters (internal/protocol) and the fault injector's wrappers
+// (internal/faults). They are exempt from the must-register rule.
+var protocolInfra = map[string]bool{"protocol": true, "faults": true}
 
 // sketchingPackages walks internal/* and returns, per package directory
 // that implements the Sketch contract in non-test code, the protocol
@@ -49,6 +62,9 @@ func sketchingPackages(t *testing.T) map[string][]string {
 				t.Fatal(err)
 			}
 			if sketchSignature.Match(src) {
+				sketches = true
+			}
+			if broadcastSignature.Match(src) && !protocolInfra[e.Name()] {
 				sketches = true
 			}
 			for _, m := range registerCall.FindAllSubmatch(src, -1) {

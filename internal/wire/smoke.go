@@ -62,5 +62,15 @@ func SmokeSpecs(workers int) []RunSpec {
 		{Label: "fb-corrupt-mis-tworound", Protocol: "mis-tworound",
 			Graph: GraphSpec{Kind: "gnp", N: 48, P: 0.2, Seed: 7}, Seed: 101, Workers: workers,
 			Faults: FaultSpec{FbCorrupt: 1, Flip: 3, Seed: faultSeed}},
+		// The multi-pass semi-streaming matching protocol (appended, as
+		// always, so existing specs keep their indices): once on a
+		// static graph, once on a dynamic-stream instance materialized
+		// by the dyn-churn graph kind — server, cache, cluster parity
+		// and the smoke scripts all exercise the dynamic subsystem
+		// through these two.
+		{Label: "semistream-matching", Protocol: "semistream-matching",
+			Graph: GraphSpec{Kind: "gnp", N: 40, P: 0.25, Seed: 47}, Seed: 48, Workers: workers},
+		{Label: "semistream-matching-dyn", Protocol: "semistream-matching",
+			Graph: GraphSpec{Kind: "dyn-churn", N: 40, M: 4, R: 50, T: 80, P: 0.3, Seed: 49}, Seed: 50, Workers: workers},
 	}
 }

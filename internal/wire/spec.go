@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/dynstream"
 	"repro/internal/faults"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -21,18 +22,22 @@ import (
 // generator; the other fields are its parameters (unused ones stay zero).
 type GraphSpec struct {
 	// Kind is the generator name: gnp, gnp-bipartite, path, cycle,
-	// complete, star, grid, matching-union, rs-behrend, rs-disjoint.
+	// complete, star, grid, matching-union, rs-behrend, rs-disjoint,
+	// dyn-churn.
 	Kind string `json:"kind"`
 	// N is the vertex count (gnp, path, cycle, complete, star,
 	// matching-union) or the left side size (gnp-bipartite).
 	N int `json:"n,omitempty"`
 	// M is the right side size (gnp-bipartite), the Behrend family
-	// parameter (rs-behrend), or the matching count (matching-union).
+	// parameter (rs-behrend), the matching count (matching-union), or
+	// the epoch count (dyn-churn).
 	M int `json:"m,omitempty"`
-	// R and T are rows×cols (grid) or matching size×count (rs-disjoint).
+	// R and T are rows×cols (grid), matching size×count (rs-disjoint),
+	// or ops-per-epoch×target-edges (dyn-churn).
 	R int `json:"r,omitempty"`
 	T int `json:"t,omitempty"`
-	// P is the edge probability of the random families.
+	// P is the edge probability of the random families, or the churn
+	// rate (dyn-churn).
 	P float64 `json:"p,omitempty"`
 	// Seed seeds the random families (ignored by deterministic ones).
 	Seed uint64 `json:"seed,omitempty"`
@@ -109,6 +114,22 @@ func BuildGraph(s GraphSpec) (*graph.Graph, error) {
 			return bad("matching size and count must be positive, got r=%d t=%d", s.R, s.T)
 		}
 		return rsgraph.DisjointMatchings(s.R, s.T).G, nil
+	case "dyn-churn":
+		// A dynamic-stream instance: generate the seed-derived churn
+		// stream (N vertices, M epochs of R ops, T target edges, churn
+		// rate P) and materialize its final epoch. Stream generation is
+		// a pure function of the spec, so daemons agree on the graph —
+		// and on every earlier epoch, which the dynstream checkpoint
+		// tests pin against from-scratch rebuilds.
+		stream, err := dynstream.Generate(dynstream.Spec{
+			N: s.N, Epochs: s.M, OpsPerEpoch: s.R,
+			Pattern: dynstream.PatternChurn, TargetEdges: s.T, Churn: s.P,
+			Seed: s.Seed,
+		})
+		if err != nil {
+			return bad("%v", err)
+		}
+		return stream.FinalGraph(), nil
 	default:
 		return nil, fmt.Errorf("wire: unknown graph kind %q", s.Kind)
 	}

@@ -14,8 +14,8 @@ OUT="${BENCH_OUT:-BENCH_0006.json}"
 RPS="${BENCH_RPS:-100}"
 DURATION="${BENCH_DURATION:-5s}"
 ADDR="${BENCH_ADDR:-127.0.0.1:8390}"
-BENCH_PAT='FieldPow|FieldInv|L0Update|L0Sample|BankUpdate|AGMSketchVertex'
-BENCH_PKGS='./internal/field/ ./internal/l0/ ./internal/agm/'
+BENCH_PAT='FieldPow|FieldInv|L0Update|L0Sample|BankUpdate|AGMSketchVertex|DynStreamApply'
+BENCH_PKGS='./internal/field/ ./internal/l0/ ./internal/agm/ ./internal/dynstream/'
 TMP="$(mktemp -d)"
 trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
 

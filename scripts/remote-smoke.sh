@@ -42,7 +42,8 @@ fi
 for label in palette-sparsification triangle-count mst-weight \
     agm-cut-sparsifier densest-subgraph-sketch degeneracy-sketch \
     agm-components equality-public-coin \
-    mm-tworound mis-tworound fb-dropped-mm-tworound fb-corrupt-mis-tworound; do
+    mm-tworound mis-tworound fb-dropped-mm-tworound fb-corrupt-mis-tworound \
+    semistream-matching semistream-matching-dyn; do
     if ! grep -q "$label" "$TMP/local.txt"; then
         echo "remote-smoke: FAIL — sweep is missing $label" >&2
         exit 1
