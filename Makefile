@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check test test-race lint-registry fuzz-smoke remote-smoke cluster-smoke bench bench-smoke bench-baseline bench-json experiments experiments-full examples lint
+.PHONY: all check test test-race lint-registry lbcalc-smoke fuzz-smoke remote-smoke cluster-smoke bench bench-smoke bench-baseline bench-json experiments experiments-full examples lint
 
 # The hot-path micro-benchmarks: field exponentiation/inversion, ℓ₀
 # sketch updates (scalar and banked — L0Update also matches
@@ -25,7 +25,7 @@ all: check
 # the block-vs-scalar performance guard (the allocation-regression tests
 # — TestUpdateBlockZeroAlloc, TestBlockKernelsZeroAlloc — already run
 # inside `test`).
-check: test test-race lint-registry bench-guard
+check: test test-race lint-registry lbcalc-smoke bench-guard
 
 # bench-guard fails when the columnar block path regresses by more than
 # 10% relative to the scalar path, compared against the block/scalar
@@ -34,12 +34,22 @@ check: test test-race lint-registry bench-guard
 bench-guard:
 	./scripts/bench-guard.sh
 
-# lint-registry fails when the protocol registry drifts: a package
+# lint-registry fails when a registry drifts. Wire side: a package
 # implementing the Sketch contract without self-registering, a
 # registered name the wire cannot resolve (missing blank import in
 # internal/wire/protocols.go), or a protocol with no smoke-sweep spec.
+# Lowerbound side: an obligation or bound defined in source but not
+# registered, a registered obligation missing from the lbcalc smoke
+# fixture, or a distribution with no obligations.
 lint-registry:
 	go test -count=1 -run='TestEverySketchingPackageIsRegistered|TestEveryProtocolHasSmokeSpec|TestProtocolsSortedAndNonEmpty' ./internal/wire
+	go test -count=1 -run='TestEveryDefinedObligationIsRegistered|TestEveryRegisteredObligationIsSmoked|TestEveryDistributionHasObligations' ./internal/lowerbound
+
+# lbcalc-smoke byte-diffs lbcalc's analytic tables and full obligation
+# sweep (seed 42) against committed fixtures — the lower-bound pipeline's
+# end-to-end regression gate.
+lbcalc-smoke:
+	./scripts/lbcalc-smoke.sh
 
 test:
 	go build ./... && go vet ./... && go test ./...

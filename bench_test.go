@@ -118,6 +118,10 @@ func BenchmarkE20ResilienceSweep(b *testing.B) {
 	benchExperiment(b, experiments.E20ResilienceSweep)
 }
 
+func BenchmarkE60ConnectivityLowerBound(b *testing.B) {
+	benchExperiment(b, experiments.E60ConnectivityLowerBound)
+}
+
 // Engine benchmarks: the broadcast phase of the AGM spanning-forest
 // sketch (per-vertex work is the protocol's real hot path; Decode is
 // referee-side and inherently sequential) at n ∈ {1k, 10k}, sequential

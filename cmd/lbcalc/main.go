@@ -1,19 +1,33 @@
-// Command lbcalc evaluates the paper's Theorem 1/2 lower-bound formulas:
-// given RS-graph shapes, it prints the required per-player sketch bits.
+// Command lbcalc drives the lowerbound registry: it evaluates the
+// registered analytic bound calculators (the Theorem 1/2 tables) and
+// runs the registered obligation checkers over sampled hard-distribution
+// instances through the shared Runner.
 //
 // Usage:
 //
-//	lbcalc [-m 25,100,400] [-paper-n 1000,100000]
+//	lbcalc [-m 25,100,400] [-paper-n 1000,100000]   analytic tables
+//	lbcalc -list                                    registry contents
+//	lbcalc -obligations [-seed 42] [-trials 3]      every distribution at its smoke spec
+//	lbcalc -dist mm-dmm [-size 8] [-aux 0]          one distribution
+//	lbcalc -json -dist conn-hidden-perm             machine-readable reports
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
-	"repro/internal/bounds"
+	"repro/internal/lowerbound"
+
+	// Clients self-register their distributions, obligations and bounds.
+	_ "repro/internal/bounds"
+	_ "repro/internal/connlb"
+	_ "repro/internal/harddist"
+	_ "repro/internal/misreduce"
+	_ "repro/internal/proofcheck"
 )
 
 func parseInts(s string) ([]int, error) {
@@ -23,51 +37,200 @@ func parseInts(s string) ([]int, error) {
 		if err != nil {
 			return nil, err
 		}
+		if v <= 0 {
+			return nil, fmt.Errorf("values must be positive, got %d", v)
+		}
 		out = append(out, v)
 	}
 	return out, nil
 }
 
+// usage enumerates the registry so `lbcalc -h` always reflects what is
+// actually registered, with no hand-maintained list.
+func usage() {
+	w := flag.CommandLine.Output()
+	fmt.Fprintln(w, "Usage of lbcalc:")
+	flag.PrintDefaults()
+	fmt.Fprintln(w, "\nregistered bounds:")
+	for _, name := range lowerbound.BoundNames() {
+		b, err := lowerbound.LookupBound(name)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "  %-26s %s\n", name, b.Paper())
+	}
+	fmt.Fprintln(w, "\nregistered distributions:")
+	for _, name := range lowerbound.DistributionNames() {
+		d, err := lowerbound.LookupDistribution(name)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "  %-26s %s (%d obligations)\n", name, d.Paper(), len(lowerbound.ObligationsFor(name)))
+	}
+}
+
+// fatalUsage rejects bad flags: error to stderr, usage, exit 2.
+func fatalUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lbcalc: "+format+"\n\n", args...)
+	usage()
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "lbcalc: %v\n", err)
+	os.Exit(1)
+}
+
 func main() {
 	ms := flag.String("m", "25,100,400,1600", "constructive-family parameters")
 	paperNs := flag.String("paper-n", "1000,10000,100000,1000000", "asymptotic-shape RS sizes N")
+	seed := flag.Int64("seed", 42, "rng seed for obligation runs (≥ 0)")
+	trials := flag.Int("trials", 3, "instances sampled per obligation run (≥ 1)")
+	dist := flag.String("dist", "", "run the obligations of one registered distribution")
+	size := flag.Int("size", 0, "size parameter for -dist (0 = the distribution's smoke spec)")
+	aux := flag.Int("aux", 0, "aux parameter for -dist")
+	obligations := flag.Bool("obligations", false, "run every registered distribution at its smoke spec")
+	asJSON := flag.Bool("json", false, "emit obligation reports as JSON")
+	list := flag.Bool("list", false, "list registered distributions, obligations and bounds")
+	flag.Usage = usage
 	flag.Parse()
 
-	mList, err := parseInts(*ms)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "lbcalc: -m: %v\n", err)
-		os.Exit(2)
+	if flag.NArg() > 0 {
+		fatalUsage("unexpected arguments: %v", flag.Args())
 	}
-	nList, err := parseInts(*paperNs)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "lbcalc: -paper-n: %v\n", err)
-		os.Exit(2)
+	if *seed < 0 {
+		fatalUsage("-seed must be ≥ 0, got %d", *seed)
+	}
+	if *trials < 1 {
+		fatalUsage("-trials must be ≥ 1, got %d", *trials)
+	}
+	if *size < 0 {
+		fatalUsage("-size must be ≥ 0, got %d", *size)
+	}
+	if *aux < 0 {
+		fatalUsage("-aux must be ≥ 0, got %d", *aux)
 	}
 
+	switch {
+	case *list:
+		printRegistry()
+	case *dist != "":
+		runOne(*dist, *size, *aux, uint64(*seed), *trials, *asJSON)
+	case *obligations:
+		runAll(uint64(*seed), *trials, *asJSON)
+	default:
+		mList, err := parseInts(*ms)
+		if err != nil {
+			fatalUsage("-m: %v", err)
+		}
+		nList, err := parseInts(*paperNs)
+		if err != nil {
+			fatalUsage("-paper-n: %v", err)
+		}
+		printTables(mList, nList)
+	}
+}
+
+func printRegistry() {
+	fmt.Println("distributions:")
+	for _, name := range lowerbound.DistributionNames() {
+		d, err := lowerbound.LookupDistribution(name)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %-26s %s\n", name, d.Paper())
+	}
+	fmt.Println("obligations:")
+	for _, name := range lowerbound.ObligationNames() {
+		o, err := lowerbound.LookupObligation(name)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %-34s [%s, %s] %s\n", name, o.Distribution(), o.Severity(), o.Claim())
+	}
+	fmt.Println("bounds:")
+	for _, name := range lowerbound.BoundNames() {
+		b, err := lowerbound.LookupBound(name)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %-26s %s\n", name, b.Paper())
+	}
+}
+
+func emit(reports []*lowerbound.RunReport, asJSON bool) {
+	if asJSON {
+		blob, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s\n", blob)
+		return
+	}
+	for _, rep := range reports {
+		if err := rep.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func runOne(dist string, size, aux int, seed uint64, trials int, asJSON bool) {
+	d, err := lowerbound.LookupDistribution(dist)
+	if err != nil {
+		fatal(err)
+	}
+	spec := d.SmokeSpec()
+	if size > 0 {
+		spec = lowerbound.Spec{Size: size, Aux: aux}
+	}
+	rep, err := lowerbound.Runner{Trials: trials}.Run(dist, spec, seed)
+	if err != nil {
+		fatal(err)
+	}
+	emit([]*lowerbound.RunReport{rep}, asJSON)
+}
+
+func runAll(seed uint64, trials int, asJSON bool) {
+	reports, err := lowerbound.Runner{Trials: trials}.RunAll(seed)
+	if err != nil {
+		fatal(err)
+	}
+	emit(reports, asJSON)
+}
+
+// evalBound resolves and evaluates one registered bound.
+func evalBound(name string, size int) lowerbound.BoundRow {
+	b, err := lowerbound.LookupBound(name)
+	if err != nil {
+		fatal(err)
+	}
+	row, err := b.Evaluate(size)
+	if err != nil {
+		fatal(fmt.Errorf("%s at %d: %w", name, size, err))
+	}
+	return row
+}
+
+// printTables renders the analytic tables from the Bound registry. The
+// output is byte-identical to the pre-refactor lbcalc (pinned in
+// testdata/prerefactor_default.txt and diffed by scripts/lbcalc-smoke.sh).
+func printTables(mList, nList []int) {
 	fmt.Println("Theorem 1 counting bound, constructive (Behrend/greedy) family:")
 	fmt.Printf("%8s %8s %6s %8s %10s %12s %12s\n", "m", "N", "r", "t=k", "n", "MM bits", "MIS bits")
-	rows, err := bounds.Table(mList)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "lbcalc: %v\n", err)
-		os.Exit(1)
-	}
-	for i, row := range rows {
+	for _, m := range mList {
+		mm := evalBound("mm/theorem-1", m)
+		mis := evalBound("mis/theorem-2", m)
 		fmt.Printf("%8d %8d %6d %8d %10d %12.3f %12.3f\n",
-			mList[i], row.Shape.N, row.Shape.R, row.Shape.T, row.NTotal,
-			row.BitsPerPlayer, bounds.MISBound(row.BitsPerPlayer))
+			m, int(mm.Params["N"]), int(mm.Params["r"]), int(mm.Params["t"]), int(mm.Params["n"]),
+			mm.Bits, mis.Bits)
 	}
 
 	fmt.Println()
 	fmt.Println("Theorem 1 at the paper's asymptotic shape (t = N/3, r = N/e^{c√log N}):")
 	fmt.Printf("%10s %10s %12s %12s %10s\n", "N", "r", "n", "MM bits", "r/36")
 	for _, n := range nList {
-		shape := bounds.PaperShape(n)
-		row, err := bounds.PaperRow(shape)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "lbcalc: N=%d: %v\n", n, err)
-			os.Exit(1)
-		}
+		row := evalBound("mm/theorem-1-asymptotic", n)
 		fmt.Printf("%10d %10d %12d %12.3f %10.3f\n",
-			shape.N, shape.R, row.NTotal, row.BitsPerPlayer, float64(shape.R)/36)
+			int(row.Params["N"]), int(row.Params["r"]), int(row.Params["n"]), row.Bits, row.Params["r_over_36"])
 	}
 }

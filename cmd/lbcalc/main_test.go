@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestParseIntsRejectsBadValues(t *testing.T) {
+	for _, bad := range []string{"", "abc", "25,", "25,-3", "0", "-1", "25,0,100"} {
+		if _, err := parseInts(bad); err == nil {
+			t.Errorf("parseInts(%q) accepted", bad)
+		}
+	}
+	got, err := parseInts(" 25, 100 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 25 || got[1] != 100 {
+		t.Errorf("parseInts: %v", got)
+	}
+}

@@ -32,12 +32,7 @@ func main() {
 	fmt.Printf("micro D_MM: r=%d t=%d k=%d, n=%d, %d enumerable outcomes\n\n",
 		rs.R(), rs.T(), params.K, params.N(), rs.T()*(1<<uint(params.K*rs.T()*rs.R())))
 
-	for _, p := range []proofcheck.Protocol{
-		proofcheck.FullInfo{},
-		proofcheck.FixedGuess{J0: 0},
-		proofcheck.PublicAll{},
-		proofcheck.Silent{},
-	} {
+	for _, p := range proofcheck.Portfolio() {
 		rep, err := proofcheck.VerifyChain(cfg, p)
 		if err != nil {
 			log.Fatal(err)

@@ -1,0 +1,66 @@
+package bounds
+
+// Registration of the analytic lower-bound calculators with the
+// lowerbound registry. cmd/lbcalc renders its tables by evaluating these
+// bounds, so the formulas live here exactly once.
+
+import (
+	"repro/internal/lowerbound"
+)
+
+func shapeParams(row Row) map[string]float64 {
+	return map[string]float64{
+		"N": float64(row.Shape.N),
+		"k": float64(row.K),
+		"n": float64(row.NTotal),
+		"r": float64(row.Shape.R),
+		"t": float64(row.Shape.T),
+	}
+}
+
+func init() {
+	lowerbound.RegisterBound(lowerbound.NewBound(
+		"mm/theorem-1", "AKO20 Theorem 1 (constructive Behrend family, k = t)",
+		func(m int) (lowerbound.BoundRow, error) {
+			row, err := PaperRow(BehrendShape(m))
+			if err != nil {
+				return lowerbound.BoundRow{}, err
+			}
+			return lowerbound.BoundRow{
+				Bits:    row.BitsPerPlayer,
+				Formula: "k·r / (6·(|P| + k·N/t))",
+				Params:  shapeParams(row),
+			}, nil
+		}))
+
+	lowerbound.RegisterBound(lowerbound.NewBound(
+		"mis/theorem-2", "AKO20 Theorem 2 (MIS via the §4 reduction)",
+		func(m int) (lowerbound.BoundRow, error) {
+			row, err := PaperRow(BehrendShape(m))
+			if err != nil {
+				return lowerbound.BoundRow{}, err
+			}
+			return lowerbound.BoundRow{
+				Bits:    MISBound(row.BitsPerPlayer),
+				Formula: "theorem-1 / 2",
+				Params:  shapeParams(row),
+			}, nil
+		}))
+
+	lowerbound.RegisterBound(lowerbound.NewBound(
+		"mm/theorem-1-asymptotic", "AKO20 Proposition 2.1 shape (t = N/3, r = N/e^{c√log N})",
+		func(n int) (lowerbound.BoundRow, error) {
+			shape := PaperShape(n)
+			row, err := PaperRow(shape)
+			if err != nil {
+				return lowerbound.BoundRow{}, err
+			}
+			p := shapeParams(row)
+			p["r_over_36"] = float64(shape.R) / 36
+			return lowerbound.BoundRow{
+				Bits:    row.BitsPerPlayer,
+				Formula: "k·r / (6·(|P| + k·N/t)) at t = N/3",
+				Params:  p,
+			}, nil
+		}))
+}

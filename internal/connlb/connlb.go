@@ -1,0 +1,274 @@
+// Package connlb is the first non-matching client of the lowerbound
+// pipeline: Yu's hard distribution for distributed sketching of graph
+// connectivity (arXiv:2007.12323), which forces Ω(log³ n)-bit sketches.
+//
+// The sampled family is the layered hidden-permutation construction at
+// the core of that bound: B vertices per layer, L ≥ 3 layers arranged in
+// a ring, and a uniform permutation matching between consecutive layers.
+// Every vertex sees exactly two matching edges — locally the instance
+// looks identical everywhere — yet global connectivity is decided by the
+// cycle structure of the composed permutation, which no player can see.
+// The registered obligations check the construction's ground truth
+// exactly (2-regularity; components ⇔ composed-permutation cycles) and
+// its concentration behaviour (the component count behaves like the
+// cycle count of a uniform permutation, ≈ ln B ≪ n), all through the
+// same problem-agnostic Runner the matching pipeline uses.
+package connlb
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/lowerbound"
+	"repro/internal/rng"
+)
+
+// MinLayers is the smallest ring length that keeps the instance a simple
+// graph: with two layers both matchings would connect the same layer
+// pair and could collide on an edge.
+const MinLayers = 3
+
+// DefaultLayers is the ring length used when Spec.Aux is 0.
+const DefaultLayers = 4
+
+// Instance is one sampled hidden-permutation instance.
+type Instance struct {
+	// G is the union of the L layer matchings on B·L vertices; vertex
+	// l·B+p is position p of layer l.
+	G *graph.Graph
+	// Blocks is B, the number of vertices per layer.
+	Blocks int
+	// Layers is L, the number of layers in the ring.
+	Layers int
+	// Perms[l][p] is the layer-(l+1 mod L) position matched to position p
+	// of layer l.
+	Perms [][]int
+	// Composed is the ring composition π_{L-1} ∘ … ∘ π_0, whose cycles
+	// are the ground-truth connected components.
+	Composed []int
+	// Cycles is the cycle count of Composed — the exact number of
+	// connected components of G.
+	Cycles int
+	// CycleLengths holds the length of the cycle through each composed-
+	// permutation cycle, one entry per cycle in discovery order.
+	CycleLengths []int
+}
+
+// N implements lowerbound.Instance.
+func (inst *Instance) N() int { return inst.G.N() }
+
+// hiddenPerm samples Instances: Spec.Size is B, Spec.Aux is L (0 selects
+// DefaultLayers).
+type hiddenPerm struct{}
+
+// Name implements lowerbound.HardDistribution.
+func (hiddenPerm) Name() string { return "conn-hidden-perm" }
+
+// Paper implements lowerbound.HardDistribution.
+func (hiddenPerm) Paper() string { return "Yu, arXiv:2007.12323 (Ω(log³ n) connectivity sketching)" }
+
+// Validate implements lowerbound.HardDistribution.
+func (hiddenPerm) Validate(spec lowerbound.Spec) error {
+	if spec.Size < 2 {
+		return fmt.Errorf("conn-hidden-perm: block size B must be ≥ 2, got %d", spec.Size)
+	}
+	if spec.Aux != 0 && spec.Aux < MinLayers {
+		return fmt.Errorf("conn-hidden-perm: layer count L must be ≥ %d (or 0 for the default %d), got %d",
+			MinLayers, DefaultLayers, spec.Aux)
+	}
+	return nil
+}
+
+// SmokeSpec implements lowerbound.HardDistribution.
+func (hiddenPerm) SmokeSpec() lowerbound.Spec { return lowerbound.Spec{Size: 8, Aux: MinLayers} }
+
+// Sample implements lowerbound.HardDistribution.
+func (hiddenPerm) Sample(spec lowerbound.Spec, src *rng.Source) (lowerbound.Instance, error) {
+	b, l := spec.Size, spec.Aux
+	if l == 0 {
+		l = DefaultLayers
+	}
+	perms := make([][]int, l)
+	builder := graph.NewBuilder(b * l)
+	for layer := 0; layer < l; layer++ {
+		perms[layer] = src.Perm(b)
+		next := (layer + 1) % l
+		for p, q := range perms[layer] {
+			builder.AddEdge(layer*b+p, next*b+q)
+		}
+	}
+	composed := make([]int, b)
+	for p := range composed {
+		q := p
+		for layer := 0; layer < l; layer++ {
+			q = perms[layer][q]
+		}
+		composed[p] = q
+	}
+	cycles, lengths := cycleDecomposition(composed)
+	return &Instance{
+		G:            builder.Build(),
+		Blocks:       b,
+		Layers:       l,
+		Perms:        perms,
+		Composed:     composed,
+		Cycles:       cycles,
+		CycleLengths: lengths,
+	}, nil
+}
+
+// cycleDecomposition counts the cycles of a permutation and returns
+// their lengths in discovery order.
+func cycleDecomposition(perm []int) (int, []int) {
+	seen := make([]bool, len(perm))
+	var lengths []int
+	for start := range perm {
+		if seen[start] {
+			continue
+		}
+		length := 0
+		for p := start; !seen[p]; p = perm[p] {
+			seen[p] = true
+			length++
+		}
+		lengths = append(lengths, length)
+	}
+	return len(lengths), lengths
+}
+
+// Harmonic returns H_b = Σ_{i=1..b} 1/i, the expected cycle count of a
+// uniform permutation of b elements.
+func Harmonic(b int) float64 {
+	h := 0.0
+	for i := 1; i <= b; i++ {
+		h += 1 / float64(i)
+	}
+	return h
+}
+
+// concentrationSlack multiplies the expected cycle count in the WHP
+// obligation: the cycle count of a uniform permutation is a sum of
+// independent indicators (Feller coupling), so exceeding 3·H_B has
+// probability e^{-Ω(H_B)}.
+const concentrationSlack = 3
+
+func convert(inst lowerbound.Instance) (*Instance, *lowerbound.Report) {
+	ci, err := lowerbound.Convert[*Instance](inst)
+	if err != nil {
+		return nil, &lowerbound.Report{Notes: []string{err.Error()}}
+	}
+	return ci, nil
+}
+
+func init() {
+	lowerbound.RegisterDistribution(hiddenPerm{})
+
+	lowerbound.RegisterObligation(lowerbound.NewObligation(
+		"conn/simple-2-regular",
+		"Yu §2: the layered instance is a simple 2-regular graph on B·L vertices (B·L edges)",
+		"conn-hidden-perm", lowerbound.SevExact,
+		func(inst lowerbound.Instance, _ *rng.Source) lowerbound.Report {
+			ci, bad := convert(inst)
+			if bad != nil {
+				return *bad
+			}
+			minDeg, maxDeg := math.MaxInt, 0
+			for v := 0; v < ci.G.N(); v++ {
+				d := ci.G.Degree(v)
+				if d < minDeg {
+					minDeg = d
+				}
+				if d > maxDeg {
+					maxDeg = d
+				}
+			}
+			wantN := ci.Blocks * ci.Layers
+			return lowerbound.Report{
+				Pass: ci.G.N() == wantN && ci.G.M() == wantN && minDeg == 2 && maxDeg == 2,
+				Details: map[string]float64{
+					"edges":   float64(ci.G.M()),
+					"max_deg": float64(maxDeg),
+					"min_deg": float64(minDeg),
+					"n":       float64(ci.G.N()),
+				},
+			}
+		}))
+
+	lowerbound.RegisterObligation(lowerbound.NewObligation(
+		"conn/cycle-decomposition",
+		"Yu §2: connected components are exactly the cycles of the composed permutation, each of size L·(cycle length)",
+		"conn-hidden-perm", lowerbound.SevExact,
+		func(inst lowerbound.Instance, _ *rng.Source) lowerbound.Report {
+			ci, bad := convert(inst)
+			if bad != nil {
+				return *bad
+			}
+			comp, count := ci.G.Components()
+			sizes := make(map[int]int)
+			for _, c := range comp {
+				sizes[c]++
+			}
+			// Each permutation cycle of length ℓ must appear as one graph
+			// component of size L·ℓ; compare the size multisets.
+			wantSizes := make(map[int]int)
+			for _, l := range ci.CycleLengths {
+				wantSizes[ci.Layers*l]++
+			}
+			gotSizes := make(map[int]int)
+			for _, s := range sizes {
+				gotSizes[s]++
+			}
+			match := count == ci.Cycles && len(gotSizes) == len(wantSizes)
+			if match {
+				for size, n := range wantSizes {
+					if gotSizes[size] != n {
+						match = false
+					}
+				}
+			}
+			return lowerbound.Report{
+				Pass: match,
+				Details: map[string]float64{
+					"components":  float64(count),
+					"perm_cycles": float64(ci.Cycles),
+				},
+			}
+		}))
+
+	lowerbound.RegisterObligation(lowerbound.NewObligation(
+		"conn/component-concentration",
+		"Yu §2: the component count behaves like the cycle count of a uniform permutation — ≈ H_B, and ≤ 3·H_B w.h.p.",
+		"conn-hidden-perm", lowerbound.SevWHP,
+		func(inst lowerbound.Instance, _ *rng.Source) lowerbound.Report {
+			ci, bad := convert(inst)
+			if bad != nil {
+				return *bad
+			}
+			expected := Harmonic(ci.Blocks)
+			ceiling := concentrationSlack * expected
+			return lowerbound.Report{
+				Pass: float64(ci.Cycles) <= ceiling,
+				Details: map[string]float64{
+					"ceiling":       ceiling,
+					"components":    float64(ci.Cycles),
+					"expected_ln_b": expected,
+					"fraction_of_n": float64(ci.Cycles) / float64(ci.G.N()),
+				},
+			}
+		}))
+
+	lowerbound.RegisterBound(lowerbound.NewBound(
+		"conn/omega-log3", "Yu, arXiv:2007.12323, Theorem 1: connectivity sketches need Ω(log³ n) bits",
+		func(n int) (lowerbound.BoundRow, error) {
+			if n < 2 {
+				return lowerbound.BoundRow{}, fmt.Errorf("conn/omega-log3: n must be ≥ 2, got %d", n)
+			}
+			lg := math.Log2(float64(n))
+			return lowerbound.BoundRow{
+				Bits:    lg * lg * lg,
+				Formula: "log₂(n)³",
+				Params:  map[string]float64{"log2_n": lg},
+			}, nil
+		}))
+}

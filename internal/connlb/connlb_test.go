@@ -1,0 +1,108 @@
+package connlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lowerbound"
+	"repro/internal/rng"
+)
+
+// Instance legality across random specs: every sampled instance is a
+// simple 2-regular graph whose components are exactly the composed
+// permutation's cycles — the two exact obligations, property-tested over
+// the whole admissible spec range.
+func TestInstanceLegalityQuick(t *testing.T) {
+	f := func(seed uint64, bRaw, lRaw uint8) bool {
+		spec := lowerbound.Spec{Size: 2 + int(bRaw%40), Aux: MinLayers + int(lRaw%6)}
+		if err := (hiddenPerm{}).Validate(spec); err != nil {
+			t.Fatalf("admissible spec rejected: %v", err)
+		}
+		inst, err := (hiddenPerm{}).Sample(spec, rng.NewSource(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ci := inst.(*Instance)
+		if ci.N() != spec.Size*spec.Aux {
+			return false
+		}
+		for _, name := range []string{"conn/simple-2-regular", "conn/cycle-decomposition"} {
+			ob, err := lowerbound.LookupObligation(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep := ob.Check(inst, rng.NewSource(seed+1)); !rep.Pass {
+				t.Logf("%s failed on B=%d L=%d: %+v", name, spec.Size, spec.Aux, rep)
+				return false
+			}
+		}
+		total := 0
+		for _, l := range ci.CycleLengths {
+			total += l
+		}
+		return total == ci.Blocks && len(ci.CycleLengths) == ci.Cycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []lowerbound.Spec{
+		{Size: 1},
+		{Size: 0},
+		{Size: -3},
+		{Size: 8, Aux: 1},
+		{Size: 8, Aux: 2},
+		{Size: 8, Aux: -1},
+	}
+	for _, spec := range bad {
+		if err := (hiddenPerm{}).Validate(spec); err == nil {
+			t.Errorf("spec %+v accepted", spec)
+		}
+	}
+	if err := (hiddenPerm{}).Validate(lowerbound.Spec{Size: 8}); err != nil {
+		t.Errorf("default-layer spec rejected: %v", err)
+	}
+}
+
+// The distribution and its obligations run end-to-end through the shared
+// Runner with zero connectivity-specific branches in lowerbound.
+func TestRunnerEndToEnd(t *testing.T) {
+	rep, err := lowerbound.Runner{Trials: 4}.Run("conn-hidden-perm", lowerbound.Spec{Size: 16, Aux: 3}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Obligations) != 3 {
+		t.Fatalf("expected 3 conn obligations, got %d", len(rep.Obligations))
+	}
+	if !rep.AllExactHold() {
+		t.Errorf("exact obligations failed: %+v", rep.Obligations)
+	}
+}
+
+func TestOmegaLog3Bound(t *testing.T) {
+	b, err := lowerbound.LookupBound("conn/omega-log3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := b.Evaluate(1 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Bits != 1000 { // log2(1024)³ = 10³
+		t.Errorf("log₂(1024)³ = %v, want 1000", row.Bits)
+	}
+	if _, err := b.Evaluate(1); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestHarmonic(t *testing.T) {
+	if h := Harmonic(1); h != 1 {
+		t.Errorf("H_1 = %v", h)
+	}
+	if h := Harmonic(4); h < 2.08 || h > 2.09 { // 1 + 1/2 + 1/3 + 1/4 = 2.0833…
+		t.Errorf("H_4 = %v", h)
+	}
+}

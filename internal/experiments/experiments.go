@@ -196,6 +196,7 @@ func Registry() []struct {
 		{"E20", E20ResilienceSweep},
 		{"E40", E40RoundsVsCommunication},
 		{"E50", E50DynamicMatching},
+		{"E60", E60ConnectivityLowerBound},
 	}
 }
 

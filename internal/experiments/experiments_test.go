@@ -13,7 +13,7 @@ import (
 var expectedIDs = []string{
 	"E1", "E2", "E3", "E3b", "E4", "E5a", "E5b", "E5c", "E6", "E7", "E8", "E8b",
 	"E9", "E10", "E10b", "E11", "E12", "E13", "E13b", "E14", "E14b", "E15",
-	"E16", "E17", "E17b", "E18a", "E18b", "E19", "E20", "E40", "E50",
+	"E16", "E17", "E17b", "E18a", "E18b", "E19", "E20", "E40", "E50", "E60",
 }
 
 func TestAllSmallScale(t *testing.T) {
@@ -103,11 +103,11 @@ func TestNoViolationsReportedAcrossSeeds(t *testing.T) {
 
 func TestRegistryOrder(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 22 {
+	if len(reg) != 23 {
 		t.Fatalf("registry has %d entries", len(reg))
 	}
-	if reg[0].ID != "E1" || reg[20].ID != "E40" || reg[21].ID != "E50" {
-		t.Errorf("registry order unexpected: %v ... %v, %v", reg[0].ID, reg[20].ID, reg[21].ID)
+	if reg[0].ID != "E1" || reg[20].ID != "E40" || reg[21].ID != "E50" || reg[22].ID != "E60" {
+		t.Errorf("registry order unexpected: %v ... %v, %v, %v", reg[0].ID, reg[20].ID, reg[21].ID, reg[22].ID)
 	}
 }
 

@@ -156,10 +156,7 @@ func E4InformationChain(scale Scale, _ uint64) ([]*Table, error) {
 	} else {
 		families = append(families, family{"behrend m=2 (r=2 t=2) k=1", rsB, 1})
 	}
-	protocols := []proofcheck.Protocol{
-		proofcheck.FullInfo{}, proofcheck.Silent{}, proofcheck.PublicAll{},
-		proofcheck.CopyZero{}, proofcheck.FixedGuess{J0: 0}, proofcheck.FirstSlot{},
-	}
+	protocols := proofcheck.Portfolio()
 	var out []*Table
 	for _, fam := range families {
 		t := &Table{

@@ -1,0 +1,118 @@
+package harddist
+
+// Registration of D_MM with the lowerbound pipeline: the distribution
+// samples instances over the constructive Behrend RS family, and the
+// Claim 3.1 obligations check the unique–unique edge guarantee that
+// powers the whole Section 3 chain. Names, claims and detail keys are
+// pinned by internal/lowerbound/testdata/mm-dmm_seed42.json, recorded
+// before this package was migrated onto the registry.
+
+import (
+	"fmt"
+
+	"repro/internal/infotheory"
+	"repro/internal/lowerbound"
+	"repro/internal/rng"
+	"repro/internal/rsgraph"
+)
+
+// N implements lowerbound.Instance: the vertex count of the union graph.
+func (inst *Instance) N() int { return inst.G.N() }
+
+// claim31Tries is the number of random maximal matchings probed per
+// Claim 3.1 check.
+const claim31Tries = 15
+
+// dMM is D_MM over the Behrend family: Spec.Size is the Behrend
+// parameter m, Spec.Aux optionally overrides the copy count k (default
+// k = t, the paper's choice).
+type dMM struct{}
+
+func (dMM) Name() string  { return "mm-dmm" }
+func (dMM) Paper() string { return "AKO20 §3.1 (D_MM)" }
+
+func (dMM) Validate(spec lowerbound.Spec) error {
+	if spec.Size < 2 {
+		return fmt.Errorf("mm-dmm: Behrend parameter m must be ≥ 2, got %d", spec.Size)
+	}
+	if spec.Aux < 0 {
+		return fmt.Errorf("mm-dmm: copy-count override k must be ≥ 0, got %d", spec.Aux)
+	}
+	return nil
+}
+
+func (dMM) SmokeSpec() lowerbound.Spec { return lowerbound.Spec{Size: 8} }
+
+func (dMM) Sample(spec lowerbound.Spec, src *rng.Source) (lowerbound.Instance, error) {
+	rs, err := rsgraph.BuildBehrend(spec.Size)
+	if err != nil {
+		return nil, err
+	}
+	p := NewParams(rs)
+	if spec.Aux > 0 {
+		p.K = spec.Aux
+	}
+	return Sample(p, src)
+}
+
+func errReport(err error) lowerbound.Report {
+	return lowerbound.Report{Notes: []string{err.Error()}}
+}
+
+func init() {
+	lowerbound.RegisterDistribution(dMM{})
+
+	lowerbound.RegisterObligation(lowerbound.NewObligation(
+		"mm/claim-3.1-exact-floor",
+		"AKO20 Claim 3.1 (exact floor): every maximal matching has ≥ C − (N_RS − 2r) unique–unique edges",
+		"mm-dmm", lowerbound.SevExact,
+		func(inst lowerbound.Instance, src *rng.Source) lowerbound.Report {
+			hi, err := lowerbound.Convert[*Instance](inst)
+			if err != nil {
+				return errReport(err)
+			}
+			rep := CheckClaim31(hi, claim31Tries, src)
+			return lowerbound.Report{Pass: rep.ExactHolds, Details: map[string]float64{
+				"exact_bound":     float64(rep.ExactBound),
+				"matchings_tried": float64(rep.MatchingsTried),
+				"min_uu":          float64(rep.MinUniqueUnique),
+				"survived":        float64(rep.Survived),
+			}}
+		}))
+
+	lowerbound.RegisterObligation(lowerbound.NewObligation(
+		"mm/claim-3.1-threshold",
+		"AKO20 Claim 3.1: every maximal matching has ≥ kr/4 unique–unique edges",
+		"mm-dmm", lowerbound.SevWHP,
+		func(inst lowerbound.Instance, src *rng.Source) lowerbound.Report {
+			hi, err := lowerbound.Convert[*Instance](inst)
+			if err != nil {
+				return errReport(err)
+			}
+			rep := CheckClaim31(hi, claim31Tries, src)
+			return lowerbound.Report{Pass: rep.PaperHolds, Details: map[string]float64{
+				"min_uu":      float64(rep.MinUniqueUnique),
+				"paper_bound": rep.PaperBound,
+				"survived":    float64(rep.Survived),
+			}}
+		}))
+
+	lowerbound.RegisterObligation(lowerbound.NewObligation(
+		"mm/survival-concentration",
+		"AKO20 Claim 3.1 proof: C ≥ kr/3 except with probability 2^{−Ω(kr)}",
+		"mm-dmm", lowerbound.SevWHP,
+		func(inst lowerbound.Instance, _ *rng.Source) lowerbound.Report {
+			hi, err := lowerbound.Convert[*Instance](inst)
+			if err != nil {
+				return errReport(err)
+			}
+			kr := float64(hi.Params.K) * float64(hi.Params.RS.R())
+			c := hi.SurvivedSpecialCount()
+			mu := kr * (1 - hi.Params.DropProb)
+			return lowerbound.Report{Pass: float64(c) >= kr/3, Details: map[string]float64{
+				"chernoff_floor": kr / 3,
+				"survived":       float64(c),
+				"tail_bound":     infotheory.ChernoffLowerTail(mu, 1.0/3),
+			}}
+		}))
+}

@@ -1,0 +1,110 @@
+package infotheory
+
+// Reusable obligation helpers: the textbook entropy facts the paper's
+// Fact 2.2 collects, and the two conditioning propositions (2.3, 2.4)
+// its Section 3.2 leans on. The lowerbound obligations and this
+// package's own property tests share these checkers, so a claim is
+// stated in exactly one place.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// factTol absorbs floating-point noise in the inequality checks.
+const factTol = 1e-9
+
+// Fact22Violations checks Fact 2.2's standard entropy facts on every
+// variable pair of the joint — H(A) ≥ 0, conditioning reduces entropy
+// (H(A|B) ≤ H(A)), the chain rule H(A,B) = H(B) + H(A|B), and
+// I(A;B) ≥ 0 — returning one message per violated inequality.
+func Fact22Violations(j *Joint) []string {
+	var out []string
+	for a := 0; a < j.Arity(); a++ {
+		ha := j.Entropy(a)
+		if ha < -factTol {
+			out = append(out, fmt.Sprintf("H(X%d) = %v < 0", a, ha))
+		}
+		for b := 0; b < j.Arity(); b++ {
+			if a == b {
+				continue
+			}
+			cond := j.CondEntropy([]int{a}, []int{b})
+			if cond > ha+factTol {
+				out = append(out, fmt.Sprintf("H(X%d|X%d) = %v > H(X%d) = %v", a, b, cond, a, ha))
+			}
+			if joint := j.Entropy(a, b); math.Abs(joint-(j.Entropy(b)+cond)) > 1e-6 {
+				out = append(out, fmt.Sprintf("chain rule: H(X%d,X%d) = %v ≠ H(X%d) + H(X%d|X%d)", a, b, joint, b, a, b))
+			}
+			if mi := j.MutualInfo([]int{a}, []int{b}, nil); mi < -factTol {
+				out = append(out, fmt.Sprintf("I(X%d;X%d) = %v < 0", a, b, mi))
+			}
+		}
+	}
+	return out
+}
+
+// Proposition23Holds checks Proposition 2.3 on an (A, B, C, D) joint
+// satisfying A ⊥ D | C: then I(A;B|C) ≤ I(A;B|C,D).
+func Proposition23Holds(j *Joint) bool {
+	return j.MutualInfo([]int{0}, []int{1}, []int{2}) <=
+		j.MutualInfo([]int{0}, []int{1}, []int{2, 3})+factTol
+}
+
+// Proposition24Holds checks Proposition 2.4 on an (A, B, C, D) joint
+// satisfying A ⊥ D | B, C: then I(A;B|C) ≥ I(A;B|C,D).
+func Proposition24Holds(j *Joint) bool {
+	return j.MutualInfo([]int{0}, []int{1}, []int{2}) >=
+		j.MutualInfo([]int{0}, []int{1}, []int{2, 3})-factTol
+}
+
+// RandomJointDFuncOfC builds a random (A, B, C, D) joint with D = f(C),
+// which guarantees A ⊥ D | C (in fact X ⊥ D | C for every X) — the
+// hypothesis of Proposition 2.3.
+func RandomJointDFuncOfC(src *rng.Source) *Joint {
+	j := NewJoint(4)
+	f := [3]int{src.Intn(2), src.Intn(2), src.Intn(2)}
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			for c := 0; c < 3; c++ {
+				if src.Intn(5) == 0 {
+					continue // sparsify support
+				}
+				j.Add([]int{a, b, c, f[c]}, src.Float64()+0.05)
+			}
+		}
+	}
+	if j.Support() == 0 {
+		j.Add([]int{0, 0, 0, f[0]}, 1)
+	}
+	return j
+}
+
+// RandomJointDFuncOfBC builds a random (A, B, C, D) joint with
+// D = f(B, C), guaranteeing A ⊥ D | B, C — the hypothesis of
+// Proposition 2.4.
+func RandomJointDFuncOfBC(src *rng.Source) *Joint {
+	j := NewJoint(4)
+	var f [2][3]int
+	for b := range f {
+		for c := range f[b] {
+			f[b][c] = src.Intn(2)
+		}
+	}
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			for c := 0; c < 3; c++ {
+				if src.Intn(5) == 0 {
+					continue
+				}
+				j.Add([]int{a, b, c, f[b][c]}, src.Float64()+0.05)
+			}
+		}
+	}
+	if j.Support() == 0 {
+		j.Add([]int{0, 0, 0, f[0][0]}, 1)
+	}
+	return j
+}

@@ -1,0 +1,146 @@
+package lowerbound_test
+
+// Registry-completeness lint for the lowerbound registry, mirroring the
+// source-walking protocol lint in internal/wire: obligations and bounds
+// are constructed exclusively through NewObligation/NewBound with
+// literal names, so a regexp over non-test sources recovers every
+// definition site. The lint fails when (a) a defined obligation or
+// bound never registers (dead claim checker), (b) a registered
+// obligation is absent from the lbcalc smoke fixture (unexercised
+// claim), or (c) a registered distribution has no obligations (a run
+// that would check nothing).
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lowerbound"
+
+	_ "repro/internal/bounds"
+	_ "repro/internal/connlb"
+	_ "repro/internal/harddist"
+	_ "repro/internal/misreduce"
+	_ "repro/internal/proofcheck"
+)
+
+var (
+	newObligationRE = regexp.MustCompile(`lowerbound\.NewObligation\(\s*"([^"]+)"`)
+	newBoundRE      = regexp.MustCompile(`lowerbound\.NewBound\(\s*"([^"]+)"`)
+)
+
+// definedNames scans every non-test Go source in the repository for
+// literal-name constructor calls.
+func definedNames(t *testing.T, re *regexp.Regexp) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	err := filepath.WalkDir("../..", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range re.FindAllStringSubmatch(string(blob), -1) {
+			out[m[1]] = path
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// registered filters registry names down to real (non test-fixture)
+// entries; the in-package runner tests register "test/..." fakes into
+// the same process-global registry.
+func registered(names []string) []string {
+	var out []string
+	for _, name := range names {
+		if !strings.HasPrefix(name, "test/") && name != "test-fake" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func TestEveryDefinedObligationIsRegistered(t *testing.T) {
+	defined := definedNames(t, newObligationRE)
+	if len(defined) == 0 {
+		t.Fatal("source scan found no NewObligation call sites — lint regexp broken?")
+	}
+	have := map[string]bool{}
+	for _, name := range lowerbound.ObligationNames() {
+		have[name] = true
+	}
+	for name, path := range defined {
+		if !have[name] {
+			t.Errorf("obligation %q defined in %s but never registered — missing RegisterObligation or blank import", name, path)
+		}
+	}
+
+	definedBounds := definedNames(t, newBoundRE)
+	if len(definedBounds) == 0 {
+		t.Fatal("source scan found no NewBound call sites — lint regexp broken?")
+	}
+	haveBound := map[string]bool{}
+	for _, name := range lowerbound.BoundNames() {
+		haveBound[name] = true
+	}
+	for name, path := range definedBounds {
+		if !haveBound[name] {
+			t.Errorf("bound %q defined in %s but never registered", name, path)
+		}
+	}
+}
+
+func TestEveryRegisteredObligationIsSmoked(t *testing.T) {
+	smoke, err := os.ReadFile("../../cmd/lbcalc/testdata/smoke.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range registered(lowerbound.ObligationNames()) {
+		if !strings.Contains(string(smoke), name) {
+			t.Errorf("registered obligation %q is not exercised by the lbcalc smoke fixture — regenerate cmd/lbcalc/testdata/smoke.txt (see scripts/lbcalc-smoke.sh)", name)
+		}
+	}
+	for _, name := range registered(lowerbound.DistributionNames()) {
+		if !strings.Contains(string(smoke), name) {
+			t.Errorf("registered distribution %q is not exercised by the lbcalc smoke fixture", name)
+		}
+	}
+}
+
+func TestEveryDistributionHasObligations(t *testing.T) {
+	dists := registered(lowerbound.DistributionNames())
+	if len(dists) < 4 {
+		t.Fatalf("expected at least 4 registered distributions, got %v", dists)
+	}
+	for _, name := range dists {
+		obs := lowerbound.ObligationsFor(name)
+		if len(obs) == 0 {
+			t.Errorf("distribution %q has no registered obligations — a Runner.Run would check nothing", name)
+		}
+	}
+	// Every registered obligation must name a registered distribution.
+	have := map[string]bool{}
+	for _, name := range lowerbound.DistributionNames() {
+		have[name] = true
+	}
+	for _, name := range registered(lowerbound.ObligationNames()) {
+		ob, err := lowerbound.LookupObligation(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !have[ob.Distribution()] {
+			t.Errorf("obligation %q names unregistered distribution %q", name, ob.Distribution())
+		}
+	}
+}

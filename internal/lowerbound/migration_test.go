@@ -1,0 +1,82 @@
+package lowerbound_test
+
+// Migration-fidelity gate: the JSON fixtures under testdata/ were
+// generated BEFORE harddist/proofcheck/misreduce were migrated onto the
+// lowerbound registry, by driving the pre-refactor APIs through the same
+// rng label scheme the Runner now uses. This test replays each fixture's
+// obligations through the registry and demands byte-identical output —
+// the proof that the refactor moved code without changing a single
+// number. Regenerate (only after an intentional change) with:
+//
+//	go test ./internal/lowerbound -run TestMigrationFidelity -update-fixtures
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lowerbound"
+
+	_ "repro/internal/bounds"
+	_ "repro/internal/harddist"
+	_ "repro/internal/misreduce"
+	_ "repro/internal/proofcheck"
+)
+
+var updateFixtures = flag.Bool("update-fixtures", false, "rewrite the migration fixtures from current code")
+
+func TestMigrationFidelity(t *testing.T) {
+	files, err := filepath.Glob("testdata/*_seed42.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("expected 3 pinned fixtures, found %v", files)
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var pinned lowerbound.RunReport
+			if err := json.Unmarshal(want, &pinned); err != nil {
+				t.Fatal(err)
+			}
+			// Replay exactly the obligations the fixture pinned: newer
+			// obligations of the same distribution (e.g. the Fact 2.2
+			// instrument) are additive and checked elsewhere.
+			var obs []lowerbound.Obligation
+			for _, s := range pinned.Obligations {
+				ob, err := lowerbound.LookupObligation(s.Obligation)
+				if err != nil {
+					t.Fatalf("fixture obligation no longer registered: %v", err)
+				}
+				obs = append(obs, ob)
+			}
+			got, err := lowerbound.Runner{Trials: pinned.Trials}.RunObligations(
+				pinned.Distribution, pinned.Spec, pinned.Seed, obs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob, err := got.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *updateFixtures {
+				if err := os.WriteFile(path, blob, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			if !bytes.Equal(blob, want) {
+				t.Errorf("migrated pipeline diverges from pre-refactor fixture %s\n--- got ---\n%s\n--- want ---\n%s",
+					path, blob, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,91 @@
+package lowerbound
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// The Runner's two determinism properties, pinned with testing/quick:
+// obligation order never affects the aggregated report, and the same
+// (spec, seed) always yields byte-identical JSON.
+
+func TestRunnerObligationOrderIrrelevantQuick(t *testing.T) {
+	registerFakes()
+	obs := ObligationsFor("test-fake")
+	f := func(seed uint64, sizeRaw uint8, swap bool) bool {
+		spec := Spec{Size: 1 + int(sizeRaw%7)}
+		ordered := append([]Obligation(nil), obs...)
+		if swap {
+			ordered[0], ordered[1] = ordered[1], ordered[0]
+		}
+		a, err := (Runner{Trials: 3}).Run("test-fake", spec, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := (Runner{Trials: 3}).RunObligations("test-fake", spec, seed, ordered)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aj, err := a.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bj, err := b.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bytes.Equal(aj, bj)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunnerSameSeedByteIdenticalQuick(t *testing.T) {
+	registerFakes()
+	f := func(seed uint64, sizeRaw uint8, trialsRaw uint8) bool {
+		spec := Spec{Size: 1 + int(sizeRaw%7)}
+		trials := 1 + int(trialsRaw%5)
+		a, err := (Runner{Trials: trials}).Run("test-fake", spec, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := (Runner{Trials: trials}).Run("test-fake", spec, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aj, err := a.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bj, err := b.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bytes.Equal(aj, bj)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Different seeds must actually change the sampled randomness — the
+// byte-identity property would be vacuous if the streams ignored the
+// seed.
+func TestRunnerSeedMatters(t *testing.T) {
+	registerFakes()
+	a, err := (Runner{Trials: 2}).Run("test-fake", Spec{Size: 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (Runner{Trials: 2}).Run("test-fake", Spec{Size: 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := a.JSON()
+	bj, _ := b.JSON()
+	if bytes.Equal(aj, bj) {
+		t.Error("seed 1 and seed 2 produced identical reports")
+	}
+}

@@ -1,0 +1,145 @@
+package lowerbound
+
+// Three registries — distributions, obligations, bounds — populated by
+// client packages' init() functions (see their register.go files), the
+// same way internal/protocol registers sketching protocols. Importing a
+// client package anywhere in a binary makes its claims checkable; the
+// registry-completeness lint (lint_test.go) fails when a package defines
+// an obligation without registering it.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+var (
+	mu            sync.RWMutex
+	distributions = map[string]HardDistribution{}
+	obligations   = map[string]Obligation{}
+	bounds        = map[string]Bound{}
+)
+
+// RegisterDistribution adds a named hard distribution. It is meant to be
+// called from init() and panics on empty or duplicate names — both are
+// programming errors a test catches immediately.
+func RegisterDistribution(d HardDistribution) {
+	if d == nil || d.Name() == "" {
+		panic("lowerbound: RegisterDistribution with nil or unnamed distribution")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := distributions[d.Name()]; dup {
+		panic(fmt.Sprintf("lowerbound: duplicate distribution %q", d.Name()))
+	}
+	distributions[d.Name()] = d
+}
+
+// RegisterObligation adds a named obligation. Panics on duplicates and
+// on obligations naming no distribution; the distribution itself may
+// register later in init order and is resolved at run time.
+func RegisterObligation(o Obligation) {
+	if o == nil || o.Name() == "" {
+		panic("lowerbound: RegisterObligation with nil or unnamed obligation")
+	}
+	if o.Distribution() == "" {
+		panic(fmt.Sprintf("lowerbound: obligation %q names no distribution", o.Name()))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := obligations[o.Name()]; dup {
+		panic(fmt.Sprintf("lowerbound: duplicate obligation %q", o.Name()))
+	}
+	obligations[o.Name()] = o
+}
+
+// RegisterBound adds a named analytic bound calculator.
+func RegisterBound(b Bound) {
+	if b == nil || b.Name() == "" {
+		panic("lowerbound: RegisterBound with nil or unnamed bound")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := bounds[b.Name()]; dup {
+		panic(fmt.Sprintf("lowerbound: duplicate bound %q", b.Name()))
+	}
+	bounds[b.Name()] = b
+}
+
+// LookupDistribution resolves a registered distribution name.
+func LookupDistribution(name string) (HardDistribution, error) {
+	mu.RLock()
+	d, ok := distributions[name]
+	mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("lowerbound: unknown distribution %q (known: %v)", name, DistributionNames())
+	}
+	return d, nil
+}
+
+// LookupObligation resolves a registered obligation name.
+func LookupObligation(name string) (Obligation, error) {
+	mu.RLock()
+	o, ok := obligations[name]
+	mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("lowerbound: unknown obligation %q (known: %v)", name, ObligationNames())
+	}
+	return o, nil
+}
+
+// LookupBound resolves a registered bound name.
+func LookupBound(name string) (Bound, error) {
+	mu.RLock()
+	b, ok := bounds[name]
+	mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("lowerbound: unknown bound %q (known: %v)", name, BoundNames())
+	}
+	return b, nil
+}
+
+// DistributionNames returns the sorted registered distribution names.
+func DistributionNames() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	return sortedKeys(distributions)
+}
+
+// ObligationNames returns the sorted registered obligation names.
+func ObligationNames() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	return sortedKeys(obligations)
+}
+
+// BoundNames returns the sorted registered bound names.
+func BoundNames() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	return sortedKeys(bounds)
+}
+
+// ObligationsFor returns the registered obligations checking the named
+// distribution, sorted by name.
+func ObligationsFor(dist string) []Obligation {
+	mu.RLock()
+	defer mu.RUnlock()
+	var out []Obligation
+	for _, o := range obligations {
+		if o.Distribution() == dist {
+			out = append(out, o)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,189 @@
+package lowerbound
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner samples instances from a registered distribution and checks
+// every registered obligation of that distribution against each sample.
+//
+// Determinism contract: the aggregated report is a pure function of
+// (distribution, spec, seed, trials, registered obligation set). Each
+// trial's instance is sampled from a stream derived from (seed, dist,
+// trial) alone, and each obligation draws its check randomness from a
+// stream derived from (seed, dist, obligation, trial) alone — so the
+// order in which obligations registered, or run, can never change a
+// single byte of the output.
+type Runner struct {
+	// Trials is the number of instances sampled per run (min 1).
+	Trials int
+}
+
+// ObligationSummary aggregates one obligation's reports over all trials.
+type ObligationSummary struct {
+	Obligation string   `json:"obligation"`
+	Claim      string   `json:"claim"`
+	Severity   string   `json:"severity"`
+	Pass       int      `json:"pass"`
+	Fail       int      `json:"fail"`
+	Reports    []Report `json:"reports"`
+}
+
+// PassRate returns the fraction of trials that passed.
+func (s ObligationSummary) PassRate() float64 {
+	total := s.Pass + s.Fail
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Pass) / float64(total)
+}
+
+// RunReport is the machine-readable aggregate of one Runner.Run.
+type RunReport struct {
+	Distribution string              `json:"distribution"`
+	Paper        string              `json:"paper"`
+	Spec         Spec                `json:"spec"`
+	Seed         uint64              `json:"seed"`
+	Trials       int                 `json:"trials"`
+	Obligations  []ObligationSummary `json:"obligations"`
+}
+
+// AllExactHold reports whether every exact-severity obligation passed on
+// every trial.
+func (r *RunReport) AllExactHold() bool {
+	for _, s := range r.Obligations {
+		if s.Severity == SevExact.String() && s.Fail > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// JSON renders the canonical byte representation: indented JSON with a
+// trailing newline. Same seed and spec ⇒ byte-identical output.
+func (r *RunReport) JSON() ([]byte, error) {
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(blob, '\n'), nil
+}
+
+// Render writes a human-readable summary.
+func (r *RunReport) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== lowerbound: %s (%s) size=%d aux=%d seed=%d trials=%d ==\n",
+		r.Distribution, r.Paper, r.Spec.Size, r.Spec.Aux, r.Seed, r.Trials); err != nil {
+		return err
+	}
+	for _, s := range r.Obligations {
+		if _, err := fmt.Fprintf(w, "  %-34s %-5s pass %d/%d\n",
+			s.Obligation, s.Severity, s.Pass, s.Pass+s.Fail); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Run executes the pipeline for one registered distribution: sample
+// Trials instances, check every registered obligation of the
+// distribution on each, aggregate. It fails when the distribution is
+// unknown, the spec invalid, or no obligation is registered for the
+// distribution — a run that checks nothing is a configuration error,
+// not a success.
+func (r Runner) Run(dist string, spec Spec, seed uint64) (*RunReport, error) {
+	d, err := LookupDistribution(dist)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Validate(spec); err != nil {
+		return nil, err
+	}
+	obs := ObligationsFor(dist)
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("lowerbound: no obligations registered for distribution %q", dist)
+	}
+	return r.RunObligations(dist, spec, seed, obs)
+}
+
+// RunObligations is Run with an explicit obligation list, in any order:
+// the aggregated report is sorted by obligation name and each check
+// draws from its own derived stream, so permuting obs cannot change the
+// output (a property pinned by quick tests). All obligations must check
+// the named distribution.
+func (r Runner) RunObligations(dist string, spec Spec, seed uint64, obs []Obligation) (*RunReport, error) {
+	d, err := LookupDistribution(dist)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Validate(spec); err != nil {
+		return nil, err
+	}
+	for _, o := range obs {
+		if o.Distribution() != dist {
+			return nil, fmt.Errorf("lowerbound: obligation %q checks distribution %q, not %q",
+				o.Name(), o.Distribution(), dist)
+		}
+	}
+	trials := r.Trials
+	if trials < 1 {
+		trials = 1
+	}
+
+	rep := &RunReport{
+		Distribution: dist,
+		Paper:        d.Paper(),
+		Spec:         spec,
+		Seed:         seed,
+		Trials:       trials,
+	}
+	sums := make([]ObligationSummary, len(obs))
+	for i, o := range obs {
+		sums[i] = ObligationSummary{
+			Obligation: o.Name(),
+			Claim:      o.Claim(),
+			Severity:   o.Severity().String(),
+			Reports:    []Report{},
+		}
+	}
+	for trial := 0; trial < trials; trial++ {
+		inst, err := d.Sample(spec, sampleSource(seed, dist, trial))
+		if err != nil {
+			return nil, fmt.Errorf("lowerbound: %s trial %d: %w", dist, trial, err)
+		}
+		for i, o := range obs {
+			out := o.Check(inst, checkSource(seed, dist, o.Name(), trial))
+			if out.Pass {
+				sums[i].Pass++
+			} else {
+				sums[i].Fail++
+			}
+			sums[i].Reports = append(sums[i].Reports, out)
+		}
+	}
+	sort.Slice(sums, func(i, j int) bool { return sums[i].Obligation < sums[j].Obligation })
+	rep.Obligations = sums
+	return rep, nil
+}
+
+// RunAll executes Run for every registered distribution at its smoke
+// spec, in name order — the sweep behind `lbcalc -obligations` and the
+// smoke fixture.
+func (r Runner) RunAll(seed uint64) ([]*RunReport, error) {
+	var out []*RunReport
+	for _, name := range DistributionNames() {
+		d, err := LookupDistribution(name)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := r.Run(name, d.SmokeSpec(), seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

@@ -1,0 +1,179 @@
+package lowerbound
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// fakeInstance is a minimal Instance for registry/runner tests.
+type fakeInstance struct {
+	n     int
+	coins []float64
+}
+
+func (f fakeInstance) N() int { return f.n }
+
+// fakeDist samples fakeInstances: n = Size, coins drawn from src.
+type fakeDist struct{ name string }
+
+func (d fakeDist) Name() string  { return d.name }
+func (d fakeDist) Paper() string { return "test fixture distribution" }
+func (d fakeDist) Validate(spec Spec) error {
+	if spec.Size < 1 {
+		return fmt.Errorf("fake: size must be positive, got %d", spec.Size)
+	}
+	return nil
+}
+func (d fakeDist) SmokeSpec() Spec { return Spec{Size: 3} }
+func (d fakeDist) Sample(spec Spec, src *rng.Source) (Instance, error) {
+	coins := make([]float64, spec.Size)
+	for i := range coins {
+		coins[i] = src.Float64()
+	}
+	return fakeInstance{n: spec.Size, coins: coins}, nil
+}
+
+var registerFakesOnce sync.Once
+
+// registerFakes installs the shared test distribution and obligations;
+// registries are process-global, so registration happens exactly once.
+func registerFakes() {
+	registerFakesOnce.Do(func() {
+		RegisterDistribution(fakeDist{name: "test-fake"})
+		RegisterObligation(NewObligation(
+			"test/coins-in-range",
+			"test: sampled coins lie in [0,1)",
+			"test-fake", SevExact,
+			func(inst Instance, src *rng.Source) Report {
+				fi, err := Convert[fakeInstance](inst)
+				if err != nil {
+					return Report{Notes: []string{err.Error()}}
+				}
+				pass := true
+				for _, c := range fi.coins {
+					if c < 0 || c >= 1 {
+						pass = false
+					}
+				}
+				return Report{Pass: pass, Details: map[string]float64{"n": float64(fi.n)}}
+			}))
+		RegisterObligation(NewObligation(
+			"test/check-stream-private",
+			"test: obligation randomness is derived per obligation",
+			"test-fake", SevExact,
+			func(inst Instance, src *rng.Source) Report {
+				// Record the first draw of this obligation's stream; the
+				// order-invariance quick test relies on it being a function
+				// of (seed, dist, obligation, trial) only.
+				return Report{Pass: true, Details: map[string]float64{"draw": src.Float64()}}
+			}))
+		RegisterBound(NewBound("test/linear", "test fixture bound",
+			func(size int) (BoundRow, error) {
+				return BoundRow{Bits: float64(size), Formula: "size"}, nil
+			}))
+	})
+}
+
+func TestRunnerAggregates(t *testing.T) {
+	registerFakes()
+	rep, err := (Runner{Trials: 4}).Run("test-fake", Spec{Size: 5}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trials != 4 || rep.Distribution != "test-fake" {
+		t.Fatalf("report header wrong: %+v", rep)
+	}
+	if len(rep.Obligations) != 2 {
+		t.Fatalf("got %d obligations, want 2", len(rep.Obligations))
+	}
+	for _, s := range rep.Obligations {
+		if s.Pass != 4 || s.Fail != 0 || len(s.Reports) != 4 {
+			t.Errorf("%s: pass=%d fail=%d reports=%d, want 4/0/4", s.Obligation, s.Pass, s.Fail, len(s.Reports))
+		}
+		if got := s.PassRate(); got != 1 {
+			t.Errorf("%s: pass rate %v, want 1", s.Obligation, got)
+		}
+	}
+	if !rep.AllExactHold() {
+		t.Error("AllExactHold should be true")
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "test/coins-in-range") {
+		t.Errorf("render lacks obligation name:\n%s", buf.String())
+	}
+}
+
+func TestRunnerRejectsBadInput(t *testing.T) {
+	registerFakes()
+	if _, err := (Runner{Trials: 1}).Run("no-such-dist", Spec{Size: 1}, 0); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+	if _, err := (Runner{Trials: 1}).Run("test-fake", Spec{Size: 0}, 0); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	wrong := NewObligation("test/wrong-dist", "x", "other-dist", SevInfo,
+		func(Instance, *rng.Source) Report { return Report{} })
+	if _, err := (Runner{Trials: 1}).RunObligations("test-fake", Spec{Size: 1}, 0, []Obligation{wrong}); err == nil {
+		t.Error("obligation for another distribution accepted")
+	}
+}
+
+func TestRegistryLookupsAndNames(t *testing.T) {
+	registerFakes()
+	if _, err := LookupDistribution("test-fake"); err != nil {
+		t.Fatal(err)
+	}
+	ob, err := LookupObligation("test/coins-in-range")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ob.Distribution() != "test-fake" || ob.Severity() != SevExact {
+		t.Errorf("obligation metadata wrong: %v %v", ob.Distribution(), ob.Severity())
+	}
+	b, err := LookupBound("test/linear")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := b.Evaluate(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Bits != 9 || row.Name != "test/linear" || row.Size != 9 {
+		t.Errorf("bound row not auto-filled: %+v", row)
+	}
+	for _, names := range [][]string{DistributionNames(), ObligationNames(), BoundNames()} {
+		for i := 1; i < len(names); i++ {
+			if names[i-1] >= names[i] {
+				t.Errorf("names not sorted: %v", names)
+			}
+		}
+	}
+	obs := ObligationsFor("test-fake")
+	if len(obs) != 2 || obs[0].Name() != "test/check-stream-private" {
+		t.Errorf("ObligationsFor wrong: %v", obs)
+	}
+}
+
+func TestSeverityStrings(t *testing.T) {
+	cases := map[Severity]string{SevExact: "exact", SevWHP: "whp", SevInfo: "info"}
+	for sev, want := range cases {
+		if got := sev.String(); got != want {
+			t.Errorf("Severity(%d).String() = %q, want %q", sev, got, want)
+		}
+	}
+}
+
+func TestConvertMismatchErrors(t *testing.T) {
+	type otherInstance struct{ Instance }
+	if _, err := Convert[otherInstance](fakeInstance{}); err == nil {
+		t.Error("Convert accepted mismatched instance type")
+	}
+}

@@ -1,0 +1,163 @@
+package misreduce
+
+// Registration of the Section 4 MM→MIS reduction as a derived hard
+// distribution: sample a D_MM instance, build H (two copies of G plus a
+// complete public biclique), and check the reduction's structure, the
+// Lemma 4.1 survival equivalence, and the recovery goal. Names, claims
+// and detail keys are pinned by
+// internal/lowerbound/testdata/mis-reduction_seed42.json, recorded
+// before this package was migrated onto the registry.
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/harddist"
+	"repro/internal/lowerbound"
+	"repro/internal/rng"
+	"repro/internal/rsgraph"
+)
+
+// ReductionInstance pairs a sampled D_MM instance with its reduction
+// graph H.
+type ReductionInstance struct {
+	// MM is the underlying matching instance.
+	MM *harddist.Instance
+	// H is the MIS-side graph built by BuildH.
+	H *graph.Graph
+}
+
+// N implements lowerbound.Instance: the vertex count of H.
+func (ri *ReductionInstance) N() int { return ri.H.N() }
+
+// misReduction samples ReductionInstances over the Behrend family;
+// Spec.Size is the Behrend parameter m of the underlying D_MM instance.
+type misReduction struct{}
+
+func (misReduction) Name() string  { return "mis-reduction" }
+func (misReduction) Paper() string { return "AKO20 §4 (MM→MIS reduction)" }
+
+func (misReduction) Validate(spec lowerbound.Spec) error {
+	if spec.Size < 2 {
+		return fmt.Errorf("mis-reduction: Behrend parameter m must be ≥ 2, got %d", spec.Size)
+	}
+	if spec.Aux != 0 {
+		return fmt.Errorf("mis-reduction: aux parameter is unused, got %d", spec.Aux)
+	}
+	return nil
+}
+
+func (misReduction) SmokeSpec() lowerbound.Spec { return lowerbound.Spec{Size: 8} }
+
+func (misReduction) Sample(spec lowerbound.Spec, src *rng.Source) (lowerbound.Instance, error) {
+	rs, err := rsgraph.BuildBehrend(spec.Size)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := harddist.Sample(harddist.NewParams(rs), src)
+	if err != nil {
+		return nil, err
+	}
+	return &ReductionInstance{MM: inst, H: BuildH(inst)}, nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func init() {
+	lowerbound.RegisterDistribution(misReduction{})
+
+	lowerbound.RegisterObligation(lowerbound.NewObligation(
+		"mis/h-structure",
+		"AKO20 §4: H is two copies of G plus a complete public biclique",
+		"mis-reduction", lowerbound.SevExact,
+		func(inst lowerbound.Instance, _ *rng.Source) lowerbound.Report {
+			ri, err := lowerbound.Convert[*ReductionInstance](inst)
+			if err != nil {
+				return lowerbound.Report{Notes: []string{err.Error()}}
+			}
+			p := len(ri.MM.PublicVertices())
+			expected := 2*ri.MM.G.M() + p*p
+			return lowerbound.Report{
+				Pass: ri.H.N() == 2*ri.MM.G.N() && ri.H.M() == expected,
+				Details: map[string]float64{
+					"edges_h":        float64(ri.H.M()),
+					"expected_edges": float64(expected),
+					"n_h":            float64(ri.H.N()),
+				},
+			}
+		}))
+
+	lowerbound.RegisterObligation(lowerbound.NewObligation(
+		"mis/lemma-4.1-good-side",
+		"AKO20 Lemma 4.1: on a public-free side, survival ⇔ not both copies in the IS",
+		"mis-reduction", lowerbound.SevExact,
+		func(inst lowerbound.Instance, src *rng.Source) lowerbound.Report {
+			ri, err := lowerbound.Convert[*ReductionInstance](inst)
+			if err != nil {
+				return lowerbound.Report{Notes: []string{err.Error()}}
+			}
+			mis := graph.GreedyMIS(ri.H, src.Perm(ri.H.N()))
+			maximal := graph.IsMaximalIndependentSet(ri.H, mis)
+			rec := Recover(ri.MM, mis)
+			goodExists := rec.LeftPublicEmpty || rec.RightPublicEmpty
+			violated := false
+			if goodExists {
+				if err := CheckLemma41(ri.MM, mis, rec.GoodLeft); err != nil {
+					violated = true
+				}
+			}
+			return lowerbound.Report{
+				Pass: maximal && goodExists && !violated,
+				Details: map[string]float64{
+					"good_exists": b2f(goodExists),
+					"good_left":   b2f(rec.GoodLeft),
+					"left_pairs":  float64(len(rec.Left)),
+					"maximal":     b2f(maximal),
+					"right_pairs": float64(len(rec.Right)),
+					"violations":  b2f(violated),
+				},
+			}
+		}))
+
+	lowerbound.RegisterObligation(lowerbound.NewObligation(
+		"mis/recovery-goal",
+		"AKO20 Remark 3.6(iv): the good side recovers ≥ kr/4 true special edges with no phantoms",
+		"mis-reduction", lowerbound.SevWHP,
+		func(inst lowerbound.Instance, src *rng.Source) lowerbound.Report {
+			ri, err := lowerbound.Convert[*ReductionInstance](inst)
+			if err != nil {
+				return lowerbound.Report{Notes: []string{err.Error()}}
+			}
+			mis := graph.GreedyMIS(ri.H, src.Perm(ri.H.N()))
+			rec := Recover(ri.MM, mis)
+			goodExists := rec.LeftPublicEmpty || rec.RightPublicEmpty
+			survived := make(map[graph.Edge]bool)
+			for i := 0; i < ri.MM.Params.K; i++ {
+				for _, e := range ri.MM.SpecialMatchingSurvived(i) {
+					survived[e] = true
+				}
+			}
+			goodTrue, goodPhantom := 0, 0
+			for _, e := range rec.Good {
+				if survived[e] {
+					goodTrue++
+				} else {
+					goodPhantom++
+				}
+			}
+			threshold := ri.MM.Claim31Threshold()
+			return lowerbound.Report{
+				Pass: goodExists && goodPhantom == 0 && float64(goodTrue) >= threshold,
+				Details: map[string]float64{
+					"good_phantom": float64(goodPhantom),
+					"good_true":    float64(goodTrue),
+					"threshold":    threshold,
+				},
+			}
+		}))
+}

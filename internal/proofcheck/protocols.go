@@ -20,6 +20,15 @@ import (
 //     the special matchings;
 //   - Silent is the zero baseline.
 
+func init() {
+	RegisterProtocol(FullInfo{})
+	RegisterProtocol(Silent{})
+	RegisterProtocol(PublicAll{})
+	RegisterProtocol(CopyZero{})
+	RegisterProtocol(FixedGuess{J0: 0})
+	RegisterProtocol(FirstSlot{})
+}
+
 // slotRef identifies edge x of matching j.
 type slotRef struct{ j, x int }
 

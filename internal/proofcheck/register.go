@@ -1,0 +1,186 @@
+package proofcheck
+
+// Registration of the enumerable micro-D_MM distribution and the exact
+// information-chain obligations (Lemmas 3.3–3.5, the Theorem 1 counting
+// step, and a Fact 2.2 instrument). Each chain obligation verifies its
+// inequality for every protocol in the registered portfolio, recording
+// per-protocol LHS/RHS values. Names, claims and detail keys are pinned
+// by internal/lowerbound/testdata/mm-dmm-micro_seed42.json, recorded
+// before this package was migrated onto the registry.
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/harddist"
+	"repro/internal/infotheory"
+	"repro/internal/lowerbound"
+	"repro/internal/rng"
+	"repro/internal/rsgraph"
+)
+
+// MicroInstance is one sampled micro-D_MM configuration: disjoint r=1
+// matchings with k = t and a uniformly drawn relabeling σ — small enough
+// that VerifyChain enumerates every (j⋆, survival) outcome exactly.
+type MicroInstance struct {
+	// Cfg is the proof-checker configuration (parameters + σ).
+	Cfg Config
+}
+
+// N implements lowerbound.Instance.
+func (mi *MicroInstance) N() int { return mi.Cfg.Params.N() }
+
+// microDMM samples MicroInstances: Spec.Size is t (= k), bounded so the
+// exact enumeration stays within MaxBits survival bits.
+type microDMM struct{}
+
+func (microDMM) Name() string  { return "mm-dmm-micro" }
+func (microDMM) Paper() string { return "AKO20 §3.2 (enumerable micro D_MM)" }
+
+func (microDMM) Validate(spec lowerbound.Spec) error {
+	t := spec.Size
+	if t < 2 {
+		return fmt.Errorf("mm-dmm-micro: t must be ≥ 2, got %d", t)
+	}
+	if t*t > MaxBits {
+		return fmt.Errorf("mm-dmm-micro: k·t·r = %d survival bits exceeds the exact-enumeration cap %d (t ≤ %d)",
+			t*t, MaxBits, 4)
+	}
+	if spec.Aux != 0 {
+		return fmt.Errorf("mm-dmm-micro: aux parameter is unused, got %d", spec.Aux)
+	}
+	return nil
+}
+
+func (microDMM) SmokeSpec() lowerbound.Spec { return lowerbound.Spec{Size: 2} }
+
+func (microDMM) Sample(spec lowerbound.Spec, src *rng.Source) (lowerbound.Instance, error) {
+	t := spec.Size
+	params := harddist.Params{RS: rsgraph.DisjointMatchings(1, t), K: t, DropProb: 0.5}
+	sigma := src.Perm(params.N())
+	return &MicroInstance{Cfg: Config{Params: params, Sigma: sigma}}, nil
+}
+
+// chainCheck adapts a per-protocol ChainReport extractor into an
+// obligation check that sweeps the whole registered portfolio.
+func chainCheck(extract func(rep ChainReport, details map[string]float64) bool) func(lowerbound.Instance, *rng.Source) lowerbound.Report {
+	return func(inst lowerbound.Instance, _ *rng.Source) lowerbound.Report {
+		mi, err := lowerbound.Convert[*MicroInstance](inst)
+		if err != nil {
+			return lowerbound.Report{Notes: []string{err.Error()}}
+		}
+		rep := lowerbound.Report{Pass: true, Details: map[string]float64{}}
+		for _, p := range Portfolio() {
+			chain, err := VerifyChain(mi.Cfg, p)
+			if err != nil {
+				return lowerbound.Report{Notes: []string{err.Error()}}
+			}
+			if !extract(chain, rep.Details) {
+				rep.Pass = false
+			}
+		}
+		return rep
+	}
+}
+
+func init() {
+	lowerbound.RegisterDistribution(microDMM{})
+
+	lowerbound.RegisterObligation(lowerbound.NewObligation(
+		"mm/lemma-3.3-soundness",
+		"AKO20 Lemma 3.3: H(M_J|Π,Σ,J) ≤ 1 + Perr·kr + (kr − E|M^U|)",
+		"mm-dmm-micro", lowerbound.SevExact,
+		chainCheck(func(rep ChainReport, d map[string]float64) bool {
+			d["lhs."+rep.Protocol] = rep.Lemma33.LHS
+			d["rhs."+rep.Protocol] = rep.Lemma33.RHS
+			return rep.Lemma33.Holds
+		})))
+
+	lowerbound.RegisterObligation(lowerbound.NewObligation(
+		"mm/lemma-3.4-decomposition",
+		"AKO20 Lemma 3.4: I(M_J;Π|Σ,J) ≤ H(Π(P)) + Σ_i I(M_i,J;Π(U_i)|Σ,J)",
+		"mm-dmm-micro", lowerbound.SevExact,
+		chainCheck(func(rep ChainReport, d map[string]float64) bool {
+			d["lhs."+rep.Protocol] = rep.Lemma34.LHS
+			d["rhs."+rep.Protocol] = rep.Lemma34.RHS
+			return rep.Lemma34.Holds
+		})))
+
+	lowerbound.RegisterObligation(lowerbound.NewObligation(
+		"mm/lemma-3.5-direct-sum",
+		"AKO20 Lemma 3.5: I(M_i,J;Π(U_i)|Σ,J) ≤ H(Π(U_i))/t",
+		"mm-dmm-micro", lowerbound.SevExact,
+		chainCheck(func(rep ChainReport, d map[string]float64) bool {
+			ok := true
+			for i, l := range rep.Lemma35 {
+				d["lhs."+rep.Protocol+"."+strconv.Itoa(i)] = l.LHS
+				d["rhs."+rep.Protocol+"."+strconv.Itoa(i)] = l.RHS
+				ok = ok && l.Holds
+			}
+			return ok
+		})))
+
+	lowerbound.RegisterObligation(lowerbound.NewObligation(
+		"mm/theorem-1-counting",
+		"AKO20 Theorem 1 counting: I(M_J;Π|Σ,J) ≤ |P|·b_P + k·N·b_U/t",
+		"mm-dmm-micro", lowerbound.SevExact,
+		chainCheck(func(rep ChainReport, d map[string]float64) bool {
+			d["lhs."+rep.Protocol] = rep.Counting.LHS
+			d["rhs."+rep.Protocol] = rep.Counting.RHS
+			return rep.Counting.Holds
+		})))
+
+	lowerbound.RegisterObligation(lowerbound.NewObligation(
+		"mm/fact-2.2-instrument",
+		"AKO20 Fact 2.2 / Props 2.3–2.4: the chain's information quantities obey the standard entropy facts",
+		"mm-dmm-micro", lowerbound.SevExact,
+		func(inst lowerbound.Instance, src *rng.Source) lowerbound.Report {
+			mi, err := lowerbound.Convert[*MicroInstance](inst)
+			if err != nil {
+				return lowerbound.Report{Notes: []string{err.Error()}}
+			}
+			chainViolations := 0
+			for _, p := range Portfolio() {
+				chain, err := VerifyChain(mi.Cfg, p)
+				if err != nil {
+					return lowerbound.Report{Notes: []string{err.Error()}}
+				}
+				// 0 ≤ I(M_J;Π|Σ,J) ≤ H(M_J) ≤ kr and H(M_J|Π,Σ,J) ∈ [0, kr]:
+				// direct consequences of Fact 2.2 on the real chain.
+				if chain.ITotal < -factTol || chain.ITotal > chain.KR+factTol {
+					chainViolations++
+				}
+				if chain.HMGivenPi < -factTol || chain.HMGivenPi > chain.KR+factTol {
+					chainViolations++
+				}
+			}
+			// Exercise the reusable checkers on structured random joints
+			// drawn from this obligation's private stream.
+			const jointTrials = 8
+			factViolations, propViolations := 0, 0
+			for i := 0; i < jointTrials; i++ {
+				jc := infotheory.RandomJointDFuncOfC(src)
+				factViolations += len(infotheory.Fact22Violations(jc))
+				if !infotheory.Proposition23Holds(jc) {
+					propViolations++
+				}
+				jbc := infotheory.RandomJointDFuncOfBC(src)
+				factViolations += len(infotheory.Fact22Violations(jbc))
+				if !infotheory.Proposition24Holds(jbc) {
+					propViolations++
+				}
+			}
+			return lowerbound.Report{
+				Pass: chainViolations == 0 && factViolations == 0 && propViolations == 0,
+				Details: map[string]float64{
+					"chain_violations":  float64(chainViolations),
+					"fact22_violations": float64(factViolations),
+					"joints_checked":    2 * jointTrials,
+					"prop_violations":   float64(propViolations),
+				},
+			}
+		}))
+}
+
+// factTol mirrors infotheory's inequality tolerance.
+const factTol = 1e-9

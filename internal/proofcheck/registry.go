@@ -1,0 +1,69 @@
+package proofcheck
+
+// Protocol registry: the micro-protocol portfolio self-registers from
+// init() (see protocols.go), the same way internal/protocol registers
+// sketching protocols. Callers that used to hand-maintain
+// []Protocol{...} lists — the E4 experiment, the informationchain
+// example, the mm-dmm-micro obligations — iterate Portfolio() instead,
+// so adding a protocol is a one-line registration, not an N-site edit.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+var (
+	protoMu   sync.RWMutex
+	protocols = map[string]Protocol{}
+)
+
+// RegisterProtocol adds a protocol to the portfolio. It is meant to be
+// called from init() and panics on empty or duplicate names.
+func RegisterProtocol(p Protocol) {
+	if p == nil || p.Name() == "" {
+		panic("proofcheck: RegisterProtocol with nil or unnamed protocol")
+	}
+	protoMu.Lock()
+	defer protoMu.Unlock()
+	if _, dup := protocols[p.Name()]; dup {
+		panic(fmt.Sprintf("proofcheck: duplicate protocol %q", p.Name()))
+	}
+	protocols[p.Name()] = p
+}
+
+// LookupProtocol resolves a registered protocol name.
+func LookupProtocol(name string) (Protocol, error) {
+	protoMu.RLock()
+	p, ok := protocols[name]
+	protoMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("proofcheck: unknown protocol %q (known: %v)", name, ProtocolNames())
+	}
+	return p, nil
+}
+
+// ProtocolNames returns the sorted registered protocol names.
+func ProtocolNames() []string {
+	protoMu.RLock()
+	defer protoMu.RUnlock()
+	names := make([]string, 0, len(protocols))
+	for name := range protocols {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Portfolio returns every registered protocol, sorted by name — the
+// deterministic iteration order used by experiments and obligations.
+func Portfolio() []Protocol {
+	protoMu.RLock()
+	defer protoMu.RUnlock()
+	out := make([]Protocol, 0, len(protocols))
+	for _, p := range protocols {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# lbcalc-smoke: the lower-bound pipeline's seed-pinned regression gate.
+#
+# Two byte-exact diffs against committed fixtures:
+#   1. the default analytic tables, pinned BEFORE the lowerbound-registry
+#      refactor (testdata/prerefactor_default.txt) — proves the Bound
+#      registry reproduces the original formulas;
+#   2. the full obligation sweep at seed 42 (testdata/smoke.txt) — every
+#      registered distribution at its smoke spec, every obligation's
+#      pass/fail counts. The registry lint requires each registered
+#      obligation name to appear here.
+#
+# Regenerate smoke.txt (only after intentionally adding obligations):
+#   go run ./cmd/lbcalc -obligations -seed 42 -trials 2 > cmd/lbcalc/testdata/smoke.txt
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go run ./cmd/lbcalc > "$tmp"
+diff -u cmd/lbcalc/testdata/prerefactor_default.txt "$tmp"
+
+go run ./cmd/lbcalc -obligations -seed 42 -trials 2 > "$tmp"
+diff -u cmd/lbcalc/testdata/smoke.txt "$tmp"
+
+echo "lbcalc-smoke: OK"
